@@ -1,0 +1,122 @@
+(* The benchmark harness: regenerates every reproduced table/figure of
+   the paper's evaluation (experiments E1-E10 and F2; see DESIGN.md and
+   EXPERIMENTS.md), then runs bechamel microbenchmarks for the two
+   timing-sensitive claims (layer crossing, shadow commit).
+
+   Usage:
+     bench/main.exe            run everything
+     bench/main.exe e4 e6      run selected experiments
+     bench/main.exe micro      run only the microbenchmarks *)
+
+open Bechamel
+open Toolkit
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmarks                                            *)
+
+let get = function
+  | Ok v -> v
+  | Error e -> failwith ("bench setup failed: " ^ Errno.to_string e)
+
+(* E1 microbench: getattr through 0/2/4/8 null layers. *)
+let micro_layer_tests () =
+  let disk = Disk.create ~nblocks:2048 ~block_size:1024 () in
+  let t = ref 0 in
+  let fs = get (Ufs.mkfs ~now:(fun () -> incr t; !t) disk) in
+  let base = Ufs_vnode.root fs in
+  List.map
+    (fun depth ->
+      let v = Null_layer.wrap_depth depth base in
+      Test.make
+        ~name:(Printf.sprintf "getattr/depth=%d" depth)
+        (Staged.stage (fun () -> ignore (v.Vnode.getattr ()))))
+    [ 0; 2; 4; 8 ]
+
+(* E8 microbench: shadow-commit a whole file of each size. *)
+let micro_shadow_tests () =
+  List.map
+    (fun size ->
+      let disk = Disk.create ~nblocks:16384 ~block_size:1024 () in
+      let t = ref 0 in
+      let fs = get (Ufs.mkfs ~now:(fun () -> incr t; !t) disk) in
+      let root = Ufs_vnode.root fs in
+      let fid = { Ids.issuer = 1; uniq = 1 } in
+      let data = String.make size 'x' in
+      Test.make
+        ~name:(Printf.sprintf "shadow-install/%dKiB" (size / 1024))
+        (Staged.stage (fun () -> get (Shadow.install ~dir:root fid ~data))))
+    [ 1024; 8192; 65536 ]
+
+let run_micro () =
+  let tests = micro_layer_tests () @ micro_shadow_tests () in
+  let instance = Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  Printf.printf "\nMicrobenchmarks (bechamel, monotonic clock)\n";
+  Printf.printf "  %-28s %14s\n" "benchmark" "ns/op";
+  Printf.printf "  %s\n" (String.make 44 '-');
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] test in
+      let analyzed = Analyze.all ols instance results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          let ns =
+            match Analyze.OLS.estimates ols_result with
+            | Some (x :: _) -> x
+            | Some [] | None -> nan
+          in
+          Printf.printf "  %-28s %14.1f\n" name ns)
+        analyzed)
+    tests;
+  Printf.printf "  %s\n%!" (String.make 44 '-')
+
+(* ------------------------------------------------------------------ *)
+
+let print_summary verdicts =
+  Printf.printf "\n";
+  Printf.printf "Reproduction summary (paper claim vs. measured)\n";
+  Printf.printf "  %s\n" (String.make 76 '=');
+  List.iter
+    (fun v ->
+      Printf.printf "  %-4s %-9s %s\n" v.Experiments.experiment
+        (if v.Experiments.holds then "HOLDS" else "FAILS")
+        v.Experiments.claim;
+      Printf.printf "       measured: %s\n" v.Experiments.detail)
+    verdicts;
+  let failed = List.filter (fun v -> not v.Experiments.holds) verdicts in
+  Printf.printf "  %s\n" (String.make 76 '=');
+  Printf.printf "  %d/%d claims reproduced\n%!"
+    (List.length verdicts - List.length failed)
+    (List.length verdicts)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  match args with
+  | [] ->
+    let verdicts = Experiments.all () in
+    run_micro ();
+    print_summary verdicts;
+    if List.exists (fun v -> not v.Experiments.holds) verdicts then exit 1
+  | [ "micro" ] -> run_micro ()
+  | names ->
+    let verdicts =
+      List.filter_map
+        (fun name ->
+          if name = "micro" then begin
+            run_micro ();
+            None
+          end
+          else
+            match Experiments.run_by_name name with
+            | Some v -> Some v
+            | None ->
+              Printf.eprintf "unknown experiment %S (known: %s)\n" name
+                (String.concat ", " Experiments.names);
+              exit 2)
+        names
+    in
+    print_summary verdicts;
+    if List.exists (fun v -> not v.Experiments.holds) verdicts then exit 1

@@ -1,0 +1,201 @@
+(* ficusctl: drive the Ficus simulation from the command line.
+
+     ficusctl demo                          guided tour of the stack
+     ficusctl experiment e4 e6 ...          run reproduction experiments
+     ficusctl availability -n 5 -g 3        availability table
+     ficusctl simulate --hosts 3 --epochs 20 --partition-prob 0.4
+                                            partitioned workload + report *)
+
+open Cmdliner
+
+let get = function
+  | Ok v -> v
+  | Error e -> failwith ("ficusctl: " ^ Errno.to_string e)
+
+(* ------------------------------------------------------------------ *)
+
+let demo () =
+  let cluster = Cluster.create ~nhosts:3 () in
+  let vref = get (Cluster.create_volume cluster ~on:[ 0; 1; 2 ]) in
+  Printf.printf "three hosts, volume %s replicated on all of them\n"
+    (Fmt.str "%a" Ids.pp_vref vref);
+  let root0 = get (Cluster.logical_root cluster 0 vref) in
+  let f = get (root0.Vnode.create "demo.txt") in
+  get (Vnode.write_all f "written on host0");
+  let (_ : int) = Cluster.run_propagation cluster in
+  Printf.printf "wrote demo.txt on host0; propagated to the other replicas\n";
+  Cluster.partition cluster [ [ 0 ]; [ 1; 2 ] ];
+  Printf.printf "partition: {host0} | {host1,host2}\n";
+  let root1 = get (Cluster.logical_root cluster 1 vref) in
+  get (Vnode.write_all (get (root0.Vnode.lookup "demo.txt")) "edited on host0, offline");
+  get (Vnode.write_all (get (root1.Vnode.lookup "demo.txt")) "edited on host1, offline");
+  Printf.printf "both sides updated demo.txt under one-copy availability\n";
+  Cluster.heal cluster;
+  let rounds = get (Cluster.converge cluster vref ~max_rounds:20 ()) in
+  Printf.printf "healed; reconciliation converged in %d round(s)\n" rounds;
+  List.iter
+    (fun i ->
+      match Cluster.replica (Cluster.host cluster i) vref with
+      | None -> ()
+      | Some phys ->
+        List.iter
+          (fun e -> Printf.printf "host%d conflict: %s\n" i (Fmt.str "%a" Conflict_log.pp_entry e))
+          (Conflict_log.pending (Physical.conflicts phys)))
+    [ 0; 1; 2 ];
+  Printf.printf "conflicting updates were detected and reported, not lost.\n";
+  0
+
+let demo_cmd =
+  Cmd.v (Cmd.info "demo" ~doc:"Guided tour: replicate, partition, diverge, reconcile")
+    Term.(const demo $ const ())
+
+(* ------------------------------------------------------------------ *)
+
+let experiment names =
+  let names = if names = [] then Experiments.names else names in
+  let verdicts =
+    List.map
+      (fun name ->
+        match Experiments.run_by_name name with
+        | Some v -> v
+        | None ->
+          Printf.eprintf "unknown experiment %S (known: %s)\n" name
+            (String.concat ", " Experiments.names);
+          exit 2)
+      names
+  in
+  if List.for_all (fun v -> v.Experiments.holds) verdicts then 0 else 1
+
+let experiment_cmd =
+  let names = Arg.(value & pos_all string [] & info [] ~docv:"NAME") in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Run reproduction experiments (default: all)")
+    Term.(const experiment $ names)
+
+(* ------------------------------------------------------------------ *)
+
+let availability nreplicas groups p trials =
+  let model =
+    match p with
+    | Some p -> Availability.Independent p
+    | None -> Availability.Partition_groups groups
+  in
+  let policies =
+    [
+      Replica_control.One_copy;
+      Replica_control.Primary_copy;
+      Replica_control.Majority_voting;
+      Replica_control.default_weighted ~nreplicas;
+      Replica_control.Quorum_consensus
+        { read_quorum = (nreplicas / 2) + 1; write_quorum = (nreplicas / 2) + 1 };
+    ]
+  in
+  let rows =
+    List.map
+      (fun policy ->
+        let r = Availability.evaluate ~trials ~nreplicas ~model policy in
+        [
+          Replica_control.name policy;
+          Table.fmt_pct r.Availability.read_availability;
+          Table.fmt_pct r.Availability.update_availability;
+        ])
+      policies
+  in
+  let model_name =
+    match p with
+    | Some p -> Printf.sprintf "independent reachability p=%.2f" p
+    | None -> Printf.sprintf "uniform %d-way partitions" groups
+  in
+  Table.print
+    ~title:(Printf.sprintf "availability: %d replicas, %s, %d trials" nreplicas model_name trials)
+    ~headers:[ "policy"; "read"; "update" ]
+    rows;
+  0
+
+let availability_cmd =
+  let n = Arg.(value & opt int 3 & info [ "n"; "replicas" ] ~docv:"N" ~doc:"Replica count") in
+  let g = Arg.(value & opt int 3 & info [ "g"; "groups" ] ~docv:"K" ~doc:"Partition groups") in
+  let p =
+    Arg.(value & opt (some float) None
+         & info [ "p" ] ~docv:"P" ~doc:"Independent reachability probability (overrides -g)")
+  in
+  let trials = Arg.(value & opt int 50_000 & info [ "trials" ] ~docv:"T" ~doc:"Trials") in
+  Cmd.v
+    (Cmd.info "availability" ~doc:"Compare replica-control policies under failures")
+    Term.(const availability $ n $ g $ p $ trials)
+
+(* ------------------------------------------------------------------ *)
+
+let simulate hosts epochs partition_prob write_fraction seed =
+  let cluster = Cluster.create ~nhosts:hosts ~seed () in
+  let all_hosts = List.init hosts Fun.id in
+  let vref = get (Cluster.create_volume cluster ~on:all_hosts) in
+  let roots = List.map (fun i -> get (Cluster.logical_root cluster i vref)) all_hosts in
+  let cfg = { Workload.default with write_fraction; seed } in
+  get (Workload.setup (List.hd roots) cfg);
+  let (_ : int) = Cluster.run_propagation cluster in
+  let (_ : int) = get (Cluster.converge cluster vref ()) in
+  let rng = Random.State.make [| seed |] in
+  let total = ref { Workload.reads = 0; writes = 0; errors = 0 } in
+  for _ = 1 to epochs do
+    if Random.State.float rng 1.0 < partition_prob then
+      Cluster.partition cluster (List.map (fun i -> [ i ]) all_hosts)
+    else Cluster.heal cluster;
+    List.iter
+      (fun root ->
+        let s = Workload.run root { cfg with seed = Random.State.int rng 100000 } ~ops:20 in
+        total :=
+          {
+            Workload.reads = !total.Workload.reads + s.Workload.reads;
+            writes = !total.Workload.writes + s.Workload.writes;
+            errors = !total.Workload.errors + s.Workload.errors;
+          })
+      roots;
+    Cluster.heal cluster;
+    let (_ : int) = Cluster.run_propagation cluster in
+    (match Cluster.converge cluster vref ~max_rounds:20 () with Ok _ | Error _ -> ())
+  done;
+  let conflicts =
+    List.fold_left
+      (fun acc i ->
+        match Cluster.replica (Cluster.host cluster i) vref with
+        | Some phys -> acc + List.length (Conflict_log.all (Physical.conflicts phys))
+        | None -> acc)
+      0 all_hosts
+  in
+  Table.print ~title:"simulation report"
+    ~headers:[ "metric"; "value" ]
+    [
+      [ "hosts"; string_of_int hosts ];
+      [ "epochs"; string_of_int epochs ];
+      [ "reads"; string_of_int !total.Workload.reads ];
+      [ "writes"; string_of_int !total.Workload.writes ];
+      [ "op errors"; string_of_int !total.Workload.errors ];
+      [ "conflicts detected"; string_of_int conflicts ];
+      [ "conflict rate";
+        (if !total.Workload.writes = 0 then "n/a"
+         else Table.fmt_pct (float_of_int conflicts /. float_of_int !total.Workload.writes)) ];
+    ];
+  0
+
+let simulate_cmd =
+  let hosts = Arg.(value & opt int 3 & info [ "hosts" ] ~docv:"N" ~doc:"Host count") in
+  let epochs = Arg.(value & opt int 20 & info [ "epochs" ] ~docv:"E" ~doc:"Workload epochs") in
+  let pp =
+    Arg.(value & opt float 0.3
+         & info [ "partition-prob" ] ~docv:"P" ~doc:"Probability an epoch is partitioned")
+  in
+  let wf =
+    Arg.(value & opt float 0.2 & info [ "write-fraction" ] ~docv:"W" ~doc:"Fraction of writes")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"S" ~doc:"PRNG seed") in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Run a partitioned workload and report conflict statistics")
+    Term.(const simulate $ hosts $ epochs $ pp $ wf $ seed)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let doc = "drive the Ficus replicated file system simulation" in
+  let info = Cmd.info "ficusctl" ~version:"1.0" ~doc in
+  exit (Cmd.eval' (Cmd.group info [ demo_cmd; experiment_cmd; availability_cmd; simulate_cmd ]))

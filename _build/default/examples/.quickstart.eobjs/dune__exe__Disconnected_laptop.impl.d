@@ -1,0 +1,1 @@
+examples/disconnected_laptop.ml: Cluster Conflict_log Errno Fmt List Option Physical Printf Reconcile String Vnode

@@ -1,0 +1,1 @@
+examples/disconnected_laptop.mli:

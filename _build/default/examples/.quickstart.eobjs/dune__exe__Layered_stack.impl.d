@@ -1,0 +1,1 @@
+examples/layered_stack.ml: Access_layer Clock Counters Crypt_layer Disk Errno Fdir Ids List Logical Measure_layer Namei Physical Printf Syscall Ufs Ufs_vnode Vnode

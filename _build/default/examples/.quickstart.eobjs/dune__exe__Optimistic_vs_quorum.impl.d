@@ -1,0 +1,1 @@
+examples/optimistic_vs_quorum.ml: Array Cluster Conflict_log Errno List Physical Printf Replica_control Vnode

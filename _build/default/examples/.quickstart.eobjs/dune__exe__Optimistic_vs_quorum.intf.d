@@ -1,0 +1,1 @@
+examples/optimistic_vs_quorum.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cluster Errno Fdir Fmt Ids List Namei Option Physical Printf Version_vector Vnode

@@ -1,0 +1,1 @@
+examples/volume_grafting.ml: Cluster Counters Errno Fmt Ids List Logical Namei Option Physical Printf String Vnode

@@ -1,0 +1,1 @@
+examples/volume_grafting.mli:

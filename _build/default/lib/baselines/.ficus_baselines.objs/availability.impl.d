@@ -1,0 +1,1 @@
+lib/baselines/availability.ml: Array Random Replica_control

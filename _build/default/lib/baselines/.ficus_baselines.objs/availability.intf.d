@@ -1,0 +1,1 @@
+lib/baselines/availability.mli: Replica_control

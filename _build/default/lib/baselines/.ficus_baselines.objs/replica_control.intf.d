@@ -1,0 +1,1 @@
+lib/baselines/replica_control.mli:

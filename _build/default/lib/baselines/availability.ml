@@ -1,0 +1,58 @@
+type model = Independent of float | Partition_groups of int
+
+type result = { read_availability : float; update_availability : float }
+
+let sample_up rng model nreplicas =
+  match model with
+  | Independent p -> Array.init nreplicas (fun _ -> Random.State.float rng 1.0 < p)
+  | Partition_groups k ->
+    let client_group = Random.State.int rng k in
+    Array.init nreplicas (fun _ -> Random.State.int rng k = client_group)
+
+let evaluate ?(seed = 7) ~trials ~nreplicas ~model policy =
+  if trials <= 0 || nreplicas <= 0 then invalid_arg "Availability.evaluate";
+  let rng = Random.State.make [| seed |] in
+  let reads = ref 0 and updates = ref 0 in
+  for _ = 1 to trials do
+    let up = sample_up rng model nreplicas in
+    if Replica_control.can_read policy ~up then incr reads;
+    if Replica_control.can_update policy ~up then incr updates
+  done;
+  {
+    read_availability = float_of_int !reads /. float_of_int trials;
+    update_availability = float_of_int !updates /. float_of_int trials;
+  }
+
+let binomial_tail ~n ~p ~k =
+  (* P[X >= k]; exact summation, n is small. *)
+  let choose n r =
+    let r = min r (n - r) in
+    let rec go acc i = if i > r then acc else go (acc *. float_of_int (n - r + i) /. float_of_int i) (i + 1) in
+    if r < 0 then 0.0 else go 1.0 1
+  in
+  let term i = choose n i *. (p ** float_of_int i) *. ((1.0 -. p) ** float_of_int (n - i)) in
+  let rec sum i acc = if i > n then acc else sum (i + 1) (acc +. term i) in
+  sum (max 0 k) 0.0
+
+let majority n = (n / 2) + 1
+
+let analytic_read ~nreplicas ~p policy =
+  match policy with
+  | Replica_control.One_copy | Replica_control.Primary_copy ->
+    Some (1.0 -. ((1.0 -. p) ** float_of_int nreplicas))
+  | Replica_control.Majority_voting ->
+    Some (binomial_tail ~n:nreplicas ~p ~k:(majority nreplicas))
+  | Replica_control.Quorum_consensus { read_quorum; _ } ->
+    Some (binomial_tail ~n:nreplicas ~p ~k:read_quorum)
+  | Replica_control.Weighted_voting _ -> None
+
+let analytic_update ~nreplicas ~p policy =
+  match policy with
+  | Replica_control.One_copy ->
+    Some (1.0 -. ((1.0 -. p) ** float_of_int nreplicas))
+  | Replica_control.Primary_copy -> Some p
+  | Replica_control.Majority_voting ->
+    Some (binomial_tail ~n:nreplicas ~p ~k:(majority nreplicas))
+  | Replica_control.Quorum_consensus { write_quorum; _ } ->
+    Some (binomial_tail ~n:nreplicas ~p ~k:write_quorum)
+  | Replica_control.Weighted_voting _ -> None

@@ -1,0 +1,34 @@
+(** Availability evaluation of replica-control policies under simulated
+    communication failures (experiment E4).
+
+    Two failure models:
+    - {!Independent}: each replica is reachable from the client
+      independently with probability [p] — the classic analytical model;
+    - {!Partition_groups}: the client and all replica hosts are thrown
+      uniformly into [k] network partitions; a replica is accessible iff
+      it landed in the client's group — closer to the paper's
+      "communications outages rendering inaccessible some replicas".
+
+    Monte-Carlo estimates use a seeded deterministic PRNG; the
+    [Independent] model also has closed forms for several policies,
+    used by the test suite to validate the sampler. *)
+
+type model =
+  | Independent of float       (** reachability probability per replica *)
+  | Partition_groups of int    (** number of uniform partition groups *)
+
+type result = { read_availability : float; update_availability : float }
+
+val evaluate :
+  ?seed:int -> trials:int -> nreplicas:int -> model:model ->
+  Replica_control.t -> result
+
+val analytic_read :
+  nreplicas:int -> p:float -> Replica_control.t -> float option
+(** Closed-form read availability under [Independent p], where known. *)
+
+val analytic_update :
+  nreplicas:int -> p:float -> Replica_control.t -> float option
+
+val binomial_tail : n:int -> p:float -> k:int -> float
+(** P[X >= k] for X ~ Binomial(n, p); exposed for tests. *)

@@ -1,0 +1,62 @@
+type t =
+  | One_copy
+  | Primary_copy
+  | Majority_voting
+  | Weighted_voting of { weights : int array; read_quorum : int; write_quorum : int }
+  | Quorum_consensus of { read_quorum : int; write_quorum : int }
+
+let name = function
+  | One_copy -> "one-copy (Ficus)"
+  | Primary_copy -> "primary copy"
+  | Majority_voting -> "majority voting"
+  | Weighted_voting _ -> "weighted voting"
+  | Quorum_consensus _ -> "quorum consensus"
+
+let validate t ~nreplicas =
+  match t with
+  | One_copy | Primary_copy -> Ok ()
+  | Majority_voting -> if nreplicas >= 1 then Ok () else Error "no replicas"
+  | Weighted_voting { weights; read_quorum; write_quorum } ->
+    if Array.length weights <> nreplicas then Error "weights dimension mismatch"
+    else
+      let total = Array.fold_left ( + ) 0 weights in
+      if read_quorum + write_quorum <= total then Error "r + w must exceed total votes"
+      else if 2 * write_quorum <= total then Error "2w must exceed total votes"
+      else Ok ()
+  | Quorum_consensus { read_quorum; write_quorum } ->
+    if read_quorum + write_quorum <= nreplicas then Error "r + w must exceed n"
+    else if 2 * write_quorum <= nreplicas then Error "2w must exceed n"
+    else Ok ()
+
+let count_up up = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 up
+
+let votes_up weights up =
+  let sum = ref 0 in
+  Array.iteri (fun i w -> if up.(i) then sum := !sum + w) weights;
+  !sum
+
+let any_up up = Array.exists Fun.id up
+
+let can_read t ~up =
+  match t with
+  | One_copy -> any_up up
+  | Primary_copy -> any_up up
+  | Majority_voting -> 2 * count_up up > Array.length up
+  | Weighted_voting { weights; read_quorum; _ } -> votes_up weights up >= read_quorum
+  | Quorum_consensus { read_quorum; _ } -> count_up up >= read_quorum
+
+let can_update t ~up =
+  match t with
+  | One_copy -> any_up up
+  | Primary_copy -> Array.length up > 0 && up.(0)
+  | Majority_voting -> 2 * count_up up > Array.length up
+  | Weighted_voting { weights; write_quorum; _ } -> votes_up weights up >= write_quorum
+  | Quorum_consensus { write_quorum; _ } -> count_up up >= write_quorum
+
+let default_weighted ~nreplicas =
+  let weights = Array.make nreplicas 1 in
+  if nreplicas > 0 then weights.(0) <- 2;
+  let total = Array.fold_left ( + ) 0 weights in
+  let write_quorum = (total / 2) + 1 in
+  let read_quorum = total - write_quorum + 1 in
+  Weighted_voting { weights; read_quorum; write_quorum }

@@ -1,0 +1,42 @@
+(** Classical replica-control policies, implemented from the papers Ficus
+    cites, as pluggable availability predicates.
+
+    The paper's claim (§1, §3.1): {e one-copy availability} — any copy
+    readable, any copy updatable — "provides strictly greater
+    availability than primary copy [Alsberg–Day 1976], voting
+    [Thomas 1979], weighted voting [Gifford 1979], and quorum consensus
+    [Herlihy 1986]".  Experiment E4 regenerates that comparison.
+
+    A policy is judged against an {e accessibility vector}: for each of
+    the [n] replicas, whether the client can currently reach it. *)
+
+type t =
+  | One_copy
+      (** Ficus: read the most recent accessible copy, update any
+          accessible copy. *)
+  | Primary_copy
+      (** Alsberg & Day: all updates at replica 0; reads at any copy. *)
+  | Majority_voting
+      (** Thomas: both reads and updates require a strict majority. *)
+  | Weighted_voting of { weights : int array; read_quorum : int; write_quorum : int }
+      (** Gifford: votes per replica; r + w must exceed the total and
+          2w must exceed the total (checked by {!validate}). *)
+  | Quorum_consensus of { read_quorum : int; write_quorum : int }
+      (** Herlihy's quorum consensus specialized to read/write quorums on
+          equal-weight replicas. *)
+
+val name : t -> string
+
+val validate : t -> nreplicas:int -> (unit, string) result
+(** Check quorum-intersection requirements (r+w > total votes,
+    w > total/2) and dimension agreement. *)
+
+val can_read : t -> up:bool array -> bool
+(** Can a client with this accessibility vector complete a read? *)
+
+val can_update : t -> up:bool array -> bool
+
+val default_weighted : nreplicas:int -> t
+(** A reasonable Gifford configuration: weight 2 on replica 0 and 1
+    elsewhere, with the smallest legal write quorum and matching read
+    quorum. *)

@@ -1,0 +1,1 @@
+lib/core/aux_attrs.ml: Errno Ids List Printf Result String Version_vector Vnode

@@ -1,0 +1,1 @@
+lib/core/aux_attrs.mli: Errno Ids Version_vector Vnode

@@ -1,0 +1,1 @@
+lib/core/conflict_log.ml: Fdir Fmt Ids List Version_vector

@@ -1,0 +1,1 @@
+lib/core/conflict_log.mli: Fdir Format Ids Version_vector

@@ -1,0 +1,1 @@
+lib/core/fdir.ml: Aux_attrs Buffer Char Ctl_name Errno Fmt Hashtbl Ids Int List Option Printf String Version_vector

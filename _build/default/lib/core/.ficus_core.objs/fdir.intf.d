@@ -1,0 +1,1 @@
+lib/core/fdir.mli: Aux_attrs Errno Format Ids Version_vector

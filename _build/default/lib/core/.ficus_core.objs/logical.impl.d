@@ -1,0 +1,1 @@
+lib/core/logical.ml: Aux_attrs Clock Counters Errno Hashtbl Ids Int List Physical Remote Result Version_vector Vnode

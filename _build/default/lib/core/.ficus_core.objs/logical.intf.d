@@ -1,0 +1,1 @@
+lib/core/logical.mli: Clock Counters Errno Ids Remote Vnode

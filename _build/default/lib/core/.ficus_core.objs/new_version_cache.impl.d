@@ -1,0 +1,1 @@
+lib/core/new_version_cache.ml: Aux_attrs Hashtbl Ids Int List Notify

@@ -1,0 +1,1 @@
+lib/core/new_version_cache.mli: Aux_attrs Ids Notify

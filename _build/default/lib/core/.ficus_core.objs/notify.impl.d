@@ -1,0 +1,1 @@
+lib/core/notify.ml: Aux_attrs Fmt Ids Sim_net

@@ -1,0 +1,1 @@
+lib/core/notify.mli: Aux_attrs Format Ids Sim_net

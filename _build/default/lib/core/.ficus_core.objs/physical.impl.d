@@ -1,0 +1,1 @@
+lib/core/physical.ml: Aux_attrs Clock Conflict_log Counters Ctl_name Errno Fdir Fun Ids List Logs Namei Notify Option Printf Result Shadow String Version_vector Vnode

@@ -1,0 +1,1 @@
+lib/core/physical.mli: Aux_attrs Clock Conflict_log Counters Errno Fdir Ids Notify Version_vector Vnode

@@ -1,0 +1,1 @@
+lib/core/propagation.ml: Aux_attrs Clock Counters Errno Fdir Ids List Logs New_version_cache Notify Physical Remote Result String

@@ -1,0 +1,1 @@
+lib/core/propagation.mli: Clock Counters Ids New_version_cache Notify Physical Remote

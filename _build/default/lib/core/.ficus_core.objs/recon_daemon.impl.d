@@ -1,0 +1,1 @@
+lib/core/recon_daemon.ml: Clock Counters Hashtbl Ids List Option Physical Reconcile Remote

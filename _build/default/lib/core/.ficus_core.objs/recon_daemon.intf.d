@@ -1,0 +1,1 @@
+lib/core/recon_daemon.mli: Clock Counters Ids Physical Reconcile Remote

@@ -1,0 +1,1 @@
+lib/core/reconcile.ml: Aux_attrs Conflict_log Errno Fdir Fmt Hashtbl Ids List Physical Remote Result Version_vector

@@ -1,0 +1,1 @@
+lib/core/reconcile.mli: Conflict_log Errno Format Ids Physical Vnode

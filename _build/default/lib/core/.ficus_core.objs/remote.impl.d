@@ -1,0 +1,1 @@
+lib/core/remote.ml: Aux_attrs Ctl_name Errno Fdir Fun Ids List Option Physical Printf Result String Version_vector Vnode

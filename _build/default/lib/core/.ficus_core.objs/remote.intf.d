@@ -1,0 +1,1 @@
+lib/core/remote.mli: Aux_attrs Errno Fdir Ids Physical Vnode

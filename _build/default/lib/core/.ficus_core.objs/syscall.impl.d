@@ -1,0 +1,1 @@
+lib/core/syscall.ml: Errno Hashtbl List Namei Result String Vnode

@@ -1,0 +1,84 @@
+type fkind = Freg | Fdir | Fgraft
+
+type t = {
+  kind : fkind;
+  vv : Version_vector.t;
+  uid : int;
+  conflict : bool;
+  graft_target : Ids.volume_ref option;
+}
+
+let make kind = { kind; vv = Version_vector.empty; uid = 0; conflict = false; graft_target = None }
+
+let kind_to_string = function Freg -> "reg" | Fdir -> "dir" | Fgraft -> "graft"
+
+let kind_of_string = function
+  | "reg" -> Some Freg
+  | "dir" -> Some Fdir
+  | "graft" -> Some Fgraft
+  | _ -> None
+
+let kind_to_vtype = function
+  | Freg -> Vnode.VREG
+  | Fdir -> Vnode.VDIR
+  | Fgraft -> Vnode.VGRAFT
+
+let encode t =
+  let lines =
+    [
+      "kind=" ^ kind_to_string t.kind;
+      "vv=" ^ Version_vector.encode t.vv;
+      "uid=" ^ string_of_int t.uid;
+      "conflict=" ^ (if t.conflict then "1" else "0");
+    ]
+    @ (match t.graft_target with
+       | None -> []
+       | Some { Ids.alloc; vol } -> [ Printf.sprintf "graft=%d.%d" alloc vol ])
+  in
+  String.concat "\n" lines ^ "\n"
+
+let decode s =
+  let fields =
+    String.split_on_char '\n' s
+    |> List.filter_map (fun line ->
+           match String.index_opt line '=' with
+           | None -> None
+           | Some i ->
+             Some (String.sub line 0 i, String.sub line (i + 1) (String.length line - i - 1)))
+  in
+  let find k = List.assoc_opt k fields in
+  match find "kind", find "vv", find "uid", find "conflict" with
+  | Some kind, Some vv, Some uid, Some conflict ->
+    (match kind_of_string kind, Version_vector.decode vv, int_of_string_opt uid with
+     | Some kind, Some vv, Some uid ->
+       let graft_target =
+         match find "graft" with
+         | None -> None
+         | Some g ->
+           (match String.split_on_char '.' g with
+            | [ a; v ] ->
+              (match int_of_string_opt a, int_of_string_opt v with
+               | Some alloc, Some vol -> Some { Ids.alloc; vol }
+               | _, _ -> None)
+            | _ -> None)
+       in
+       Some { kind; vv; uid; conflict = conflict = "1"; graft_target }
+     | _, _, _ -> None)
+  | _, _, _, _ -> None
+
+let ( let* ) = Result.bind
+
+let load ~dir fid =
+  let* aux_vnode = dir.Vnode.lookup (Ids.aux_name fid) in
+  let* contents = Vnode.read_all aux_vnode in
+  match decode contents with None -> Error Errno.EIO | Some t -> Ok t
+
+let store ~dir fid t =
+  let name = Ids.aux_name fid in
+  let* aux_vnode =
+    match dir.Vnode.lookup name with
+    | Ok v -> Ok v
+    | Error Errno.ENOENT -> dir.Vnode.create name
+    | Error _ as e -> e
+  in
+  Vnode.write_all aux_vnode (encode t)

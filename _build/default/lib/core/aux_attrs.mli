@@ -1,0 +1,38 @@
+(** The auxiliary replication-attribute file (paper §2.6).
+
+    Each Ficus file replica is stored as a UFS file; the
+    replication-related attributes — foremost the version vector — live
+    in a companion file named [<hex-fid>.aux] in the same UFS directory.
+    (The paper notes these would go in the inode if the UFS could be
+    modified; the extra inode+data I/O of the auxiliary file is exactly
+    the overhead experiment E2 measures.) *)
+
+type fkind = Freg | Fdir | Fgraft
+
+type t = {
+  kind : fkind;
+  vv : Version_vector.t;       (** update history of this replica *)
+  uid : int;                   (** owner, for conflict reporting *)
+  conflict : bool;             (** an unresolved concurrent update was detected *)
+  graft_target : Ids.volume_ref option;  (** for [Fgraft] entries only *)
+}
+
+val make : fkind -> t
+(** Fresh attributes: empty version vector, uid 0, no conflict. *)
+
+val encode : t -> string
+val decode : string -> t option
+
+val kind_to_vtype : fkind -> Vnode.vtype
+val kind_to_string : fkind -> string
+
+(** {1 Vnode-mediated access}
+
+    Read and write the aux file through the layer below — these are the
+    charged I/Os. *)
+
+val load : dir:Vnode.t -> Ids.file_id -> (t, Errno.t) result
+(** Read and parse [<hex>.aux] in [dir]; [EIO] if unparseable. *)
+
+val store : dir:Vnode.t -> Ids.file_id -> t -> (unit, Errno.t) result
+(** Create or overwrite the aux file. *)

@@ -1,0 +1,81 @@
+type detail =
+  | File_update of {
+      local_vv : Version_vector.t;
+      remote_vv : Version_vector.t;
+      remote_rid : Ids.replica_id;
+      remote_data : string;
+    }
+  | Name_collision of { name : string; births : Fdir.birth list }
+  | Removed_while_updated of { orphaned_to : string }
+
+type entry = {
+  id : int;
+  vref : Ids.volume_ref;
+  fidpath : Ids.file_id list;
+  fid : Ids.file_id;
+  owner_uid : int;
+  detail : detail;
+  detected_at : int;
+  mutable resolved : bool;
+}
+
+type t = { mutable entries : entry list; mutable next_id : int }
+
+let create () = { entries = []; next_id = 0 }
+
+let report t ~vref ~fidpath ~fid ~owner_uid ~detected_at detail =
+  let entry =
+    {
+      id = t.next_id;
+      vref;
+      fidpath;
+      fid;
+      owner_uid;
+      detail;
+      detected_at;
+      resolved = false;
+    }
+  in
+  t.next_id <- t.next_id + 1;
+  t.entries <- entry :: t.entries;
+  entry
+
+let all t = List.rev t.entries
+
+let pending t = List.filter (fun e -> not e.resolved) (all t)
+
+let find t id = List.find_opt (fun e -> e.id = id) t.entries
+
+let mark_resolved t id =
+  match find t id with None -> () | Some e -> e.resolved <- true
+
+let resolve_matching t ~fidpath =
+  let same_path e =
+    List.length e.fidpath = List.length fidpath
+    && List.for_all2 Ids.fid_equal e.fidpath fidpath
+  in
+  List.fold_left
+    (fun n e ->
+      match e.detail with
+      | File_update _ when (not e.resolved) && same_path e ->
+        e.resolved <- true;
+        n + 1
+      | _ -> n)
+    0 t.entries
+
+let pp_entry ppf e =
+  let detail =
+    match e.detail with
+    | File_update { local_vv; remote_vv; remote_rid; _ } ->
+      Fmt.str "file update conflict: local %a vs remote(r%d) %a" Version_vector.pp local_vv
+        remote_rid Version_vector.pp remote_vv
+    | Name_collision { name; births } ->
+      Fmt.str "name collision on %S (%d entries, auto-repaired)" name (List.length births)
+    | Removed_while_updated { orphaned_to } ->
+      Fmt.str "removed while updated; contents preserved in %s" orphaned_to
+  in
+  Fmt.pf ppf "[#%d %a /%s owner=%d t=%d%s] %s" e.id Ids.pp_vref e.vref
+    (Ids.fidpath_to_string e.fidpath)
+    e.owner_uid e.detected_at
+    (if e.resolved then " resolved" else "")
+    detail

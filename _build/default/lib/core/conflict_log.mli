@@ -1,0 +1,53 @@
+(** Conflict detection reports.
+
+    "Conflicting updates to directories are detected and automatically
+    repaired; conflicting updates to ordinary files are detected and
+    reported to the owner" (abstract).  This module is the report: a
+    per-host append-only log of detected conflicts, with enough
+    information (both version vectors, the remote contents) for the
+    owner — or a resolution tool — to repair them. *)
+
+type detail =
+  | File_update of {
+      local_vv : Version_vector.t;
+      remote_vv : Version_vector.t;
+      remote_rid : Ids.replica_id;
+      remote_data : string;    (** the losing-by-default version, preserved *)
+    }  (** concurrent writes to a regular file *)
+  | Name_collision of { name : string; births : Fdir.birth list }
+      (** different files created under one name in different partitions;
+          automatically repaired by deterministic renaming *)
+  | Removed_while_updated of { orphaned_to : string }
+      (** a directory removed in one partition while another partition
+          added to it; the live contents are preserved in the orphanage *)
+
+type entry = {
+  id : int;
+  vref : Ids.volume_ref;
+  fidpath : Ids.file_id list;
+  fid : Ids.file_id;
+  owner_uid : int;
+  detail : detail;
+  detected_at : int;
+  mutable resolved : bool;
+}
+
+type t
+
+val create : unit -> t
+
+val report :
+  t -> vref:Ids.volume_ref -> fidpath:Ids.file_id list -> fid:Ids.file_id ->
+  owner_uid:int -> detected_at:int -> detail -> entry
+
+val pending : t -> entry list
+val all : t -> entry list
+val mark_resolved : t -> int -> unit
+val find : t -> int -> entry option
+
+val resolve_matching : t -> fidpath:Ids.file_id list -> int
+(** Mark every pending [File_update] entry for this object resolved —
+    used when a dominating version arrives from elsewhere, superseding
+    the local conflict.  Returns how many were closed. *)
+
+val pp_entry : Format.formatter -> entry -> unit

@@ -1,0 +1,309 @@
+module Vv = Version_vector
+
+type birth = { b_rid : Ids.replica_id; b_seq : int }
+
+type status = Live | Dead of { death_vv : Vv.t }
+
+type entry = {
+  name : string;
+  fid : Ids.file_id;
+  kind : Aux_attrs.fkind;
+  birth : birth;
+  status : status;
+}
+
+type t = {
+  entries : entry list;
+  vv : Vv.t;
+  known : (Ids.replica_id * Vv.t) list;
+}
+
+let birth_compare a b =
+  match Int.compare a.b_rid b.b_rid with 0 -> Int.compare a.b_seq b.b_seq | c -> c
+
+let birth_equal a b = birth_compare a b = 0
+
+let empty rid = { entries = []; vv = Vv.empty; known = [ (rid, Vv.empty) ] }
+
+let is_live e = match e.status with Live -> true | Dead _ -> false
+
+let sort_entries entries = List.sort (fun a b -> birth_compare a.birth b.birth) entries
+
+(* ------------------------------------------------------------------ *)
+(* Read-time collision repair: among live entries sharing a name, the
+   oldest birth keeps the plain name; younger ones read as
+   "name#<rid>.<seq>" (further '#'-extended if even that collides).
+   Purely a function of the entry set, so every replica computes the
+   same view — no merge-time mutation is needed for convergence.      *)
+
+let live t =
+  let live_entries = List.filter is_live t.entries in
+  let plain_names =
+    List.fold_left (fun acc e -> e.name :: acc) [] live_entries
+    |> List.sort_uniq String.compare
+  in
+  let by_name = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      let current = Option.value ~default:[] (Hashtbl.find_opt by_name e.name) in
+      Hashtbl.replace by_name e.name (e :: current))
+    live_entries;
+  let effective e =
+    match Hashtbl.find_opt by_name e.name with
+    | Some [ _ ] | None -> e.name
+    | Some group ->
+      let winner =
+        List.fold_left (fun acc c -> if birth_compare c.birth acc.birth < 0 then c else acc)
+          (List.hd group) group
+      in
+      if birth_equal winner.birth e.birth then e.name
+      else
+        let rec fresh candidate =
+          if List.mem candidate plain_names then fresh (candidate ^ "#") else candidate
+        in
+        fresh (Printf.sprintf "%s#%d.%d" e.name e.birth.b_rid e.birth.b_seq)
+  in
+  List.map (fun e -> (effective e, e)) live_entries
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let find_live t name =
+  List.find_map (fun (n, e) -> if n = name then Some e else None) (live t)
+
+let find_by_fid t fid =
+  List.find_opt (fun e -> is_live e && Ids.fid_equal e.fid fid) t.entries
+
+let find_birth t birth = List.find_opt (fun e -> birth_equal e.birth birth) t.entries
+
+(* ------------------------------------------------------------------ *)
+(* Local updates                                                       *)
+
+let bump t rid =
+  let vv = Vv.bump t.vv rid in
+  let known = (rid, vv) :: List.remove_assoc rid t.known in
+  { t with vv; known }
+
+let valid_name name =
+  name <> "" && String.length name <= 200 && not (String.contains name '/')
+  && not (Ctl_name.is_ctl name)
+  && name.[0] <> '@'
+
+let add t ~rid ~name ~fid ~kind ~birth =
+  if not (valid_name name) then Error Errno.EINVAL
+  else if find_birth t birth <> None then Error Errno.EINVAL
+  else if find_live t name <> None then Error Errno.EEXIST
+  else
+    let t = bump t rid in
+    let e = { name; fid; kind; birth; status = Live } in
+    Ok { t with entries = sort_entries (e :: t.entries) }
+
+let kill t ~rid birth =
+  match find_birth t birth with
+  | None -> Error Errno.ENOENT
+  | Some e ->
+    (match e.status with
+     | Dead _ -> Error Errno.ENOENT
+     | Live ->
+       let t = bump t rid in
+       let dead = { e with status = Dead { death_vv = t.vv } } in
+       let entries =
+         List.map (fun e' -> if birth_equal e'.birth birth then dead else e') t.entries
+       in
+       Ok { t with entries })
+
+(* ------------------------------------------------------------------ *)
+(* Merge                                                               *)
+
+type action =
+  | Materialize of entry
+  | Unmaterialize of entry
+  | Expire of entry
+
+type merge_result = {
+  merged : t;
+  actions : action list;
+  new_collisions : (string * birth list) list;
+}
+
+let collisions t =
+  let groups = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      if is_live e then
+        Hashtbl.replace groups e.name
+          (e.birth :: Option.value ~default:[] (Hashtbl.find_opt groups e.name)))
+    t.entries;
+  Hashtbl.fold
+    (fun name births acc ->
+      if List.length births > 1 then (name, List.sort birth_compare births) :: acc else acc)
+    groups []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let merge ~local_rid ~remote_rid ~peers local remote =
+  (* Entry union: a tombstone on either side wins for its birth. *)
+  let table = Hashtbl.create 32 in
+  let note e =
+    let key = (e.birth.b_rid, e.birth.b_seq) in
+    match Hashtbl.find_opt table key with
+    | None -> Hashtbl.replace table key e
+    | Some prev ->
+      let chosen =
+        match prev.status, e.status with
+        | Dead _, _ -> prev
+        | _, Dead _ -> e
+        | Live, Live -> prev
+      in
+      Hashtbl.replace table key chosen
+  in
+  List.iter note local.entries;
+  List.iter note remote.entries;
+  let union = Hashtbl.fold (fun _ e acc -> e :: acc) table [] |> sort_entries in
+  (* Gossip the knowledge map.  The remote replica has reached its own
+     vv; we are about to reach the merged vv. *)
+  let merged_vv = Vv.merge local.vv remote.vv in
+  let all_rids =
+    List.sort_uniq Int.compare
+      (List.map fst local.known @ List.map fst remote.known
+      @ [ local_rid; remote_rid ] @ peers)
+  in
+  let known_of m rid = Option.value ~default:Vv.empty (List.assoc_opt rid m.known) in
+  let known =
+    List.map
+      (fun rid ->
+        let merged_known = Vv.merge (known_of local rid) (known_of remote rid) in
+        let merged_known = if rid = remote_rid then Vv.merge merged_known remote.vv else merged_known in
+        let merged_known = if rid = local_rid then Vv.merge merged_known merged_vv else merged_known in
+        (rid, merged_known))
+      all_rids
+  in
+  (* Tombstone GC: drop tombstones every peer is known to have applied. *)
+  let everyone_knows death_vv =
+    List.for_all
+      (fun rid -> Vv.dominates (Option.value ~default:Vv.empty (List.assoc_opt rid known)) death_vv)
+      peers
+  in
+  let kept, expired =
+    List.partition
+      (fun e ->
+        match e.status with
+        | Live -> true
+        | Dead { death_vv } -> not (everyone_knows death_vv))
+      union
+  in
+  let merged = { entries = kept; vv = merged_vv; known } in
+  (* Actions: difference between the local live view and the merged one. *)
+  let was_live birth entries =
+    List.exists (fun e -> birth_equal e.birth birth && is_live e) entries
+  in
+  let actions = ref [] in
+  List.iter
+    (fun e ->
+      match e.status with
+      | Live ->
+        if not (was_live e.birth local.entries) then actions := Materialize e :: !actions
+      | Dead _ ->
+        if was_live e.birth local.entries then actions := Unmaterialize e :: !actions)
+    union;
+  (* [union] already produced any needed Unmaterialize for these. *)
+  List.iter (fun e -> actions := Expire e :: !actions) expired;
+  let local_collisions = collisions local in
+  let new_collisions =
+    List.filter (fun (name, _) -> not (List.mem_assoc name local_collisions)) (collisions merged)
+  in
+  { merged; actions = List.rev !actions; new_collisions }
+
+(* ------------------------------------------------------------------ *)
+(* Serialization: line-oriented, names percent-escaped.                *)
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | ' ' | '%' | '\n' | '\t' -> Buffer.add_string buf (Printf.sprintf "%%%02x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let unescape = Ctl_name.unescape
+
+let encode t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "V %s\n" (Vv.encode t.vv));
+  List.iter
+    (fun (rid, vv) -> Buffer.add_string buf (Printf.sprintf "K %d %s\n" rid (Vv.encode vv)))
+    (List.sort (fun (a, _) (b, _) -> Int.compare a b) t.known);
+  List.iter
+    (fun e ->
+      let status =
+        match e.status with
+        | Live -> "L"
+        | Dead { death_vv } -> Printf.sprintf "D %s" (Vv.encode death_vv)
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "E %s %s %d.%d %s %s\n" (escape e.name) (Ids.fid_to_hex e.fid)
+           e.birth.b_rid e.birth.b_seq
+           (Aux_attrs.kind_to_string e.kind)
+           status))
+    t.entries;
+  Buffer.contents buf
+
+let decode_kind = function
+  | "reg" -> Some Aux_attrs.Freg
+  | "dir" -> Some Aux_attrs.Fdir
+  | "graft" -> Some Aux_attrs.Fgraft
+  | _ -> None
+
+let decode_birth s =
+  match String.split_on_char '.' s with
+  | [ r; q ] ->
+    (match int_of_string_opt r, int_of_string_opt q with
+     | Some b_rid, Some b_seq -> Some { b_rid; b_seq }
+     | _, _ -> None)
+  | _ -> None
+
+let decode_vv_field s = if s = "-" then Some Vv.empty else Vv.decode s
+
+let decode s =
+  let lines = String.split_on_char '\n' s |> List.filter (fun l -> l <> "") in
+  let rec go acc = function
+    | [] ->
+      let { entries; vv; known } = acc in
+      Some { entries = sort_entries entries; vv; known = List.rev known }
+    | line :: rest ->
+      (match String.split_on_char ' ' line with
+       | [ "V"; vv ] ->
+         (match Vv.decode vv with
+          | Some vv -> go { acc with vv } rest
+          | None -> None)
+       | [ "K"; rid; vv ] ->
+         (match int_of_string_opt rid, Vv.decode vv with
+          | Some rid, Some vv -> go { acc with known = (rid, vv) :: acc.known } rest
+          | _, _ -> None)
+       | "E" :: name :: fid :: birth :: kind :: status ->
+         let parsed =
+           match unescape name, Ids.fid_of_hex fid, decode_birth birth, decode_kind kind with
+           | Some name, Some fid, Some birth, Some kind ->
+             (match status with
+              | [ "L" ] -> Some { name; fid; kind; birth; status = Live }
+              | [ "D"; dvv ] ->
+                (match decode_vv_field dvv with
+                 | Some death_vv -> Some { name; fid; kind; birth; status = Dead { death_vv } }
+                 | None -> None)
+              | _ -> None)
+           | _, _, _, _ -> None
+         in
+         (match parsed with
+          | Some e -> go { acc with entries = e :: acc.entries } rest
+          | None -> None)
+       | _ -> None)
+  in
+  go { entries = []; vv = Vv.empty; known = [] } lines
+
+let pp_entry ppf e =
+  let status =
+    match e.status with
+    | Live -> "live"
+    | Dead { death_vv } -> Fmt.str "dead@%a" Vv.pp death_vv
+  in
+  Fmt.pf ppf "%s -> %a [%d.%d %s %s]" e.name Ids.pp_fid e.fid e.birth.b_rid e.birth.b_seq
+    (Aux_attrs.kind_to_string e.kind) status

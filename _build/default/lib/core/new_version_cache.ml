@@ -1,0 +1,62 @@
+type entry = {
+  vref : Ids.volume_ref;
+  fidpath : Ids.file_id list;
+  fid : Ids.file_id;
+  kind : Aux_attrs.fkind;
+  origin_rid : Ids.replica_id;
+  origin_host : string;
+  queued_at : int;
+  mutable attempts : int;
+}
+
+type key = int * int * string (* alloc, vol, fidpath *)
+
+type t = { table : (key, entry) Hashtbl.t; mutable notes : int }
+
+let create () = { table = Hashtbl.create 32; notes = 0 }
+
+let key_of vref fidpath =
+  (vref.Ids.alloc, vref.Ids.vol, Ids.fidpath_to_string fidpath)
+
+let note t (e : Notify.event) ~now =
+  t.notes <- t.notes + 1;
+  let key = key_of e.Notify.vref e.Notify.fidpath in
+  match Hashtbl.find_opt t.table key with
+  | Some pending ->
+    (* Absorb: keep the earliest queue time, follow the newest origin. *)
+    Hashtbl.replace t.table key
+      {
+        pending with
+        origin_rid = e.Notify.origin_rid;
+        origin_host = e.Notify.origin_host;
+        kind = e.Notify.kind;
+      }
+  | None ->
+    Hashtbl.replace t.table key
+      {
+        vref = e.Notify.vref;
+        fidpath = e.Notify.fidpath;
+        fid = e.Notify.fid;
+        kind = e.Notify.kind;
+        origin_rid = e.Notify.origin_rid;
+        origin_host = e.Notify.origin_host;
+        queued_at = now;
+        attempts = 0;
+      }
+
+let take_ready t ~now ~min_age =
+  let ready, _ =
+    Hashtbl.fold
+      (fun key e (ready, keep) ->
+        if now - e.queued_at >= min_age then ((key, e) :: ready, keep)
+        else (ready, keep))
+      t.table ([], ())
+  in
+  List.iter (fun (key, _) -> Hashtbl.remove t.table key) ready;
+  List.map snd ready
+  |> List.sort (fun a b -> Int.compare a.queued_at b.queued_at)
+
+let requeue t e = Hashtbl.replace t.table (key_of e.vref e.fidpath) e
+
+let size t = Hashtbl.length t.table
+let notes t = t.notes

@@ -1,0 +1,45 @@
+(** The new-version cache (paper §3.2).
+
+    "A physical layer that receives an update notification makes an entry
+    for the file in a new version cache.  An update propagation daemon
+    consults this cache to see what new replica versions should be
+    propagated in, and performs the propagation when it deems it
+    appropriate to expend the effort."
+
+    Entries are deduplicated per object: a burst of updates to one file
+    collapses into a single pending pull, which is precisely why "delayed
+    propagation may reduce the overall propagation cost when updates are
+    bursty" (experiment E5). *)
+
+type entry = {
+  vref : Ids.volume_ref;
+  fidpath : Ids.file_id list;
+  fid : Ids.file_id;
+  kind : Aux_attrs.fkind;
+  origin_rid : Ids.replica_id;
+  origin_host : string;
+  queued_at : int;       (** simulated time of first pending notification *)
+  mutable attempts : int;
+}
+
+type t
+
+val create : unit -> t
+
+val note : t -> Notify.event -> now:int -> unit
+(** Record a notification.  A pending entry for the same object absorbs
+    it (keeping the earliest [queued_at], adopting the newest origin). *)
+
+val take_ready : t -> now:int -> min_age:int -> entry list
+(** Remove and return entries that have been pending at least [min_age]
+    ticks; [min_age] 0 means propagate eagerly. *)
+
+val requeue : t -> entry -> unit
+(** Put a failed entry back (e.g. origin unreachable); [attempts] is
+    preserved so the daemon can eventually give up and leave the work to
+    reconciliation. *)
+
+val size : t -> int
+val notes : t -> int
+(** Total notifications absorbed since creation (for the burst-collapse
+    measurement). *)

@@ -1,0 +1,16 @@
+type event = {
+  vref : Ids.volume_ref;
+  fidpath : Ids.file_id list;
+  fid : Ids.file_id;
+  kind : Aux_attrs.fkind;
+  origin_rid : Ids.replica_id;
+  origin_host : string;
+}
+
+type Sim_net.payload += Ficus_notify of event
+
+let pp ppf e =
+  Fmt.pf ppf "notify{%a /%s %s from r%d@%s}" Ids.pp_vref e.vref
+    (Ids.fidpath_to_string e.fidpath)
+    (Aux_attrs.kind_to_string e.kind)
+    e.origin_rid e.origin_host

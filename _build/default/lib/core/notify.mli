@@ -1,0 +1,27 @@
+(** Update notification events (paper §2.5, §3.2).
+
+    When a logical layer has a physical layer apply an update, "an
+    asynchronous multicast datagram is sent to all available replicas
+    informing them that a new version of a file may be obtained from the
+    replica receiving the update."  In this reproduction the physical
+    layer that applies an update emits one {!event}; the host runtime
+    broadcasts it as best-effort datagrams.  Notifications are pure
+    hints: losing every one of them only delays convergence until the
+    next reconciliation pass. *)
+
+type event = {
+  vref : Ids.volume_ref;
+  fidpath : Ids.file_id list;
+      (** namespace fid-path of the updated object itself ([[]] means the
+          volume root; for non-root objects the last element is [fid]).
+          Lets the receiver locate its replica through the
+          namespace-parallel on-disk layout, without a global fid index. *)
+  fid : Ids.file_id;
+  kind : Aux_attrs.fkind;
+  origin_rid : Ids.replica_id;   (** replica holding the new version *)
+  origin_host : string;          (** where to pull it from *)
+}
+
+type Sim_net.payload += Ficus_notify of event
+
+val pp : Format.formatter -> event -> unit

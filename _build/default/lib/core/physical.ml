@@ -1,0 +1,1057 @@
+module Vv = Version_vector
+
+let log_src = Logs.Src.create "ficus.physical" ~doc:"Ficus physical layer"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type fidpath = Ids.file_id list
+
+type t = {
+  container : Vnode.t;
+  clock : Clock.t;
+  host : string;
+  mutable vref : Ids.volume_ref;
+  mutable rid : Ids.replica_id;
+  mutable next_uniq : int;
+  mutable peers : (Ids.replica_id * string) list;
+  mutable notifier : (Notify.event -> unit) option;
+  conflicts : Conflict_log.t;
+  counters : Counters.t;
+  mutable open_count : int;
+}
+
+type version_info = {
+  vi_kind : Aux_attrs.fkind;
+  vi_vv : Vv.t;
+  vi_size : int;
+  vi_uid : int;
+  vi_stored : bool;
+}
+
+type install_outcome = Installed | Up_to_date | Conflict of Vv.t
+
+let ( let* ) = Result.bind
+
+let orphans_dirname = "ORPHANS"
+let meta_name = "META"
+let dirfile_name = "DIR"
+
+let vref t = t.vref
+let rid t = t.rid
+let host t = t.host
+let peers t = t.peers
+let counters t = t.counters
+let conflicts t = t.conflicts
+let open_files t = t.open_count
+let set_notifier t f = t.notifier <- Some f
+
+(* ------------------------------------------------------------------ *)
+(* META                                                                *)
+
+let encode_meta t =
+  let peers =
+    t.peers
+    |> List.map (fun (r, h) -> Printf.sprintf "%d@%s" r h)
+    |> String.concat ","
+  in
+  Printf.sprintf "vref=%d.%d\nrid=%d\nnext_uniq=%d\npeers=%s\n" t.vref.Ids.alloc
+    t.vref.Ids.vol t.rid t.next_uniq peers
+
+let parse_peers s =
+  if s = "" then Some []
+  else
+    String.split_on_char ',' s
+    |> List.map (fun part ->
+           match String.index_opt part '@' with
+           | None -> None
+           | Some i ->
+             (match int_of_string_opt (String.sub part 0 i) with
+              | None -> None
+              | Some r -> Some (r, String.sub part (i + 1) (String.length part - i - 1))))
+    |> fun parsed ->
+    if List.exists Option.is_none parsed then None else Some (List.filter_map Fun.id parsed)
+
+let store_meta t =
+  let* meta =
+    match t.container.Vnode.lookup meta_name with
+    | Ok v -> Ok v
+    | Error Errno.ENOENT -> t.container.Vnode.create meta_name
+    | Error _ as e -> e
+  in
+  Vnode.write_all meta (encode_meta t)
+
+let load_meta t =
+  let* meta = t.container.Vnode.lookup meta_name in
+  let* contents = Vnode.read_all meta in
+  let fields =
+    String.split_on_char '\n' contents
+    |> List.filter_map (fun line ->
+           match String.index_opt line '=' with
+           | None -> None
+           | Some i ->
+             Some (String.sub line 0 i, String.sub line (i + 1) (String.length line - i - 1)))
+  in
+  let find k = List.assoc_opt k fields in
+  match find "vref", find "rid", find "next_uniq", find "peers" with
+  | Some vref, Some rid, Some next_uniq, Some peers ->
+    (match
+       String.split_on_char '.' vref, int_of_string_opt rid, int_of_string_opt next_uniq,
+       parse_peers peers
+     with
+     | [ a; v ], Some rid, Some next_uniq, Some peers ->
+       (match int_of_string_opt a, int_of_string_opt v with
+        | Some alloc, Some vol ->
+          t.vref <- { Ids.alloc; vol };
+          t.rid <- rid;
+          t.next_uniq <- next_uniq;
+          t.peers <- peers;
+          Ok ()
+        | _, _ -> Error Errno.EIO)
+     | _, _, _, _ -> Error Errno.EIO)
+  | _, _, _, _ -> Error Errno.EIO
+
+let set_peers t peers =
+  t.peers <- peers;
+  store_meta t
+
+let alloc_uniq t =
+  let n = t.next_uniq in
+  t.next_uniq <- n + 1;
+  let* () = store_meta t in
+  Ok n
+
+(* ------------------------------------------------------------------ *)
+(* Storage resolution along the namespace-parallel layout              *)
+
+(* UFS directory holding the Ficus directory at [path] ([] = root). *)
+let resolve_dir t path =
+  let* root_ufs = t.container.Vnode.lookup (Ids.fid_to_hex Ids.root_fid) in
+  let rec walk v = function
+    | [] -> Ok v
+    | fid :: rest ->
+      let* child = v.Vnode.lookup (Ids.fid_to_hex fid) in
+      walk child rest
+  in
+  walk root_ufs path
+
+let split_file_path path =
+  match List.rev path with
+  | [] -> Error Errno.EINVAL
+  | fid :: rev_parent -> Ok (List.rev rev_parent, fid)
+
+let load_fdir _t ufs_dir =
+  let* dirfile = ufs_dir.Vnode.lookup dirfile_name in
+  let* contents = Vnode.read_all dirfile in
+  match Fdir.decode contents with None -> Error Errno.EIO | Some d -> Ok d
+
+let store_fdir ufs_dir fdir =
+  let* dirfile = ufs_dir.Vnode.lookup dirfile_name in
+  Vnode.write_all dirfile (Fdir.encode fdir)
+
+(* Create the UFS storage of a fresh, empty Ficus directory. *)
+let make_dir_storage t parent_ufs fid aux =
+  let* child = parent_ufs.Vnode.mkdir (Ids.fid_to_hex fid) in
+  let* dirfile = child.Vnode.create dirfile_name in
+  let* () = Vnode.write_all dirfile (Fdir.encode (Fdir.empty t.rid)) in
+  (* The DIR file's mode/uid double as the Ficus directory's attributes
+     (presented by dir_getattr, updated by dir_setattr). *)
+  let* () = dirfile.Vnode.setattr { Vnode.setattr_none with Vnode.set_mode = Some 0o755 } in
+  let* () = Aux_attrs.store ~dir:parent_ufs fid aux in
+  Ok child
+
+(* Recursively delete a UFS subtree under [name] in [dir]. *)
+let rec rm_tree dir name =
+  let* child = dir.Vnode.lookup name in
+  let* attrs = child.Vnode.getattr () in
+  match attrs.Vnode.kind with
+  | Vnode.VREG | Vnode.VCTL -> dir.Vnode.remove name
+  | Vnode.VDIR | Vnode.VGRAFT ->
+    let* entries = child.Vnode.readdir () in
+    let rec clear = function
+      | [] -> Ok ()
+      | e :: rest ->
+        let* () = rm_tree child e.Vnode.entry_name in
+        clear rest
+    in
+    let* () = clear entries in
+    dir.Vnode.rmdir name
+
+let ignore_enoent = function
+  | Ok () | Error Errno.ENOENT -> Ok ()
+  | Error _ as e -> e
+
+(* ------------------------------------------------------------------ *)
+(* Notifications                                                       *)
+
+let emit t ~fidpath ~fid ~kind =
+  match t.notifier with
+  | None -> ()
+  | Some f ->
+    f { Notify.vref = t.vref; fidpath; fid; kind; origin_rid = t.rid; origin_host = t.host }
+
+let dir_event t path =
+  let fid = match List.rev path with [] -> Ids.root_fid | fid :: _ -> fid in
+  emit t ~fidpath:path ~fid ~kind:Aux_attrs.Fdir
+
+let file_event t path fid = emit t ~fidpath:path ~fid ~kind:Aux_attrs.Freg
+
+(* ------------------------------------------------------------------ *)
+(* Version info                                                        *)
+
+let dir_version_info t path =
+  let* ufs_dir = resolve_dir t path in
+  let* fdir = load_fdir t ufs_dir in
+  let* kind, uid =
+    match path with
+    | [] -> Ok (Aux_attrs.Fdir, 0)
+    | _ ->
+      let* parent, fid = split_file_path path in
+      let* parent_ufs = resolve_dir t parent in
+      let* aux = Aux_attrs.load ~dir:parent_ufs fid in
+      Ok (aux.Aux_attrs.kind, aux.Aux_attrs.uid)
+  in
+  Ok
+    {
+      vi_kind = kind;
+      vi_vv = fdir.Fdir.vv;
+      vi_size = List.length (Fdir.live fdir);
+      vi_uid = uid;
+      vi_stored = true;
+    }
+
+let reg_version_info t path =
+  let* parent, fid = split_file_path path in
+  let* parent_ufs = resolve_dir t parent in
+  let* aux =
+    match Aux_attrs.load ~dir:parent_ufs fid with
+    | Ok aux -> Ok aux
+    | Error Errno.ENOENT ->
+      (* No aux yet: the entry may exist in the parent directory without
+         any materialized storage. *)
+      let* fdir = load_fdir t parent_ufs in
+      (match Fdir.find_by_fid fdir fid with
+       | Some e -> Ok { (Aux_attrs.make e.Fdir.kind) with Aux_attrs.vv = Vv.empty }
+       | None -> Error Errno.ENOENT)
+    | Error _ as e -> e
+  in
+  let* size, stored =
+    match parent_ufs.Vnode.lookup (Ids.fid_to_hex fid) with
+    | Ok data ->
+      let* attrs = data.Vnode.getattr () in
+      Ok (attrs.Vnode.size, true)
+    | Error Errno.ENOENT -> Ok (0, false)
+    | Error _ as e -> e
+  in
+  Ok
+    {
+      vi_kind = aux.Aux_attrs.kind;
+      vi_vv = aux.Aux_attrs.vv;
+      vi_size = size;
+      vi_uid = aux.Aux_attrs.uid;
+      vi_stored = stored;
+    }
+
+let get_version t path =
+  match path with
+  | [] -> dir_version_info t []
+  | _ ->
+    let* parent, fid = split_file_path path in
+    let* parent_ufs = resolve_dir t parent in
+    let* fdir = load_fdir t parent_ufs in
+    (match Fdir.find_by_fid fdir fid with
+     | None -> Error Errno.ENOENT
+     | Some e ->
+       (match e.Fdir.kind with
+        | Aux_attrs.Freg -> reg_version_info t path
+        | Aux_attrs.Fdir | Aux_attrs.Fgraft -> dir_version_info t path))
+
+let fetch_file t path =
+  let* vi = reg_version_info t path in
+  if not vi.vi_stored then Error Errno.EAGAIN
+  else
+    let* parent, fid = split_file_path path in
+    let* parent_ufs = resolve_dir t parent in
+    let* data = parent_ufs.Vnode.lookup (Ids.fid_to_hex fid) in
+    let* contents = Vnode.read_all data in
+    Ok (vi, contents)
+
+let fetch_dir t path =
+  let* ufs_dir = resolve_dir t path in
+  load_fdir t ufs_dir
+
+(* ------------------------------------------------------------------ *)
+(* The vnode layer                                                     *)
+
+type Vnode.vdata +=
+  | Phys_dir of t * fidpath * Aux_attrs.fkind
+  | Phys_reg of t * fidpath
+  | Phys_ctl of string
+
+let ctl_vnode response =
+  {
+    (Vnode.not_supported (Phys_ctl response)) with
+    getattr =
+      (fun () ->
+        Ok
+          {
+            Vnode.kind = Vnode.VCTL;
+            size = String.length response;
+            nlink = 1;
+            mtime = 0;
+            mode = 0o400;
+            uid = 0;
+            gen = 0;
+          });
+    read =
+      (fun ~off ~len ->
+        if off < 0 || len < 0 then Error Errno.EINVAL
+        else
+          let n = String.length response in
+          let off = min off n in
+          Ok (String.sub response off (min len (n - off))));
+    openv = (fun _ -> Ok ());
+    closev = (fun () -> Ok ());
+    inactive = (fun () -> Ok ());
+  }
+
+let vtype_of_fkind = Aux_attrs.kind_to_vtype
+
+(* Forward declarations for mutually recursive vnode builders. *)
+let rec dir_vnode t path kind : Vnode.t =
+  {
+    (Vnode.not_supported (Phys_dir (t, path, kind))) with
+    getattr = (fun () -> dir_getattr t path kind);
+    lookup = (fun name -> dir_lookup t path name);
+    create = (fun name -> dir_create t path name);
+    mkdir = (fun name -> dir_mkdir t path name);
+    remove = (fun name -> dir_remove t path name);
+    rmdir = (fun name -> dir_rmdir t path name);
+    rename = (fun sname dst dname -> dir_rename t path sname dst dname);
+    link = (fun target name -> dir_link t path target name);
+    readdir = (fun () -> dir_readdir t path);
+    openv =
+      (fun _ ->
+        Counters.incr t.counters "phys.open.vnode";
+        t.open_count <- t.open_count + 1;
+        Ok ());
+    closev =
+      (fun () ->
+        Counters.incr t.counters "phys.close.vnode";
+        t.open_count <- t.open_count - 1;
+        Ok ());
+    fsync = (fun () -> Ok ());
+    inactive = (fun () -> Ok ());
+    setattr = (fun sa -> dir_setattr t path sa);
+  }
+
+(* chmod/chown of a Ficus directory: applied to its DIR file, whose
+   attributes dir_getattr presents.  Resizing a directory is senseless. *)
+and dir_setattr t path sa =
+  if sa.Vnode.set_size <> None then Error Errno.EISDIR
+  else
+    let* ufs_dir = resolve_dir t path in
+    let* dirfile = ufs_dir.Vnode.lookup dirfile_name in
+    dirfile.Vnode.setattr sa
+
+and reg_vnode t path : Vnode.t =
+  {
+    (Vnode.not_supported (Phys_reg (t, path))) with
+    getattr = (fun () -> reg_getattr t path);
+    setattr = (fun sa -> reg_setattr t path sa);
+    read = (fun ~off ~len -> reg_read t path ~off ~len);
+    write = (fun ~off data -> reg_write t path ~off data);
+    openv =
+      (fun _ ->
+        Counters.incr t.counters "phys.open.vnode";
+        t.open_count <- t.open_count + 1;
+        Ok ());
+    closev =
+      (fun () ->
+        Counters.incr t.counters "phys.close.vnode";
+        t.open_count <- t.open_count - 1;
+        Ok ());
+    fsync = (fun () -> Ok ());
+    inactive = (fun () -> Ok ());
+  }
+
+and dir_getattr t path kind =
+  let* ufs_dir = resolve_dir t path in
+  let* dirfile = ufs_dir.Vnode.lookup dirfile_name in
+  let* attrs = dirfile.Vnode.getattr () in
+  Ok { attrs with Vnode.kind = vtype_of_fkind kind; nlink = 1 }
+
+and dir_lookup t path name =
+  Counters.incr t.counters "phys.lookup";
+  if Ctl_name.is_ctl name then ctl_lookup t path name
+  else
+    let* ufs_dir = resolve_dir t path in
+    let* fdir = load_fdir t ufs_dir in
+    let* entry =
+      if String.length name > 0 && name.[0] = '@' then
+        match Ids.fid_of_at_name name with
+        | None -> Error Errno.EINVAL
+        | Some fid ->
+          (match Fdir.find_by_fid fdir fid with
+           | Some e -> Ok e
+           | None -> Error Errno.ENOENT)
+      else
+        match Fdir.find_live fdir name with
+        | Some e -> Ok e
+        | None -> Error Errno.ENOENT
+    in
+    let child_path = path @ [ entry.Fdir.fid ] in
+    (match entry.Fdir.kind with
+     | Aux_attrs.Freg -> Ok (reg_vnode t child_path)
+     | Aux_attrs.Fdir -> Ok (dir_vnode t child_path Aux_attrs.Fdir)
+     | Aux_attrs.Fgraft -> Ok (dir_vnode t child_path Aux_attrs.Fgraft))
+
+and dir_create t path name =
+  let* ufs_dir = resolve_dir t path in
+  let* fdir = load_fdir t ufs_dir in
+  let* uniq = alloc_uniq t in
+  let fid = { Ids.issuer = t.rid; uniq } in
+  let birth = { Fdir.b_rid = t.rid; b_seq = uniq } in
+  let* fdir = Fdir.add fdir ~rid:t.rid ~name ~fid ~kind:Aux_attrs.Freg ~birth in
+  let* _data = ufs_dir.Vnode.create (Ids.fid_to_hex fid) in
+  let aux =
+    { (Aux_attrs.make Aux_attrs.Freg) with Aux_attrs.vv = Vv.singleton t.rid 1 }
+  in
+  let* () = Aux_attrs.store ~dir:ufs_dir fid aux in
+  let* () = store_fdir ufs_dir fdir in
+  dir_event t path;
+  Ok (reg_vnode t (path @ [ fid ]))
+
+and dir_mkdir t path name =
+  let* ufs_dir = resolve_dir t path in
+  let* fdir = load_fdir t ufs_dir in
+  let* uniq = alloc_uniq t in
+  let fid = { Ids.issuer = t.rid; uniq } in
+  let birth = { Fdir.b_rid = t.rid; b_seq = uniq } in
+  let* fdir = Fdir.add fdir ~rid:t.rid ~name ~fid ~kind:Aux_attrs.Fdir ~birth in
+  let* _child = make_dir_storage t ufs_dir fid (Aux_attrs.make Aux_attrs.Fdir) in
+  let* () = store_fdir ufs_dir fdir in
+  dir_event t path;
+  Ok (dir_vnode t (path @ [ fid ]) Aux_attrs.Fdir)
+
+(* Drop a file's UFS storage from this directory unless another live
+   entry (a second name in the same directory) still references the fid. *)
+and drop_file_storage fdir ufs_dir fid =
+  if Fdir.find_by_fid fdir fid <> None then Ok ()
+  else
+    let* () = ignore_enoent (ufs_dir.Vnode.remove (Ids.fid_to_hex fid)) in
+    ignore_enoent (ufs_dir.Vnode.remove (Ids.aux_name fid))
+
+and dir_remove t path name =
+  let* ufs_dir = resolve_dir t path in
+  let* fdir = load_fdir t ufs_dir in
+  match Fdir.find_live fdir name with
+  | None -> Error Errno.ENOENT
+  | Some e ->
+    if e.Fdir.kind <> Aux_attrs.Freg then Error Errno.EISDIR
+    else
+      let* fdir = Fdir.kill fdir ~rid:t.rid e.Fdir.birth in
+      let* () = drop_file_storage fdir ufs_dir e.Fdir.fid in
+      let* () = store_fdir ufs_dir fdir in
+      dir_event t path;
+      Ok ()
+
+and dir_rmdir t path name =
+  let* ufs_dir = resolve_dir t path in
+  let* fdir = load_fdir t ufs_dir in
+  match Fdir.find_live fdir name with
+  | None -> Error Errno.ENOENT
+  | Some e ->
+    if e.Fdir.kind = Aux_attrs.Freg then Error Errno.ENOTDIR
+    else
+      let* child_ufs = ufs_dir.Vnode.lookup (Ids.fid_to_hex e.Fdir.fid) in
+      let* child_fdir = load_fdir t child_ufs in
+      if Fdir.live child_fdir <> [] then Error Errno.ENOTEMPTY
+      else
+        let* fdir = Fdir.kill fdir ~rid:t.rid e.Fdir.birth in
+        let* () = rm_tree ufs_dir (Ids.fid_to_hex e.Fdir.fid) in
+        let* () = ignore_enoent (ufs_dir.Vnode.remove (Ids.aux_name e.Fdir.fid)) in
+        let* () = store_fdir ufs_dir fdir in
+        dir_event t path;
+        Ok ()
+
+(* Move the UFS storage of [e] from [src_ufs] to [dst_ufs] (no-op when
+   the destination already stores the fid, e.g. an extra hard link). *)
+and move_storage e src_ufs dst_ufs =
+  let hex = Ids.fid_to_hex e.Fdir.fid in
+  let aux = Ids.aux_name e.Fdir.fid in
+  match dst_ufs.Vnode.lookup hex with
+  | Ok _ ->
+    let* () = ignore_enoent (src_ufs.Vnode.remove hex) in
+    ignore_enoent (src_ufs.Vnode.remove aux)
+  | Error Errno.ENOENT ->
+    let* () =
+      match src_ufs.Vnode.lookup hex with
+      | Ok _ ->
+        let* () = src_ufs.Vnode.rename hex dst_ufs hex in
+        src_ufs.Vnode.rename aux dst_ufs aux
+      | Error Errno.ENOENT -> Ok () (* not stored locally: nothing to move *)
+      | Error _ as err -> err
+    in
+    Ok ()
+  | Error _ as err -> err
+
+and dir_rename t path sname dst dname =
+  let* dst_path =
+    match dst.Vnode.data with
+    | Phys_dir (t', q, _) when t' == t -> Ok q
+    | _ -> Error Errno.EXDEV
+  in
+  let same_dir = List.length path = List.length dst_path
+                 && List.for_all2 Ids.fid_equal path dst_path in
+  let* src_ufs = resolve_dir t path in
+  let* dst_ufs = if same_dir then Ok src_ufs else resolve_dir t dst_path in
+  let* src_fdir = load_fdir t src_ufs in
+  let* entry =
+    match Fdir.find_live src_fdir sname with
+    | Some e -> Ok e
+    | None -> Error Errno.ENOENT
+  in
+  let* dst_fdir = if same_dir then Ok src_fdir else load_fdir t dst_ufs in
+  (* Destination name handling: replace a plain file, refuse a directory. *)
+  let* dst_fdir =
+    match Fdir.find_live dst_fdir dname with
+    | None -> Ok dst_fdir
+    | Some de when same_dir && Fdir.birth_compare de.Fdir.birth entry.Fdir.birth = 0 ->
+      Ok dst_fdir (* renaming onto itself *)
+    | Some de ->
+      if de.Fdir.kind <> Aux_attrs.Freg then Error Errno.EEXIST
+      else
+        let* d = Fdir.kill dst_fdir ~rid:t.rid de.Fdir.birth in
+        let* () = drop_file_storage d dst_ufs de.Fdir.fid in
+        Ok d
+  in
+  let* uniq = alloc_uniq t in
+  let birth = { Fdir.b_rid = t.rid; b_seq = uniq } in
+  if same_dir then begin
+    let* fdir = Fdir.kill dst_fdir ~rid:t.rid entry.Fdir.birth in
+    let* fdir =
+      Fdir.add fdir ~rid:t.rid ~name:dname ~fid:entry.Fdir.fid ~kind:entry.Fdir.kind ~birth
+    in
+    let* () = store_fdir src_ufs fdir in
+    dir_event t path;
+    Ok ()
+  end
+  else begin
+    let* src_fdir = Fdir.kill src_fdir ~rid:t.rid entry.Fdir.birth in
+    let* dst_fdir =
+      Fdir.add dst_fdir ~rid:t.rid ~name:dname ~fid:entry.Fdir.fid ~kind:entry.Fdir.kind ~birth
+    in
+    let* () = move_storage entry src_ufs dst_ufs in
+    let* () = store_fdir src_ufs src_fdir in
+    let* () = store_fdir dst_ufs dst_fdir in
+    dir_event t path;
+    dir_event t dst_path;
+    Ok ()
+  end
+
+and dir_link t path target name =
+  let* target_path =
+    match target.Vnode.data with
+    | Phys_reg (t', p) when t' == t -> Ok p
+    | _ -> Error Errno.EXDEV
+  in
+  let* tparent, tfid = split_file_path target_path in
+  let* ufs_dir = resolve_dir t path in
+  let* fdir = load_fdir t ufs_dir in
+  let* uniq = alloc_uniq t in
+  let birth = { Fdir.b_rid = t.rid; b_seq = uniq } in
+  let* fdir = Fdir.add fdir ~rid:t.rid ~name ~fid:tfid ~kind:Aux_attrs.Freg ~birth in
+  let hex = Ids.fid_to_hex tfid in
+  let* () =
+    match ufs_dir.Vnode.lookup hex with
+    | Ok _ -> Ok () (* this directory already stores the file *)
+    | Error Errno.ENOENT ->
+      let* tparent_ufs = resolve_dir t tparent in
+      (match tparent_ufs.Vnode.lookup hex with
+       | Ok data ->
+         let* () = ufs_dir.Vnode.link data hex in
+         let* aux = tparent_ufs.Vnode.lookup (Ids.aux_name tfid) in
+         ufs_dir.Vnode.link aux (Ids.aux_name tfid)
+       | Error Errno.ENOENT -> Ok () (* sparse replica: entry only *)
+       | Error _ as e -> e)
+    | Error _ as e -> e
+  in
+  let* () = store_fdir ufs_dir fdir in
+  dir_event t path;
+  Ok ()
+
+and dir_readdir t path =
+  let* ufs_dir = resolve_dir t path in
+  let* fdir = load_fdir t ufs_dir in
+  Ok
+    (List.map
+       (fun (name, e) ->
+         { Vnode.entry_name = name; entry_kind = vtype_of_fkind e.Fdir.kind })
+       (Fdir.live fdir))
+
+(* ---------------- regular files ---------------- *)
+
+and data_vnode t path =
+  let* parent, fid = split_file_path path in
+  let* parent_ufs = resolve_dir t parent in
+  match parent_ufs.Vnode.lookup (Ids.fid_to_hex fid) with
+  | Ok v -> Ok (v, parent_ufs, fid)
+  | Error Errno.ENOENT -> Error Errno.EAGAIN (* entry exists, contents not stored here *)
+  | Error _ as e -> e
+
+and bump_file_version t parent_ufs fid =
+  let* aux = Aux_attrs.load ~dir:parent_ufs fid in
+  let aux = { aux with Aux_attrs.vv = Vv.bump aux.Aux_attrs.vv t.rid } in
+  Aux_attrs.store ~dir:parent_ufs fid aux
+
+and reg_getattr t path =
+  let* data, parent_ufs, fid = data_vnode t path in
+  let* attrs = data.Vnode.getattr () in
+  let* aux = Aux_attrs.load ~dir:parent_ufs fid in
+  Ok { attrs with Vnode.kind = Vnode.VREG; uid = aux.Aux_attrs.uid }
+
+and reg_setattr t path sa =
+  let* data, parent_ufs, fid = data_vnode t path in
+  let* () =
+    match sa.Vnode.set_uid with
+    | None -> Ok ()
+    | Some uid ->
+      let* aux = Aux_attrs.load ~dir:parent_ufs fid in
+      Aux_attrs.store ~dir:parent_ufs fid { aux with Aux_attrs.uid = uid }
+  in
+  let* () = data.Vnode.setattr sa in
+  if sa.Vnode.set_size <> None then begin
+    let* () = bump_file_version t parent_ufs fid in
+    Counters.incr t.counters "phys.update";
+    (match split_file_path path with
+     | Ok (_, fid) -> file_event t path fid
+     | Error _ -> ());
+    Ok ()
+  end
+  else Ok ()
+
+and reg_read t path ~off ~len =
+  let* data, _, _ = data_vnode t path in
+  data.Vnode.read ~off ~len
+
+and reg_write t path ~off payload =
+  let* data, parent_ufs, fid = data_vnode t path in
+  let* () = data.Vnode.write ~off payload in
+  let* () = bump_file_version t parent_ufs fid in
+  Counters.incr t.counters "phys.update";
+  file_event t path fid;
+  Ok ()
+
+(* ---------------- control requests over lookup ---------------- *)
+
+(* Resolve a control-operation target: "." is the directory the lookup
+   arrived at; otherwise a child by "@hex" handle or by name. *)
+and ctl_target t path who =
+  if who = "." then
+    let* vi = dir_version_info t path in
+    Ok (path, vi)
+  else
+    let* ufs_dir = resolve_dir t path in
+    let* fdir = load_fdir t ufs_dir in
+    let* entry =
+      if String.length who > 0 && who.[0] = '@' then
+        match Ids.fid_of_at_name who with
+        | None -> Error Errno.EINVAL
+        | Some fid ->
+          (match Fdir.find_by_fid fdir fid with
+           | Some e -> Ok e
+           | None -> Error Errno.ENOENT)
+      else
+        match Fdir.find_live fdir who with
+        | Some e -> Ok e
+        | None -> Error Errno.ENOENT
+    in
+    let child = path @ [ entry.Fdir.fid ] in
+    let* vi = get_version t child in
+    Ok (child, vi)
+
+and encode_version_info vi =
+  Printf.sprintf "kind=%s\nvv=%s\nsize=%d\nuid=%d\nstored=%d\n"
+    (Aux_attrs.kind_to_string vi.vi_kind)
+    (Vv.encode vi.vi_vv) vi.vi_size vi.vi_uid
+    (if vi.vi_stored then 1 else 0)
+
+and ctl_lookup t path name =
+  Counters.incr t.counters "phys.ctl";
+  match Ctl_name.decode name with
+  | None -> Error Errno.EINVAL
+  | Some (op, args) ->
+    (match op, args with
+     | "open", _ ->
+       Counters.incr t.counters "phys.open.ctl";
+       t.open_count <- t.open_count + 1;
+       Ok (ctl_vnode "ok\n")
+     | "close", _ ->
+       Counters.incr t.counters "phys.close.ctl";
+       t.open_count <- t.open_count - 1;
+       Ok (ctl_vnode "ok\n")
+     | "getvv", who :: _ ->
+       let* _, vi = ctl_target t path who in
+       Ok (ctl_vnode (encode_version_info vi))
+     | "readfile", who :: _ ->
+       let* target, vi = ctl_target t path who in
+       if vi.vi_kind <> Aux_attrs.Freg then Error Errno.EISDIR
+       else
+         let* vi, data = fetch_file t target in
+         Ok (ctl_vnode (encode_version_info vi ^ "--\n" ^ data))
+     | "getdir", who :: _ ->
+       let* target, vi = ctl_target t path who in
+       if vi.vi_kind = Aux_attrs.Freg then Error Errno.ENOTDIR
+       else
+         let* fdir = fetch_dir t target in
+         Ok (ctl_vnode (Fdir.encode fdir))
+     | "peers", _ ->
+       let body =
+         t.peers
+         |> List.map (fun (r, h) -> Printf.sprintf "%d@%s" r h)
+         |> String.concat ","
+       in
+       Ok (ctl_vnode (body ^ "\n"))
+     | "meta", _ ->
+       Ok
+         (ctl_vnode
+            (Printf.sprintf "vref=%d.%d\nrid=%d\n" t.vref.Ids.alloc t.vref.Ids.vol t.rid))
+     | "resolve", who :: _ ->
+       let* ufs_dir = resolve_dir t path in
+       let* fdir = load_fdir t ufs_dir in
+       (match Fdir.find_live fdir who with
+        | None -> Error Errno.ENOENT
+        | Some e ->
+          Ok
+            (ctl_vnode
+               (Printf.sprintf "fid=%s\nkind=%s\n" (Ids.fid_to_hex e.Fdir.fid)
+                  (Aux_attrs.kind_to_string e.Fdir.kind))))
+     | _, _ -> Error Errno.EINVAL)
+
+let root t = dir_vnode t [] Aux_attrs.Fdir
+
+(* ------------------------------------------------------------------ *)
+(* Installation (pull side of propagation and reconciliation)          *)
+
+let install_file t path ~vv ~uid ~data ~origin_rid =
+  let* parent, fid = split_file_path path in
+  let* parent_ufs = resolve_dir t parent in
+  let* local =
+    match Aux_attrs.load ~dir:parent_ufs fid with
+    | Ok aux -> Ok (Some aux)
+    | Error Errno.ENOENT -> Ok None
+    | Error _ as e -> e
+  in
+  let adopt () =
+    let* () = Shadow.install ~dir:parent_ufs fid ~data in
+    let merged_vv =
+      match local with
+      | None -> vv
+      | Some aux -> Vv.merge aux.Aux_attrs.vv vv
+    in
+    let aux =
+      { (Aux_attrs.make Aux_attrs.Freg) with Aux_attrs.vv = merged_vv; uid }
+    in
+    let* () = Aux_attrs.store ~dir:parent_ufs fid aux in
+    (* A dominating version supersedes any conflict reported here: the
+       owner (or another replica) has already resolved it. *)
+    let superseded = Conflict_log.resolve_matching t.conflicts ~fidpath:path in
+    if superseded > 0 then
+      Log.info (fun m ->
+          m "r%d: conflict on %s superseded by a dominating remote version" t.rid
+            (Ids.fidpath_to_string path));
+    Counters.incr t.counters "phys.install";
+    Counters.add t.counters "phys.install.bytes" (String.length data);
+    Ok Installed
+  in
+  match local with
+  | None -> adopt ()
+  | Some aux ->
+    let stored =
+      match parent_ufs.Vnode.lookup (Ids.fid_to_hex fid) with Ok _ -> true | Error _ -> false
+    in
+    if not stored then adopt ()
+    else
+      (match Vv.compare_vv vv aux.Aux_attrs.vv with
+       | Vv.Dominates -> adopt ()
+       | Vv.Equal | Vv.Dominated -> Ok Up_to_date
+       | Vv.Concurrent ->
+         (* Report once: periodic reconciliation re-detects the same
+            conflict every pass until the owner resolves it. *)
+         if not aux.Aux_attrs.conflict then begin
+           (match
+              Aux_attrs.store ~dir:parent_ufs fid { aux with Aux_attrs.conflict = true }
+            with
+            | Ok () | Error _ -> ());
+           let (_ : Conflict_log.entry) =
+             Conflict_log.report t.conflicts ~vref:t.vref ~fidpath:path ~fid
+               ~owner_uid:aux.Aux_attrs.uid ~detected_at:(Clock.now t.clock)
+               (Conflict_log.File_update
+                  {
+                    local_vv = aux.Aux_attrs.vv;
+                    remote_vv = vv;
+                    remote_rid = origin_rid;
+                    remote_data = data;
+                  })
+           in
+           Log.warn (fun m ->
+               m "r%d: concurrent update conflict on %s (local %a, remote r%d %a)" t.rid
+                 (Ids.fidpath_to_string path) Vv.pp aux.Aux_attrs.vv origin_rid Vv.pp vv);
+           Counters.incr t.counters "phys.conflict.file"
+         end;
+         Ok (Conflict aux.Aux_attrs.vv))
+
+let force_install t path ~vv ~uid ~data =
+  let* parent, fid = split_file_path path in
+  let* parent_ufs = resolve_dir t parent in
+  let* () = Shadow.install ~dir:parent_ufs fid ~data in
+  let aux =
+    { (Aux_attrs.make Aux_attrs.Freg) with Aux_attrs.vv = vv; uid; conflict = false }
+  in
+  let* () = Aux_attrs.store ~dir:parent_ufs fid aux in
+  file_event t path fid;
+  Ok ()
+
+(* Apply one Fdir merge action to local storage.  [merged] is the
+   post-merge directory, consulted so shared storage survives while any
+   other live name still references the fid. *)
+let apply_action t path ufs_dir merged action =
+  match action with
+  | Fdir.Expire _ -> Ok ()
+  | Fdir.Materialize e ->
+    (match e.Fdir.kind with
+     | Aux_attrs.Freg ->
+       (* Entry adopted; contents arrive by pull.  Store a zero-history
+          aux so version queries answer "not stored". *)
+       (match Aux_attrs.load ~dir:ufs_dir e.Fdir.fid with
+        | Ok _ -> Ok ()
+        | Error Errno.ENOENT ->
+          Aux_attrs.store ~dir:ufs_dir e.Fdir.fid (Aux_attrs.make Aux_attrs.Freg)
+        | Error _ as err -> err)
+     | Aux_attrs.Fdir | Aux_attrs.Fgraft ->
+       (match ufs_dir.Vnode.lookup (Ids.fid_to_hex e.Fdir.fid) with
+        | Ok _ -> Ok ()
+        | Error Errno.ENOENT ->
+          let* _child = make_dir_storage t ufs_dir e.Fdir.fid (Aux_attrs.make e.Fdir.kind) in
+          Ok ()
+        | Error _ as err -> err))
+  | Fdir.Unmaterialize e ->
+    (match e.Fdir.kind with
+     | Aux_attrs.Freg -> drop_file_storage merged ufs_dir e.Fdir.fid
+     | Aux_attrs.Fdir | Aux_attrs.Fgraft ->
+       let hex = Ids.fid_to_hex e.Fdir.fid in
+       (match ufs_dir.Vnode.lookup hex with
+        | Error Errno.ENOENT -> Ok ()
+        | Error _ as err -> err
+        | Ok child_ufs ->
+          let* child_fdir = load_fdir t child_ufs in
+          if Fdir.live child_fdir = [] then begin
+            let* () = rm_tree ufs_dir hex in
+            ignore_enoent (ufs_dir.Vnode.remove (Ids.aux_name e.Fdir.fid))
+          end
+          else begin
+            (* Remove/update conflict: the directory died remotely while
+               it gained content here.  Preserve the contents. *)
+            let* orphanage = Namei.mkdir_p ~root:t.container orphans_dirname in
+            let* uniq = alloc_uniq t in
+            let orphan_name = Printf.sprintf "%s.%d" hex uniq in
+            let* () = ufs_dir.Vnode.rename hex orphanage orphan_name in
+            let* () = ignore_enoent (ufs_dir.Vnode.remove (Ids.aux_name e.Fdir.fid)) in
+            let (_ : Conflict_log.entry) =
+              Conflict_log.report t.conflicts ~vref:t.vref ~fidpath:(path @ [ e.Fdir.fid ])
+                ~fid:e.Fdir.fid ~owner_uid:0 ~detected_at:(Clock.now t.clock)
+                (Conflict_log.Removed_while_updated
+                   { orphaned_to = orphans_dirname ^ "/" ^ orphan_name })
+            in
+            Log.warn (fun m ->
+                m "r%d: directory %s removed remotely while updated here; contents preserved in %s"
+                  t.rid hex orphan_name);
+            Counters.incr t.counters "phys.conflict.orphan";
+            Ok ()
+          end))
+
+let merge_dir t path ~remote_rid remote =
+  let* ufs_dir = resolve_dir t path in
+  let* local = load_fdir t ufs_dir in
+  let peer_rids = List.map fst t.peers in
+  let result = Fdir.merge ~local_rid:t.rid ~remote_rid ~peers:peer_rids local remote in
+  let rec apply = function
+    | [] -> Ok ()
+    | a :: rest ->
+      let* () = apply_action t path ufs_dir result.Fdir.merged a in
+      apply rest
+  in
+  let* () = apply result.Fdir.actions in
+  let* () = store_fdir ufs_dir result.Fdir.merged in
+  List.iter
+    (fun (colliding_name, births) ->
+      let fid =
+        match Fdir.find_birth result.Fdir.merged (List.hd births) with
+        | Some e -> e.Fdir.fid
+        | None -> Ids.root_fid
+      in
+      let (_ : Conflict_log.entry) =
+        Conflict_log.report t.conflicts ~vref:t.vref ~fidpath:path ~fid ~owner_uid:0
+          ~detected_at:(Clock.now t.clock)
+          (Conflict_log.Name_collision { name = colliding_name; births })
+      in
+      Log.info (fun m ->
+          m "r%d: name collision on %S in %s repaired deterministically" t.rid colliding_name
+            (Ids.fidpath_to_string path));
+      Counters.incr t.counters "phys.conflict.name")
+    result.Fdir.new_collisions;
+  Counters.incr t.counters "phys.merge_dir";
+  Ok result
+
+(* ------------------------------------------------------------------ *)
+(* Graft points (paper §4.3)                                           *)
+
+let volume_entry_name (vref : Ids.volume_ref) =
+  Printf.sprintf "volume.%d.%d" vref.Ids.alloc vref.Ids.vol
+
+let replica_entry_name r h = Printf.sprintf "replica.%d@%s" r h
+
+let add_plain_entry t ufs_dir fdir name =
+  let* uniq = alloc_uniq t in
+  let fid = { Ids.issuer = t.rid; uniq } in
+  let birth = { Fdir.b_rid = t.rid; b_seq = uniq } in
+  let* fdir = Fdir.add fdir ~rid:t.rid ~name ~fid ~kind:Aux_attrs.Freg ~birth in
+  let* () = Aux_attrs.store ~dir:ufs_dir fid (Aux_attrs.make Aux_attrs.Freg) in
+  Ok fdir
+
+let make_graft_point t ~parent ~name ~target ~replicas =
+  let* ufs_dir = resolve_dir t parent in
+  let* fdir = load_fdir t ufs_dir in
+  let* uniq = alloc_uniq t in
+  let fid = { Ids.issuer = t.rid; uniq } in
+  let birth = { Fdir.b_rid = t.rid; b_seq = uniq } in
+  let* fdir = Fdir.add fdir ~rid:t.rid ~name ~fid ~kind:Aux_attrs.Fgraft ~birth in
+  let aux =
+    { (Aux_attrs.make Aux_attrs.Fgraft) with Aux_attrs.graft_target = Some target }
+  in
+  let* child_ufs = make_dir_storage t ufs_dir fid aux in
+  let* child_fdir = load_fdir t child_ufs in
+  let* child_fdir = add_plain_entry t child_ufs child_fdir (volume_entry_name target) in
+  let rec add_replicas fdir = function
+    | [] -> Ok fdir
+    | (r, h) :: rest ->
+      let* fdir = add_plain_entry t child_ufs fdir (replica_entry_name r h) in
+      add_replicas fdir rest
+  in
+  let* child_fdir = add_replicas child_fdir replicas in
+  let* () = store_fdir child_ufs child_fdir in
+  let* () = store_fdir ufs_dir fdir in
+  dir_event t parent;
+  Ok ()
+
+let parse_graft_entries fdir =
+  let parse (name, _) (target, replicas) =
+    if String.length name > 7 && String.sub name 0 7 = "volume." then
+      match String.split_on_char '.' name with
+      | [ _; a; v ] ->
+        (match int_of_string_opt a, int_of_string_opt v with
+         | Some alloc, Some vol -> (Some { Ids.alloc; vol }, replicas)
+         | _, _ -> (target, replicas))
+      | _ -> (target, replicas)
+    else if String.length name > 8 && String.sub name 0 8 = "replica." then
+      let body = String.sub name 8 (String.length name - 8) in
+      match String.index_opt body '@' with
+      | None -> (target, replicas)
+      | Some i ->
+        (match int_of_string_opt (String.sub body 0 i) with
+         | None -> (target, replicas)
+         | Some r ->
+           (target, (r, String.sub body (i + 1) (String.length body - i - 1)) :: replicas))
+    else (target, replicas)
+  in
+  let target, replicas = List.fold_right parse (Fdir.live fdir) (None, []) in
+  (target, replicas)
+
+let graft_point_info t path =
+  let* fdir = fetch_dir t path in
+  match parse_graft_entries fdir with
+  | Some target, replicas -> Ok (target, replicas)
+  | None, _ -> Error Errno.EIO
+
+let graft_entries_of_fdir fdir =
+  match parse_graft_entries fdir with
+  | Some target, replicas -> Some (target, replicas)
+  | None, _ -> None
+
+let add_graft_replica t path r h =
+  let* ufs_dir = resolve_dir t path in
+  let* fdir = load_fdir t ufs_dir in
+  let* fdir = add_plain_entry t ufs_dir fdir (replica_entry_name r h) in
+  let* () = store_fdir ufs_dir fdir in
+  dir_event t path;
+  Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
+
+let create ~container ~clock ~host ~vref ~rid ~peers =
+  let t =
+    {
+      container;
+      clock;
+      host;
+      vref;
+      rid;
+      next_uniq = 2; (* 1 is the root fid *)
+      peers;
+      notifier = None;
+      conflicts = Conflict_log.create ();
+      counters = Counters.create ();
+      open_count = 0;
+    }
+  in
+  let* () = store_meta t in
+  let* _root = make_dir_storage t container Ids.root_fid (Aux_attrs.make Aux_attrs.Fdir) in
+  Ok t
+
+(* Remove leftover shadow files under [dir], recursively. *)
+let rec sweep_shadows dir =
+  let* entries = dir.Vnode.readdir () in
+  let is_shadow name =
+    let suffix = ".shadow" in
+    String.length name > String.length suffix
+    && String.sub name (String.length name - String.length suffix) (String.length suffix)
+       = suffix
+  in
+  let rec go count = function
+    | [] -> Ok count
+    | e :: rest ->
+      if is_shadow e.Vnode.entry_name then
+        let* () = ignore_enoent (dir.Vnode.remove e.Vnode.entry_name) in
+        go (count + 1) rest
+      else if e.Vnode.entry_kind = Vnode.VDIR then
+        let* child = dir.Vnode.lookup e.Vnode.entry_name in
+        let* sub = sweep_shadows child in
+        go (count + sub) rest
+      else go count rest
+  in
+  go 0 entries
+
+let recover t =
+  let* root_ufs = t.container.Vnode.lookup (Ids.fid_to_hex Ids.root_fid) in
+  sweep_shadows root_ufs
+
+let attach ~container ~clock ~host =
+  let t =
+    {
+      container;
+      clock;
+      host;
+      vref = { Ids.alloc = 0; vol = 0 };
+      rid = 0;
+      next_uniq = 2;
+      peers = [];
+      notifier = None;
+      conflicts = Conflict_log.create ();
+      counters = Counters.create ();
+      open_count = 0;
+    }
+  in
+  let* () = load_meta t in
+  let* _count = recover t in
+  Ok t

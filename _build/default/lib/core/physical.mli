@@ -1,0 +1,135 @@
+(** The Ficus physical layer (paper §2.6, §3).
+
+    One [t] manages one {e volume replica}: a container directory in the
+    host's UFS holding, in a layout that parallels the logical namespace,
+
+    - per Ficus directory: a UFS directory named [<hex-fid>] containing a
+      ["DIR"] file (the {!Fdir} directory file) and the children's storage;
+    - per regular-file replica: a UFS file [<hex-fid>] plus an auxiliary
+      attribute file [<hex-fid>.aux] ({!Aux_attrs}) beside it;
+    - a ["META"] file with the replica's identity, peer list and the
+      file-id allocator high-water mark;
+    - an ["ORPHANS"] directory preserving victims of remove/update
+      conflicts.
+
+    The layer exports a plain vnode stack ({!root}) so it can sit under a
+    logical layer directly or behind an NFS server, and {e overloads}
+    [lookup] with encoded control requests ({!Ctl_name}) for the services
+    the vnode interface lacks: open/close signalling, version-vector
+    queries, whole-file fetch and directory-state fetch.  Lookup also
+    accepts reserved ["@<hex>"] names, the dual name↔handle mapping by
+    which the logical layer addresses files by Ficus file handle.
+
+    Update installation ({!install_file}, {!merge_dir}) is a direct API:
+    in the pull model every host's daemons write only to local replicas. *)
+
+type t
+
+type fidpath = Ids.file_id list
+(** Path of file-ids from the volume root; [[]] is the root directory
+    itself, and for files the last element is the file's own fid. *)
+
+(** {1 Lifecycle} *)
+
+val create :
+  container:Vnode.t -> clock:Clock.t -> host:string ->
+  vref:Ids.volume_ref -> rid:Ids.replica_id ->
+  peers:(Ids.replica_id * string) list -> (t, Errno.t) result
+(** Initialize a fresh volume replica in [container] (an empty UFS
+    directory).  [peers] must list every replica of the volume including
+    this one with its host name. *)
+
+val attach : container:Vnode.t -> clock:Clock.t -> host:string -> (t, Errno.t) result
+(** Mount an existing volume replica (e.g. after a simulated reboot);
+    reads ["META"] and discards leftover shadow files. *)
+
+val vref : t -> Ids.volume_ref
+val rid : t -> Ids.replica_id
+val host : t -> string
+val peers : t -> (Ids.replica_id * string) list
+(** All replicas of the volume, including this one. *)
+
+val set_peers : t -> (Ids.replica_id * string) list -> (unit, Errno.t) result
+val counters : t -> Counters.t
+val conflicts : t -> Conflict_log.t
+val open_files : t -> int
+(** Current opens minus closes seen by this layer (via [openv] or the
+    encoded control path). *)
+
+val set_notifier : t -> (Notify.event -> unit) -> unit
+(** Called after every locally applied update; the host runtime turns
+    events into best-effort datagrams to the peer replicas. *)
+
+(** {1 The vnode stack} *)
+
+val root : t -> Vnode.t
+
+(** {1 Direct control interface (co-resident callers)} *)
+
+type version_info = {
+  vi_kind : Aux_attrs.fkind;
+  vi_vv : Version_vector.t;
+  vi_size : int;
+  vi_uid : int;
+  vi_stored : bool;  (** false: entry known but contents not stored here *)
+}
+
+val get_version : t -> fidpath -> (version_info, Errno.t) result
+val fetch_file : t -> fidpath -> (version_info * string, Errno.t) result
+val fetch_dir : t -> fidpath -> (Fdir.t, Errno.t) result
+
+type install_outcome =
+  | Installed       (** remote version adopted atomically *)
+  | Up_to_date      (** local history already includes the remote one *)
+  | Conflict of Version_vector.t
+      (** concurrent histories: local kept, conflict logged; the value is
+          the local version vector *)
+
+val install_file :
+  t -> fidpath -> vv:Version_vector.t -> uid:int -> data:string ->
+  origin_rid:Ids.replica_id -> (install_outcome, Errno.t) result
+(** Adopt a newer remote version of a regular file via shadow-file atomic
+    commit.  A concurrent history is never overwritten: it is reported
+    ([Conflict]) with the remote version preserved in the log. *)
+
+val force_install :
+  t -> fidpath -> vv:Version_vector.t -> uid:int -> data:string ->
+  (unit, Errno.t) result
+(** Conflict resolution: install [data] with the given (caller-computed,
+    dominating) version vector, clear the conflict flag and emit an
+    update notification. *)
+
+val merge_dir :
+  t -> fidpath -> remote_rid:Ids.replica_id -> Fdir.t -> (Fdir.merge_result, Errno.t) result
+(** Reconcile the local directory replica at [fidpath] against remote
+    state: OR-set entry merge, storage materialization for new entries,
+    storage removal (with orphan preservation) for remote deletions, and
+    tombstone GC.  Name collisions are auto-repaired and logged. *)
+
+val make_graft_point :
+  t -> parent:fidpath -> name:string -> target:Ids.volume_ref ->
+  replicas:(Ids.replica_id * string) list -> (unit, Errno.t) result
+(** Create a graft point (paper §4.3): a special directory whose entries
+    are the ⟨volume replica, storage site⟩ pairs of the target volume —
+    "overloading the directory concept" so the graft point is reconciled
+    by the ordinary directory machinery. *)
+
+val graft_point_info :
+  t -> fidpath -> (Ids.volume_ref * (Ids.replica_id * string) list, Errno.t) result
+(** Read a graft point's target volume and replica list. *)
+
+val graft_entries_of_fdir :
+  Fdir.t -> (Ids.volume_ref * (Ids.replica_id * string) list) option
+(** Parse graft-point directory entries fetched from any replica (the
+    logical layer autografts from remote graft points too). *)
+
+val add_graft_replica :
+  t -> fidpath -> Ids.replica_id -> string -> (unit, Errno.t) result
+(** Record an additional volume replica in a graft point. *)
+
+(** {1 Maintenance} *)
+
+val recover : t -> (int, Errno.t) result
+(** Remove leftover shadow files after a crash; returns how many. *)
+
+val orphans_dirname : string

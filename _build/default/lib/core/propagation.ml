@@ -1,0 +1,120 @@
+let log_src = Logs.Src.create "ficus.propagation" ~doc:"Ficus update propagation daemon"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type t = {
+  nvc : New_version_cache.t;
+  clock : Clock.t;
+  host : string;
+  connect : Remote.connector;
+  local_replica : Ids.volume_ref -> Physical.t option;
+  delay : int;
+  max_attempts : int;
+  counters : Counters.t;
+}
+
+let create ?(delay = 0) ?(max_attempts = 5) ~clock ~host ~connect ~local_replica () =
+  {
+    nvc = New_version_cache.create ();
+    clock;
+    host;
+    connect;
+    local_replica;
+    delay;
+    max_attempts;
+    counters = Counters.create ();
+  }
+
+let on_notify t (e : Notify.event) =
+  match t.local_replica e.Notify.vref with
+  | None -> ()
+  | Some phys ->
+    (* Our own updates come back via the multicast; ignore them. *)
+    if e.Notify.origin_rid <> Physical.rid phys then
+      New_version_cache.note t.nvc e ~now:(Clock.now t.clock)
+
+let ( let* ) = Result.bind
+
+let pull t phys (e : New_version_cache.entry) =
+  let* remote_root =
+    t.connect ~host:e.New_version_cache.origin_host ~vref:e.New_version_cache.vref
+      ~rid:e.New_version_cache.origin_rid
+  in
+  match e.New_version_cache.kind with
+  | Aux_attrs.Freg ->
+    let* vi, data = Remote.fetch_file remote_root e.New_version_cache.fidpath in
+    let* outcome =
+      Physical.install_file phys e.New_version_cache.fidpath ~vv:vi.Physical.vi_vv
+        ~uid:vi.Physical.vi_uid ~data ~origin_rid:e.New_version_cache.origin_rid
+    in
+    Counters.incr t.counters "prop.pull.file";
+    Counters.add t.counters "prop.bytes" (String.length data);
+    (match outcome with
+     | Physical.Conflict _ -> Counters.incr t.counters "prop.conflicts"
+     | Physical.Installed | Physical.Up_to_date -> ());
+    Ok []
+  | Aux_attrs.Fdir | Aux_attrs.Fgraft ->
+    let* remote_fdir = Remote.fetch_dir remote_root e.New_version_cache.fidpath in
+    let* result =
+      Physical.merge_dir phys e.New_version_cache.fidpath
+        ~remote_rid:e.New_version_cache.origin_rid remote_fdir
+    in
+    Counters.incr t.counters "prop.pull.dir";
+    (* Entries the merge materialized need their own contents pulled. *)
+    let followups =
+      List.filter_map
+        (fun action ->
+          match action with
+          | Fdir.Materialize entry ->
+            Some
+              {
+                Notify.vref = e.New_version_cache.vref;
+                fidpath = e.New_version_cache.fidpath @ [ entry.Fdir.fid ];
+                fid = entry.Fdir.fid;
+                kind = entry.Fdir.kind;
+                origin_rid = e.New_version_cache.origin_rid;
+                origin_host = e.New_version_cache.origin_host;
+              }
+          | Fdir.Unmaterialize _ | Fdir.Expire _ -> None)
+        result.Fdir.actions
+    in
+    Ok followups
+
+let run_once t =
+  let now = Clock.now t.clock in
+  let ready = New_version_cache.take_ready t.nvc ~now ~min_age:t.delay in
+  let attempted = ref 0 in
+  let handle e =
+    match t.local_replica e.New_version_cache.vref with
+    | None -> ()
+    | Some phys ->
+      incr attempted;
+      (match pull t phys e with
+       | Ok followups ->
+         Log.debug (fun m ->
+             m "%s pulled %s from %s" t.host
+               (Ids.fidpath_to_string e.New_version_cache.fidpath)
+               e.New_version_cache.origin_host);
+         List.iter (fun ev -> New_version_cache.note t.nvc ev ~now) followups
+       | Error err ->
+         e.New_version_cache.attempts <- e.New_version_cache.attempts + 1;
+         if e.New_version_cache.attempts < t.max_attempts then begin
+           Counters.incr t.counters "prop.retries";
+           New_version_cache.requeue t.nvc e
+         end
+         else begin
+           (* Give up; the reconciliation protocol will converge it. *)
+           Log.info (fun m ->
+               m "%s abandoning pull of %s from %s after %d attempts (%s)" t.host
+                 (Ids.fidpath_to_string e.New_version_cache.fidpath)
+                 e.New_version_cache.origin_host e.New_version_cache.attempts
+                 (Errno.to_string err));
+           Counters.incr t.counters "prop.abandoned"
+         end)
+  in
+  List.iter handle ready;
+  !attempted
+
+let pending t = New_version_cache.size t.nvc
+let cache t = t.nvc
+let counters t = t.counters

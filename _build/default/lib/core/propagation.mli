@@ -1,0 +1,45 @@
+(** The update-propagation daemon (paper §3.2).
+
+    One per host.  Receives update-notification datagrams for the volume
+    replicas the host stores, parks them in the {!New_version_cache}, and
+    on each {!run_once} pulls the new versions in:
+
+    - regular files: fetch contents + version vector from the origin
+      replica and adopt them via the shadow-file atomic commit
+      ({!Physical.install_file}); a concurrent local history is reported,
+      never overwritten;
+    - directories: fetch the origin's directory state and reconcile with
+      {!Physical.merge_dir}; entries materialized by the merge are queued
+      for their own pulls.
+
+    Propagation is an optimization, not a correctness mechanism: if the
+    origin is unreachable, the entry is retried and eventually abandoned
+    to the periodic reconciliation protocol. *)
+
+type t
+
+val create :
+  ?delay:int ->
+  ?max_attempts:int ->
+  clock:Clock.t ->
+  host:string ->
+  connect:Remote.connector ->
+  local_replica:(Ids.volume_ref -> Physical.t option) ->
+  unit -> t
+(** [delay] (default 0) is the minimum age before a cache entry is acted
+    on — the "later, more convenient time"; larger delays batch bursty
+    updates.  [max_attempts] (default 5) bounds retries per entry. *)
+
+val on_notify : t -> Notify.event -> unit
+(** Feed one notification (wire this to the host's datagram handler).
+    Events for volumes this host has no replica of are ignored. *)
+
+val run_once : t -> int
+(** Process everything currently ready; returns the number of pulls
+    attempted.  Never raises: per-entry failures are retried or dropped. *)
+
+val pending : t -> int
+val cache : t -> New_version_cache.t
+val counters : t -> Counters.t
+(** ["prop.pull.file"], ["prop.pull.dir"], ["prop.bytes"],
+    ["prop.conflicts"], ["prop.retries"], ["prop.abandoned"]. *)

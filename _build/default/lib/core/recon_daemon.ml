@@ -1,0 +1,57 @@
+type t = {
+  period : int;
+  clock : Clock.t;
+  host : string;
+  connect : Remote.connector;
+  replicas : unit -> (Ids.volume_ref * Physical.t) list;
+  rotation : (int * int, int) Hashtbl.t;  (* volume -> peer cursor *)
+  counters : Counters.t;
+  mutable next_due : int;
+}
+
+let create ?(period = 100) ~clock ~host ~connect ~replicas () =
+  {
+    period;
+    clock;
+    host;
+    connect;
+    replicas;
+    rotation = Hashtbl.create 8;
+    counters = Counters.create ();
+    next_due = Clock.now clock + period;
+  }
+
+let counters t = t.counters
+let next_due t = t.next_due
+
+(* Reconcile one local replica against its next rotation peer. *)
+let reconcile_one t (vref, phys) =
+  let my_rid = Physical.rid phys in
+  let peers = List.filter (fun (rid, _) -> rid <> my_rid) (Physical.peers phys) in
+  match peers with
+  | [] -> Reconcile.empty_stats
+  | _ ->
+    let key = (vref.Ids.alloc, vref.Ids.vol) in
+    let cursor = Option.value ~default:0 (Hashtbl.find_opt t.rotation key) in
+    Hashtbl.replace t.rotation key (cursor + 1);
+    let remote_rid, remote_host = List.nth peers (cursor mod List.length peers) in
+    Counters.incr t.counters "recon.pairs";
+    match t.connect ~host:remote_host ~vref ~rid:remote_rid with
+    | Error _ ->
+      Counters.incr t.counters "recon.errors";
+      { Reconcile.empty_stats with errors = 1 }
+    | Ok remote_root ->
+      (match Reconcile.reconcile_volume ~local:phys ~remote_root ~remote_rid with
+       | Ok stats -> stats
+       | Error _ ->
+         Counters.incr t.counters "recon.errors";
+         { Reconcile.empty_stats with errors = 1 })
+
+let force t =
+  Counters.incr t.counters "recon.passes";
+  t.next_due <- Clock.now t.clock + t.period;
+  List.fold_left
+    (fun acc replica -> Reconcile.add_stats acc (reconcile_one t replica))
+    Reconcile.empty_stats (t.replicas ())
+
+let tick t = if Clock.now t.clock >= t.next_due then Some (force t) else None

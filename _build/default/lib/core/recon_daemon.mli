@@ -1,0 +1,39 @@
+(** The periodic reconciliation daemon.
+
+    Paper §3.3: "This protocol is executed periodically to traverse an
+    entire subgraph ... and reconcile the local replica against a remote
+    replica."  One daemon per host; on each {!tick} past its period it
+    reconciles every locally stored volume replica against the {e next}
+    peer in round-robin rotation, so that over successive periods every
+    pair is exercised and the whole replica set converges even when some
+    peers are down at any given moment.
+
+    Like the propagation daemon, it is driven explicitly (the simulation
+    owns time): call {!tick} as the clock advances. *)
+
+type t
+
+val create :
+  ?period:int ->
+  clock:Clock.t ->
+  host:string ->
+  connect:Remote.connector ->
+  replicas:(unit -> (Ids.volume_ref * Physical.t) list) ->
+  unit -> t
+(** [period] (default 100 ticks) is the interval between passes;
+    [replicas] lists the volume replicas this host currently stores
+    (re-read each pass, so dynamically added replicas join the
+    rotation). *)
+
+val tick : t -> Reconcile.stats option
+(** Run a pass if the period has elapsed; [None] when not yet due.
+    Unreachable peers count in the stats' [errors] and the rotation
+    simply moves on next period. *)
+
+val force : t -> Reconcile.stats
+(** Run a pass now, regardless of the period. *)
+
+val counters : t -> Counters.t
+(** ["recon.passes"], ["recon.pairs"], ["recon.errors"]. *)
+
+val next_due : t -> int

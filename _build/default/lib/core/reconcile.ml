@@ -1,0 +1,152 @@
+type stats = {
+  dirs_merged : int;
+  files_pulled : int;
+  files_conflicted : int;
+  entries_materialized : int;
+  entries_unmaterialized : int;
+  tombstones_expired : int;
+  name_collisions : int;
+  errors : int;
+}
+
+let empty_stats =
+  {
+    dirs_merged = 0;
+    files_pulled = 0;
+    files_conflicted = 0;
+    entries_materialized = 0;
+    entries_unmaterialized = 0;
+    tombstones_expired = 0;
+    name_collisions = 0;
+    errors = 0;
+  }
+
+let add_stats a b =
+  {
+    dirs_merged = a.dirs_merged + b.dirs_merged;
+    files_pulled = a.files_pulled + b.files_pulled;
+    files_conflicted = a.files_conflicted + b.files_conflicted;
+    entries_materialized = a.entries_materialized + b.entries_materialized;
+    entries_unmaterialized = a.entries_unmaterialized + b.entries_unmaterialized;
+    tombstones_expired = a.tombstones_expired + b.tombstones_expired;
+    name_collisions = a.name_collisions + b.name_collisions;
+    errors = a.errors + b.errors;
+  }
+
+let pp_stats ppf s =
+  Fmt.pf ppf
+    "dirs=%d pulls=%d conflicts=%d +mat=%d -mat=%d gc=%d collisions=%d errors=%d"
+    s.dirs_merged s.files_pulled s.files_conflicted s.entries_materialized
+    s.entries_unmaterialized s.tombstones_expired s.name_collisions s.errors
+
+let ( let* ) = Result.bind
+
+let merge_stats_of_result (result : Fdir.merge_result) =
+  let count f = List.length (List.filter f result.Fdir.actions) in
+  {
+    empty_stats with
+    dirs_merged = 1;
+    entries_materialized =
+      count (function Fdir.Materialize _ -> true | Fdir.Unmaterialize _ | Fdir.Expire _ -> false);
+    entries_unmaterialized =
+      count (function Fdir.Unmaterialize _ -> true | Fdir.Materialize _ | Fdir.Expire _ -> false);
+    tombstones_expired =
+      count (function Fdir.Expire _ -> true | Fdir.Materialize _ | Fdir.Unmaterialize _ -> false);
+    name_collisions = List.length result.Fdir.new_collisions;
+  }
+
+let reconcile_dir ~local ~remote_root ~remote_rid path =
+  let* remote_fdir = Remote.fetch_dir remote_root path in
+  let* result = Physical.merge_dir local path ~remote_rid remote_fdir in
+  Ok (merge_stats_of_result result)
+
+(* Pull one regular file if the remote history is ahead of ours; report a
+   conflict if the histories are concurrent. *)
+let reconcile_file ~local ~remote_root ~remote_rid path =
+  let* local_vi = Physical.get_version local path in
+  match Remote.get_version remote_root path with
+  | Error Errno.ENOENT ->
+    (* The remote directory no longer lists it — a later merge pass will
+       carry the tombstone; nothing to do now. *)
+    Ok empty_stats
+  | Error _ as e -> e
+  | Ok remote_vi ->
+    if not remote_vi.Physical.vi_stored then Ok empty_stats
+    else
+      let local_vv = local_vi.Physical.vi_vv in
+      let remote_vv = remote_vi.Physical.vi_vv in
+      let needs_pull =
+        (not local_vi.Physical.vi_stored)
+        || (match Version_vector.compare_vv remote_vv local_vv with
+            | Version_vector.Dominates | Version_vector.Concurrent -> true
+            | Version_vector.Equal | Version_vector.Dominated -> false)
+      in
+      if not needs_pull then Ok empty_stats
+      else
+        let* vi, data = Remote.fetch_file remote_root path in
+        let* outcome =
+          Physical.install_file local path ~vv:vi.Physical.vi_vv ~uid:vi.Physical.vi_uid
+            ~data ~origin_rid:remote_rid
+        in
+        (match outcome with
+         | Physical.Installed -> Ok { empty_stats with files_pulled = 1 }
+         | Physical.Up_to_date -> Ok empty_stats
+         | Physical.Conflict _ -> Ok { empty_stats with files_conflicted = 1 })
+
+let rec reconcile_subtree ~local ~remote_root ~remote_rid path =
+  let* stats = reconcile_dir ~local ~remote_root ~remote_rid path in
+  (* Walk the merged local view: every child now has an entry locally. *)
+  let* fdir = Physical.fetch_dir local path in
+  let children = Fdir.live fdir in
+  let visit acc (_name, entry) =
+    let child_path = path @ [ entry.Fdir.fid ] in
+    let result =
+      match entry.Fdir.kind with
+      | Aux_attrs.Freg -> reconcile_file ~local ~remote_root ~remote_rid child_path
+      | Aux_attrs.Fdir | Aux_attrs.Fgraft ->
+        reconcile_subtree ~local ~remote_root ~remote_rid child_path
+    in
+    match result with
+    | Ok s -> add_stats acc s
+    | Error _ -> add_stats acc { empty_stats with errors = 1 }
+  in
+  (* A file can be reached twice through multiple names; visit each fid
+     once. *)
+  let seen = Hashtbl.create 16 in
+  let children =
+    List.filter
+      (fun (_, e) ->
+        let key = (e.Fdir.fid.Ids.issuer, e.Fdir.fid.Ids.uniq) in
+        if Hashtbl.mem seen key then false
+        else begin
+          Hashtbl.replace seen key ();
+          true
+        end)
+      children
+  in
+  Ok (List.fold_left visit stats children)
+
+let reconcile_volume ~local ~remote_root ~remote_rid =
+  reconcile_subtree ~local ~remote_root ~remote_rid []
+
+let resolve_file_conflict ~local (entry : Conflict_log.entry) ~keep =
+  match entry.Conflict_log.detail with
+  | Conflict_log.Name_collision _ | Conflict_log.Removed_while_updated _ ->
+    Error Errno.EINVAL
+  | Conflict_log.File_update { local_vv; remote_vv; remote_data; _ } ->
+    let path = entry.Conflict_log.fidpath in
+    let* data =
+      match keep with
+      | `Remote -> Ok remote_data
+      | `Merged data -> Ok data
+      | `Local ->
+        let* _vi, data = Physical.fetch_file local path in
+        Ok data
+    in
+    (* The resolution is a fresh update dominating both histories. *)
+    let vv =
+      Version_vector.bump (Version_vector.merge local_vv remote_vv) (Physical.rid local)
+    in
+    let* () = Physical.force_install local path ~vv ~uid:entry.Conflict_log.owner_uid ~data in
+    Conflict_log.mark_resolved (Physical.conflicts local) entry.Conflict_log.id;
+    Ok ()

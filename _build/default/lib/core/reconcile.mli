@@ -1,0 +1,56 @@
+(** The Ficus file-system reconciliation protocol (paper §3.3).
+
+    "This protocol is executed periodically to traverse an entire
+    subgraph (not just a single node), and reconcile the local replica
+    against a remote replica."  It is the correctness backstop: update
+    notification and propagation are mere optimizations and may all be
+    lost; pairwise reconciliation alone must drive all replicas of a
+    volume to convergence.
+
+    The walk is one-way pull (local adopts remote state, never the
+    reverse); running it in both directions — or around any gossip
+    topology that connects all replicas — converges everyone.  Per
+    directory it calls {!Physical.merge_dir}; per regular file it
+    compares version vectors and either adopts the dominating remote
+    version (shadow commit) or reports a conflict. *)
+
+type stats = {
+  dirs_merged : int;
+  files_pulled : int;
+  files_conflicted : int;
+  entries_materialized : int;
+  entries_unmaterialized : int;
+  tombstones_expired : int;
+  name_collisions : int;
+  errors : int;         (** subtrees skipped because the remote failed *)
+}
+
+val empty_stats : stats
+val add_stats : stats -> stats -> stats
+val pp_stats : Format.formatter -> stats -> unit
+
+val reconcile_dir :
+  local:Physical.t -> remote_root:Vnode.t -> remote_rid:Ids.replica_id ->
+  Physical.fidpath -> (stats, Errno.t) result
+(** Reconcile a single directory (no recursion). *)
+
+val reconcile_subtree :
+  local:Physical.t -> remote_root:Vnode.t -> remote_rid:Ids.replica_id ->
+  Physical.fidpath -> (stats, Errno.t) result
+(** Reconcile the subtree rooted at [fidpath] (the whole volume when
+    [[]]), depth-first.  Individual file or subdirectory failures are
+    counted in [errors] and skipped; the error return is reserved for
+    the root being unreachable. *)
+
+val reconcile_volume :
+  local:Physical.t -> remote_root:Vnode.t -> remote_rid:Ids.replica_id ->
+  (stats, Errno.t) result
+(** [reconcile_subtree] from the volume root. *)
+
+val resolve_file_conflict :
+  local:Physical.t -> Conflict_log.entry -> keep:[ `Local | `Remote | `Merged of string ] ->
+  (unit, Errno.t) result
+(** Owner-driven resolution of a reported file conflict: install the
+    chosen contents under a version vector dominating both histories,
+    clear the conflict flag, mark the log entry resolved, and notify so
+    the resolution propagates like any other update. *)

@@ -1,0 +1,153 @@
+type connector =
+  host:string -> vref:Ids.volume_ref -> rid:Ids.replica_id -> (Vnode.t, Errno.t) result
+
+let ( let* ) = Result.bind
+
+let walk root path =
+  let rec go v = function
+    | [] -> Ok v
+    | fid :: rest ->
+      let* child = v.Vnode.lookup (Ids.fid_to_at_name fid) in
+      go child rest
+  in
+  go root path
+
+(* Control requests must evade the NFS client's name-lookup cache: a
+   repeated lookup of the same encoded name would be answered with the
+   cached (stale) response vnode (the "unexpected behavior" of paper
+   §2.2).  A per-call serial number makes every request name unique. *)
+let ctl_serial = ref 0
+
+let ctl dir ~op ~args =
+  incr ctl_serial;
+  let args = args @ [ Printf.sprintf "n%d" !ctl_serial ] in
+  let* name = Ctl_name.encode ~op ~args in
+  let* response_vnode = dir.Vnode.lookup name in
+  Vnode.read_all response_vnode
+
+(* A control op addressed to [path]: issued on the parent directory with
+   the final component as "@hex" argument, or on the root with ".". *)
+let ctl_at root path ~op =
+  match List.rev path with
+  | [] -> ctl root ~op ~args:[ "." ]
+  | fid :: rev_parent ->
+    let* parent = walk root (List.rev rev_parent) in
+    ctl parent ~op ~args:[ Ids.fid_to_at_name fid ]
+
+let parse_fields s =
+  String.split_on_char '\n' s
+  |> List.filter_map (fun line ->
+         match String.index_opt line '=' with
+         | None -> None
+         | Some i ->
+           Some (String.sub line 0 i, String.sub line (i + 1) (String.length line - i - 1)))
+
+let parse_kind = function
+  | "reg" -> Some Aux_attrs.Freg
+  | "dir" -> Some Aux_attrs.Fdir
+  | "graft" -> Some Aux_attrs.Fgraft
+  | _ -> None
+
+let parse_version_info s =
+  let fields = parse_fields s in
+  let find k = List.assoc_opt k fields in
+  match find "kind", find "vv", find "size", find "uid", find "stored" with
+  | Some kind, Some vv, Some size, Some uid, Some stored ->
+    (match
+       parse_kind kind, Version_vector.decode vv, int_of_string_opt size,
+       int_of_string_opt uid
+     with
+     | Some vi_kind, Some vv, Some size, Some uid ->
+       Ok
+         {
+           Physical.vi_kind;
+           vi_vv = vv;
+           vi_size = size;
+           vi_uid = uid;
+           vi_stored = stored = "1";
+         }
+     | _, _, _, _ -> Error Errno.EIO)
+  | _, _, _, _, _ -> Error Errno.EIO
+
+let get_version root path =
+  let* response = ctl_at root path ~op:"getvv" in
+  parse_version_info response
+
+let fetch_file root path =
+  let* response = ctl_at root path ~op:"readfile" in
+  (* Header lines, then a "--" separator line, then the raw contents. *)
+  let sep = "\n--\n" in
+  let rec find_sep i =
+    if i + String.length sep > String.length response then None
+    else if String.sub response i (String.length sep) = sep then Some i
+    else find_sep (i + 1)
+  in
+  match find_sep 0 with
+  | None -> Error Errno.EIO
+  | Some i ->
+    let header = String.sub response 0 i in
+    let data_start = i + String.length sep in
+    let data = String.sub response data_start (String.length response - data_start) in
+    let* vi = parse_version_info (header ^ "\n") in
+    Ok (vi, data)
+
+let fetch_dir root path =
+  let* response = ctl_at root path ~op:"getdir" in
+  match Fdir.decode response with None -> Error Errno.EIO | Some d -> Ok d
+
+let resolve dir name =
+  let* response = ctl dir ~op:"resolve" ~args:[ name ] in
+  let fields = parse_fields response in
+  match List.assoc_opt "fid" fields, List.assoc_opt "kind" fields with
+  | Some fid, Some kind ->
+    (match Ids.fid_of_hex fid, kind with
+     | Some fid, "reg" -> Ok (fid, Aux_attrs.Freg)
+     | Some fid, "dir" -> Ok (fid, Aux_attrs.Fdir)
+     | Some fid, "graft" -> Ok (fid, Aux_attrs.Fgraft)
+     | _, _ -> Error Errno.EIO)
+  | _, _ -> Error Errno.EIO
+
+let peers root =
+  let* response = ctl root ~op:"peers" ~args:[] in
+  match String.trim response with
+  | "" -> Ok []
+  | body ->
+    let parse part =
+      match String.index_opt part '@' with
+      | None -> None
+      | Some i ->
+        (match int_of_string_opt (String.sub part 0 i) with
+         | None -> None
+         | Some r -> Some (r, String.sub part (i + 1) (String.length part - i - 1)))
+    in
+    let parts = String.split_on_char ',' body |> List.map parse in
+    if List.exists Option.is_none parts then Error Errno.EIO
+    else Ok (List.filter_map Fun.id parts)
+
+let meta root =
+  let* response = ctl root ~op:"meta" ~args:[] in
+  let fields = parse_fields response in
+  match List.assoc_opt "vref" fields, List.assoc_opt "rid" fields with
+  | Some vref, Some rid ->
+    (match String.split_on_char '.' vref, int_of_string_opt rid with
+     | [ a; v ], Some rid ->
+       (match int_of_string_opt a, int_of_string_opt v with
+        | Some alloc, Some vol -> Ok ({ Ids.alloc; vol }, rid)
+        | _, _ -> Error Errno.EIO)
+     | _, _ -> Error Errno.EIO)
+  | _, _ -> Error Errno.EIO
+
+let flag_to_string = function
+  | Vnode.Read_only -> "ro"
+  | Vnode.Write_only -> "wo"
+  | Vnode.Read_write -> "rw"
+
+let send_open dir fid flag =
+  let who = match fid with None -> "." | Some fid -> Ids.fid_to_at_name fid in
+  let* _resp = ctl dir ~op:"open" ~args:[ who; flag_to_string flag ] in
+  Ok ()
+
+let send_close dir fid =
+  let who = match fid with None -> "." | Some fid -> Ids.fid_to_at_name fid in
+  let* _resp = ctl dir ~op:"close" ~args:[ who ] in
+  Ok ()

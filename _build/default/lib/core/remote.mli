@@ -1,0 +1,38 @@
+(** Client-side helpers for talking to a (possibly remote) physical layer
+    {e exclusively through the vnode interface}.
+
+    The logical layer, the propagation daemon and the reconciliation
+    protocol never get a [Physical.t] for a remote replica — they hold
+    only a root vnode, which may be the physical layer directly
+    (co-resident) or an NFS client mount of it (paper Figure 2).  All the
+    services the vnode interface lacks travel as {!Ctl_name}-encoded
+    [lookup] names; this module does the encoding and response parsing. *)
+
+type connector =
+  host:string -> vref:Ids.volume_ref -> rid:Ids.replica_id -> (Vnode.t, Errno.t) result
+(** How a host obtains the root vnode of some volume replica.  The
+    simulation supplies one that returns the local physical root
+    co-resident replicas and an NFS mount otherwise. *)
+
+val walk : Vnode.t -> Physical.fidpath -> (Vnode.t, Errno.t) result
+(** Resolve a fid path from a physical root by repeated ["@hex"]
+    handle-lookups. *)
+
+val get_version : Vnode.t -> Physical.fidpath -> (Physical.version_info, Errno.t) result
+val fetch_file :
+  Vnode.t -> Physical.fidpath -> (Physical.version_info * string, Errno.t) result
+val fetch_dir : Vnode.t -> Physical.fidpath -> (Fdir.t, Errno.t) result
+
+val resolve :
+  Vnode.t -> string -> (Ids.file_id * Aux_attrs.fkind, Errno.t) result
+(** Name-to-handle translation in a directory vnode: the mapping the
+    logical layer performs for every pathname component (paper §2.5). *)
+
+val peers : Vnode.t -> ((Ids.replica_id * string) list, Errno.t) result
+val meta : Vnode.t -> (Ids.volume_ref * Ids.replica_id, Errno.t) result
+
+val send_open : Vnode.t -> Ids.file_id option -> Vnode.open_flag -> (unit, Errno.t) result
+(** Deliver an open to the physical layer through the encoded-lookup
+    channel, surviving NFS's open/close suppression (paper §2.3). *)
+
+val send_close : Vnode.t -> Ids.file_id option -> (unit, Errno.t) result

@@ -1,0 +1,19 @@
+let shadow_name fid = Ids.fid_to_hex fid ^ ".shadow"
+
+let ( let* ) = Result.bind
+
+let install ~dir fid ~data =
+  let shadow = shadow_name fid in
+  let target = Ids.fid_to_hex fid in
+  let* shadow_vnode =
+    match dir.Vnode.lookup shadow with
+    | Ok v -> Ok v (* leftover from an interrupted install: reuse *)
+    | Error Errno.ENOENT -> dir.Vnode.create shadow
+    | Error _ as e -> e
+  in
+  let* () = Vnode.write_all shadow_vnode data in
+  (* Commit point: one low-level directory-reference change. *)
+  dir.Vnode.rename shadow dir target
+
+let recover ~dir fid =
+  match dir.Vnode.remove (shadow_name fid) with Ok () | Error _ -> ()

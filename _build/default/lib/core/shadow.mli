@@ -1,0 +1,22 @@
+(** Single-file atomic commit via shadow files (paper §3.2).
+
+    Update propagation replaces a replica's contents wholesale.  To keep
+    the old version available if the propagation is interrupted, the new
+    contents are written to a {e shadow} file and then substituted for
+    the original "by changing a low-level directory reference" — here the
+    UFS [rename], the commit point.  A crash before the rename leaves the
+    original untouched; recovery just discards the shadow.
+
+    The paper's footnote 5 notes the cost: updating a few bytes of a
+    large file still rewrites the whole file (experiment E8). *)
+
+val shadow_name : Ids.file_id -> string
+(** [<hex>.shadow]. *)
+
+val install : dir:Vnode.t -> Ids.file_id -> data:string -> (unit, Errno.t) result
+(** Atomically replace (or create) the data file [<hex>] in [dir] with
+    [data].  On failure the original contents are still intact; a partial
+    shadow may remain and is removed by {!recover}. *)
+
+val recover : dir:Vnode.t -> Ids.file_id -> unit
+(** Discard a leftover shadow, if any (crash recovery). *)

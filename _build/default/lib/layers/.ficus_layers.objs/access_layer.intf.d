@@ -1,0 +1,1 @@
+lib/layers/access_layer.mli: Vnode

@@ -1,0 +1,1 @@
+lib/layers/crypt_layer.mli: Vnode

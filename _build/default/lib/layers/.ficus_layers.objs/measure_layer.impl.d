@@ -1,0 +1,1 @@
+lib/layers/measure_layer.ml: Clock Counters List Result String Vnode

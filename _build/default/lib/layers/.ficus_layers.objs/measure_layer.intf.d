@@ -1,0 +1,1 @@
+lib/layers/measure_layer.mli: Clock Counters Vnode

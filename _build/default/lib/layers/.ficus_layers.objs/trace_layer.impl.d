@@ -1,0 +1,1 @@
+lib/layers/trace_layer.ml: Buffer Char Ctl_name Errno Fmt Fun Hashtbl List Option Printf Result String Vnode

@@ -1,0 +1,62 @@
+let ( let* ) = Result.bind
+
+type perm = Pread | Pwrite | Pexec
+
+(* Owner bits if the credential owns the object, otherwise the
+   world bits (the simulation has no groups). *)
+let permitted ~uid (attrs : Vnode.attrs) perm =
+  uid = 0
+  ||
+  let shift = if attrs.Vnode.uid = uid then 6 else 0 in
+  let bit = match perm with Pread -> 4 | Pwrite -> 2 | Pexec -> 1 in
+  attrs.Vnode.mode lsr shift land bit <> 0
+
+let wrap ~uid lower =
+  let rec make (lower : Vnode.t) : Vnode.t =
+    let wrap_child = Result.map make in
+    let check perm k =
+      let* attrs = lower.Vnode.getattr () in
+      if permitted ~uid attrs perm then k () else Error Errno.EACCES
+    in
+    {
+      lower with
+      Vnode.lookup =
+        (fun name -> check Pexec (fun () -> wrap_child (lower.Vnode.lookup name)));
+      create =
+        (fun name ->
+          check Pwrite (fun () ->
+              let* child = lower.Vnode.create name in
+              (* New objects belong to their creator, as in Unix. *)
+              let* () =
+                child.Vnode.setattr { Vnode.setattr_none with Vnode.set_uid = Some uid }
+              in
+              Ok (make child)));
+      mkdir =
+        (fun name ->
+          check Pwrite (fun () ->
+              let* child = lower.Vnode.mkdir name in
+              let* () =
+                child.Vnode.setattr { Vnode.setattr_none with Vnode.set_uid = Some uid }
+              in
+              Ok (make child)));
+      remove = (fun name -> check Pwrite (fun () -> lower.Vnode.remove name));
+      rmdir = (fun name -> check Pwrite (fun () -> lower.Vnode.rmdir name));
+      rename =
+        (fun src dst dname -> check Pwrite (fun () -> lower.Vnode.rename src dst dname));
+      link = (fun target name -> check Pwrite (fun () -> lower.Vnode.link target name));
+      readdir = (fun () -> check Pread (fun () -> lower.Vnode.readdir ()));
+      read = (fun ~off ~len -> check Pread (fun () -> lower.Vnode.read ~off ~len));
+      write = (fun ~off data -> check Pwrite (fun () -> lower.Vnode.write ~off data));
+      setattr =
+        (fun sa ->
+          (* chmod/chown of your own file is allowed even without the
+             write bit, like Unix. *)
+          let* attrs = lower.Vnode.getattr () in
+          let chmod_only =
+            sa.Vnode.set_size = None && (attrs.Vnode.uid = uid || uid = 0)
+          in
+          if chmod_only || permitted ~uid attrs Pwrite then lower.Vnode.setattr sa
+          else Error Errno.EACCES);
+    }
+  in
+  make lower

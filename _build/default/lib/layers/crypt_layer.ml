@@ -1,0 +1,23 @@
+(* Repeating-key XOR, keyed by absolute file position so that a read or
+   write at any offset transforms independently of any other. *)
+let transform ~key ~off data =
+  let klen = String.length key in
+  String.init (String.length data) (fun i ->
+      Char.chr (Char.code data.[i] lxor Char.code key.[(off + i) mod klen]))
+
+let wrap ~key lower =
+  if key = "" then invalid_arg "Crypt_layer.wrap: empty key";
+  let rec make (lower : Vnode.t) : Vnode.t =
+    let wrap_child = Result.map make in
+    {
+      lower with
+      Vnode.lookup = (fun name -> wrap_child (lower.Vnode.lookup name));
+      create = (fun name -> wrap_child (lower.Vnode.create name));
+      mkdir = (fun name -> wrap_child (lower.Vnode.mkdir name));
+      read =
+        (fun ~off ~len ->
+          Result.map (fun data -> transform ~key ~off data) (lower.Vnode.read ~off ~len));
+      write = (fun ~off data -> lower.Vnode.write ~off (transform ~key ~off data));
+    }
+  in
+  make lower

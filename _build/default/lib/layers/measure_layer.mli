@@ -1,0 +1,22 @@
+(** Performance-monitoring layer.
+
+    The paper (§1) forecasts that the stackable architecture will be
+    used "for performance monitoring, user authentication and
+    encryption".  This is the first of those three: a transparent layer
+    that counts every operation crossing it, its failures, and the
+    simulated time it consumed — without the layers above or below
+    changing in any way.
+
+    Counter names are [measure.<op>.calls], [measure.<op>.errors] and
+    [measure.<op>.ticks] (simulated-clock time observed below this
+    layer, when a clock is supplied). *)
+
+val wrap : ?clock:Clock.t -> counters:Counters.t -> Vnode.t -> Vnode.t
+
+val ops_total : Counters.t -> int
+(** Sum of all [measure.*.calls]. *)
+
+val errors_total : Counters.t -> int
+
+val report : Counters.t -> (string * int * int) list
+(** [(op, calls, errors)] rows, sorted by op name — a ready-made table. *)

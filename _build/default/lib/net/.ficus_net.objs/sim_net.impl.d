@@ -1,0 +1,1 @@
+lib/net/sim_net.ml: Array Clock Counters Errno Fun Hashtbl List Random

@@ -1,0 +1,1 @@
+lib/net/sim_net.mli: Clock Counters Errno

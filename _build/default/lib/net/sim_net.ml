@@ -1,0 +1,126 @@
+type host_id = int
+
+type payload = ..
+
+type host = {
+  name : string;
+  mutable group : int;
+  mutable datagram_handlers : (src:host_id -> payload -> unit) list;
+  mutable rpc_handlers : (src:host_id -> payload -> payload option) list;
+}
+
+type t = {
+  clock : Clock.t;
+  rng : Random.State.t;
+  datagram_loss : float;
+  mutable host_table : host array;
+  mutable queue : (host_id * host_id * payload) list;  (* reversed send order *)
+  counters : Counters.t;
+}
+
+let create ?(seed = 42) ?(datagram_loss = 0.0) clock =
+  if datagram_loss < 0.0 || datagram_loss > 1.0 then invalid_arg "Sim_net.create";
+  {
+    clock;
+    rng = Random.State.make [| seed |];
+    datagram_loss;
+    host_table = [||];
+    queue = [];
+    counters = Counters.create ();
+  }
+
+let clock t = t.clock
+let counters t = t.counters
+
+let add_host t name =
+  let id = Array.length t.host_table in
+  let h = { name; group = 0; datagram_handlers = []; rpc_handlers = [] } in
+  t.host_table <- Array.append t.host_table [| h |];
+  id
+
+let host t id =
+  if id < 0 || id >= Array.length t.host_table then invalid_arg "Sim_net: bad host id";
+  t.host_table.(id)
+
+let host_name t id = (host t id).name
+
+let hosts t = List.init (Array.length t.host_table) Fun.id
+
+let set_partition t groups =
+  let mentioned = Hashtbl.create 16 in
+  List.iteri
+    (fun gi members ->
+      List.iter
+        (fun id ->
+          (host t id).group <- gi;
+          Hashtbl.replace mentioned id ())
+        members)
+    groups;
+  (* Unmentioned hosts become isolated in fresh singleton groups. *)
+  let next = ref (List.length groups) in
+  Array.iteri
+    (fun id h ->
+      if not (Hashtbl.mem mentioned id) then begin
+        h.group <- !next;
+        incr next
+      end)
+    t.host_table
+
+let heal t = Array.iter (fun h -> h.group <- 0) t.host_table
+
+let isolate t id =
+  let lowest_free =
+    Array.fold_left (fun acc h -> max acc (h.group + 1)) 1 t.host_table
+  in
+  (host t id).group <- lowest_free
+
+let reachable t a b = a = b || (host t a).group = (host t b).group
+
+let send t ~src ~dst p =
+  Counters.incr t.counters "net.datagrams.sent";
+  t.queue <- (src, dst, p) :: t.queue
+
+let broadcast t ~src ~dst p = List.iter (fun d -> send t ~src ~dst:d p) dst
+
+let register_handler t id f =
+  let h = host t id in
+  h.datagram_handlers <- h.datagram_handlers @ [ f ]
+
+let pending t = List.length t.queue
+
+let pump t =
+  let batch = List.rev t.queue in
+  t.queue <- [];
+  let delivered = ref 0 in
+  let deliver (src, dst, p) =
+    let lost = t.datagram_loss > 0.0 && Random.State.float t.rng 1.0 < t.datagram_loss in
+    if lost || not (reachable t src dst) then
+      Counters.incr t.counters "net.datagrams.dropped"
+    else begin
+      Counters.incr t.counters "net.datagrams.delivered";
+      incr delivered;
+      List.iter (fun f -> f ~src p) (host t dst).datagram_handlers
+    end
+  in
+  List.iter deliver batch;
+  !delivered
+
+let register_rpc t id f =
+  let h = host t id in
+  h.rpc_handlers <- h.rpc_handlers @ [ f ]
+
+let call t ~src ~dst p =
+  Counters.incr t.counters "net.rpc.calls";
+  if not (reachable t src dst) then begin
+    Counters.incr t.counters "net.rpc.failed";
+    Error Errno.EUNREACHABLE
+  end
+  else
+    let rec try_handlers = function
+      | [] ->
+        Counters.incr t.counters "net.rpc.failed";
+        Error Errno.ENOTSUP
+      | f :: rest ->
+        (match f ~src p with Some resp -> Ok resp | None -> try_handlers rest)
+    in
+    try_handlers (host t dst).rpc_handlers

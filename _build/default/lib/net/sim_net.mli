@@ -1,0 +1,85 @@
+(** Simulated wide-area network.
+
+    The environment the paper targets is one of "continual partial
+    operation": hosts, links and gateways fail independently and
+    partitions are the norm, not the exception (§1).  This module gives a
+    simulation direct control over exactly that — which hosts can talk —
+    plus two communication primitives:
+
+    - {b datagrams}: unreliable, asynchronous, queued until {!pump}; used
+      for Ficus update notifications ("asynchronous multicast datagram",
+      §2.5).  Dropped silently across partitions or by the configured
+      loss rate.
+    - {b RPC}: synchronous request/response; used by the simulated NFS.
+      Fails with [EUNREACHABLE] across a partition — the caller sees the
+      same thing as an RPC timeout.
+
+    Payloads are an extensible variant: each protocol (NFS, Ficus
+    notifications…) declares its own constructors and hosts may register
+    several handlers; a handler ignores payloads it does not recognize. *)
+
+type host_id = int
+
+type payload = ..
+
+type t
+
+val create : ?seed:int -> ?datagram_loss:float -> Clock.t -> t
+(** [datagram_loss] (default 0.0) is the probability, from a seeded PRNG,
+    that any given datagram is silently dropped even without a
+    partition. *)
+
+val clock : t -> Clock.t
+val counters : t -> Counters.t
+(** ["net.datagrams.sent"], ["net.datagrams.delivered"],
+    ["net.datagrams.dropped"], ["net.rpc.calls"], ["net.rpc.failed"]. *)
+
+val add_host : t -> string -> host_id
+val host_name : t -> host_id -> string
+val hosts : t -> host_id list
+
+(** {1 Partitions} *)
+
+val set_partition : t -> host_id list list -> unit
+(** Divide the network into the given groups; hosts in different groups
+    cannot exchange any traffic.  Hosts not mentioned keep their current
+    group only if it still exists, otherwise each becomes isolated.
+    Simplest usage: list every host exactly once. *)
+
+val heal : t -> unit
+(** Put every host back into one group. *)
+
+val isolate : t -> host_id -> unit
+(** Cut one host off from everyone else. *)
+
+val reachable : t -> host_id -> host_id -> bool
+(** Hosts can always reach themselves. *)
+
+(** {1 Datagrams} *)
+
+val send : t -> src:host_id -> dst:host_id -> payload -> unit
+(** Queue a datagram.  Reachability is checked at {e delivery} time, so a
+    partition that forms after [send] still loses the message. *)
+
+val broadcast : t -> src:host_id -> dst:host_id list -> payload -> unit
+(** The multicast notification primitive: one {!send} per destination. *)
+
+val register_handler : t -> host_id -> (src:host_id -> payload -> unit) -> unit
+(** Datagram receivers; every handler on the destination host sees every
+    delivered datagram and ignores payloads it does not recognize. *)
+
+val pump : t -> int
+(** Deliver every queued datagram (dropping unreachable/lost ones);
+    returns the number delivered.  Handlers may queue more datagrams;
+    those wait for the next pump. *)
+
+val pending : t -> int
+
+(** {1 RPC} *)
+
+val register_rpc : t -> host_id -> (src:host_id -> payload -> payload option) -> unit
+(** RPC servers; the first handler returning [Some response] wins. *)
+
+val call : t -> src:host_id -> dst:host_id -> payload -> (payload, Errno.t) result
+(** Synchronous call; [EUNREACHABLE] across a partition, [ENOTSUP] if no
+    handler on the destination recognizes the request. *)

@@ -1,0 +1,1 @@
+lib/nfs/nfs_client.ml: Clock Counters Errno Hashtbl List Nfs_proto Result Sim_net Vnode

@@ -1,0 +1,1 @@
+lib/nfs/nfs_client.mli: Counters Errno Sim_net Vnode

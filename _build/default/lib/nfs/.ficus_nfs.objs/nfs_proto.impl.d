@@ -1,0 +1,1 @@
+lib/nfs/nfs_proto.ml: Errno Fmt Sim_net String Vnode

@@ -1,0 +1,1 @@
+lib/nfs/nfs_proto.mli: Errno Format Sim_net Vnode

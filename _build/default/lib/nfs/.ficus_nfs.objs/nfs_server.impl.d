@@ -1,0 +1,1 @@
+lib/nfs/nfs_server.ml: Errno Hashtbl Nfs_proto Printf Result Sim_net String Vnode

@@ -1,0 +1,1 @@
+lib/nfs/nfs_server.mli: Nfs_proto Sim_net Vnode

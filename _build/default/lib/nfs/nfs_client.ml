@@ -1,0 +1,237 @@
+open Nfs_proto
+
+type m = {
+  net : Sim_net.t;
+  client : Sim_net.host_id;
+  server : Sim_net.host_id;
+  export : string;
+  attr_ttl : int;
+  name_ttl : int;
+  data_ttl : int;
+  attr_cache : (fh, Vnode.attrs * int) Hashtbl.t;          (* fh -> attrs, expiry *)
+  name_cache : (fh * string, fh * int) Hashtbl.t;          (* dir fh, name -> fh, expiry *)
+  data_cache : (fh * int * int, string * int) Hashtbl.t;   (* fh, off, len -> data, expiry *)
+  counters : Counters.t;
+  mutable root_fh : fh;
+}
+
+type Vnode.vdata += Nfs_vnode of m * fh
+
+let now m = Clock.now (Sim_net.clock m.net)
+
+let rpc m req =
+  Counters.incr m.counters "nfs.client.calls";
+  match Sim_net.call m.net ~src:m.client ~dst:m.server (Nfs_request req) with
+  | Error _ as e -> e
+  | Ok (Nfs_response resp) -> Ok resp
+  | Ok _ -> Error Errno.EINVAL
+
+let ( let* ) = Result.bind
+
+let expect_ok m req =
+  let* resp = rpc m req in
+  match resp with R_ok -> Ok () | R_error e -> Error e | _ -> Error Errno.EINVAL
+
+(* Drop any cached state about [fh]; on ESTALE or update. *)
+let forget_attrs m fh = Hashtbl.remove m.attr_cache fh
+
+let forget_data m fh =
+  let stale =
+    Hashtbl.fold
+      (fun ((fh', _, _) as key) _ acc -> if fh' = fh then key :: acc else acc)
+      m.data_cache []
+  in
+  List.iter (Hashtbl.remove m.data_cache) stale
+
+let cache_data m fh ~off ~len data =
+  if m.data_ttl > 0 then
+    Hashtbl.replace m.data_cache (fh, off, len) (data, now m + m.data_ttl)
+
+let cached_data m fh ~off ~len =
+  match Hashtbl.find_opt m.data_cache (fh, off, len) with
+  | Some (data, expiry) when now m < expiry ->
+    Counters.incr m.counters "nfs.client.data_hits";
+    Some data
+  | Some _ ->
+    Hashtbl.remove m.data_cache (fh, off, len);
+    None
+  | None -> None
+
+let cache_attrs m fh attrs =
+  if m.attr_ttl > 0 then Hashtbl.replace m.attr_cache fh (attrs, now m + m.attr_ttl)
+
+let cache_name m dir name fh =
+  if m.name_ttl > 0 then Hashtbl.replace m.name_cache (dir, name) (fh, now m + m.name_ttl)
+
+let cached_attrs m fh =
+  match Hashtbl.find_opt m.attr_cache fh with
+  | Some (attrs, expiry) when now m < expiry ->
+    Counters.incr m.counters "nfs.client.attr_hits";
+    Some attrs
+  | Some _ ->
+    Hashtbl.remove m.attr_cache fh;
+    None
+  | None -> None
+
+let cached_name m dir name =
+  match Hashtbl.find_opt m.name_cache (dir, name) with
+  | Some (fh, expiry) when now m < expiry ->
+    Counters.incr m.counters "nfs.client.name_hits";
+    Some fh
+  | Some _ ->
+    Hashtbl.remove m.name_cache (dir, name);
+    None
+  | None -> None
+
+let rec make m fh : Vnode.t =
+  let sibling (v : Vnode.t) =
+    match v.Vnode.data with
+    | Nfs_vnode (m', fh') when m' == m -> Ok fh'
+    | _ -> Error Errno.EXDEV
+  in
+  let node_result = function
+    | R_node (child_fh, attrs) ->
+      cache_attrs m child_fh attrs;
+      Ok (child_fh, attrs)
+    | R_error e -> Error e
+    | _ -> Error Errno.EINVAL
+  in
+  {
+    (Vnode.not_supported (Nfs_vnode (m, fh))) with
+    getattr =
+      (fun () ->
+        match cached_attrs m fh with
+        | Some attrs -> Ok attrs
+        | None ->
+          let* resp = rpc m (Getattr fh) in
+          (match resp with
+           | R_attrs attrs ->
+             cache_attrs m fh attrs;
+             Ok attrs
+           | R_error e ->
+             forget_attrs m fh;
+             Error e
+           | _ -> Error Errno.EINVAL));
+    setattr =
+      (fun sa ->
+        forget_attrs m fh;
+        expect_ok m (Setattr (fh, sa)));
+    lookup =
+      (fun name ->
+        match cached_name m fh name with
+        | Some child_fh -> Ok (make m child_fh)
+        | None ->
+          let* resp = rpc m (Lookup (fh, name)) in
+          let* child_fh, _attrs = node_result resp in
+          cache_name m fh name child_fh;
+          Ok (make m child_fh));
+    create =
+      (fun name ->
+        forget_attrs m fh;
+        let* resp = rpc m (Create (fh, name)) in
+        let* child_fh, _ = node_result resp in
+        cache_name m fh name child_fh;
+        Ok (make m child_fh));
+    mkdir =
+      (fun name ->
+        forget_attrs m fh;
+        let* resp = rpc m (Mkdir (fh, name)) in
+        let* child_fh, _ = node_result resp in
+        cache_name m fh name child_fh;
+        Ok (make m child_fh));
+    remove =
+      (fun name ->
+        forget_attrs m fh;
+        Hashtbl.remove m.name_cache (fh, name);
+        expect_ok m (Remove (fh, name)));
+    rmdir =
+      (fun name ->
+        forget_attrs m fh;
+        Hashtbl.remove m.name_cache (fh, name);
+        expect_ok m (Rmdir (fh, name)));
+    rename =
+      (fun sname dst_dir dname ->
+        let* dfh = sibling dst_dir in
+        Hashtbl.remove m.name_cache (fh, sname);
+        Hashtbl.remove m.name_cache (dfh, dname);
+        forget_attrs m fh;
+        forget_attrs m dfh;
+        expect_ok m (Rename (fh, sname, dfh, dname)));
+    link =
+      (fun target name ->
+        let* tfh = sibling target in
+        forget_attrs m fh;
+        forget_attrs m tfh;
+        expect_ok m (Link (fh, tfh, name)));
+    readdir =
+      (fun () ->
+        let* resp = rpc m (Readdir fh) in
+        match resp with
+        | R_dirents entries -> Ok entries
+        | R_error e -> Error e
+        | _ -> Error Errno.EINVAL);
+    read =
+      (fun ~off ~len ->
+        match cached_data m fh ~off ~len with
+        | Some data -> Ok data
+        | None ->
+          let* resp = rpc m (Read (fh, off, len)) in
+          (match resp with
+           | R_data data ->
+             cache_data m fh ~off ~len data;
+             Ok data
+           | R_error e -> Error e
+           | _ -> Error Errno.EINVAL));
+    write =
+      (fun ~off data ->
+        forget_attrs m fh;
+        forget_data m fh;
+        expect_ok m (Write (fh, off, data)));
+    (* The stateless protocol has no open or close: both succeed locally
+       and nothing reaches the server (paper §2.2). *)
+    openv =
+      (fun _ ->
+        Counters.incr m.counters "nfs.client.openclose_dropped";
+        Ok ());
+    closev =
+      (fun () ->
+        Counters.incr m.counters "nfs.client.openclose_dropped";
+        Ok ());
+    fsync = (fun () -> Ok ());
+    inactive = (fun () -> Ok ());
+  }
+
+let mount ?(attr_ttl = 30) ?(name_ttl = 30) ?(data_ttl = 0) net ~client ~server ~export =
+  let m =
+    {
+      net;
+      client;
+      server;
+      export;
+      attr_ttl;
+      name_ttl;
+      data_ttl;
+      attr_cache = Hashtbl.create 64;
+      name_cache = Hashtbl.create 64;
+      data_cache = Hashtbl.create 64;
+      counters = Counters.create ();
+      root_fh = "";
+    }
+  in
+  let* resp = rpc m (Root export) in
+  match resp with
+  | R_node (fh, attrs) ->
+    m.root_fh <- fh;
+    cache_attrs m fh attrs;
+    Ok m
+  | R_error e -> Error e
+  | _ -> Error Errno.EINVAL
+
+let root m = make m m.root_fh
+
+let flush_caches m =
+  Hashtbl.reset m.attr_cache;
+  Hashtbl.reset m.name_cache;
+  Hashtbl.reset m.data_cache
+
+let counters m = m.counters

@@ -1,0 +1,43 @@
+(** NFS client vnode layer.
+
+    Exposes a remote export as a local vnode stack — this is how a Ficus
+    logical layer talks to a physical layer on another host without
+    either knowing the other is remote (paper §2.2: "any layer that uses
+    a vnode interface can be unaware whether the immediately adjacent
+    functional layers are local, or perhaps remote").
+
+    Faithfully non-faithful, like the real thing:
+    - [openv]/[closev] succeed locally and are {b never forwarded}
+      (stateless protocol) — the reason for the {!Ctl_name} encoding;
+    - attribute and name-lookup caches serve possibly-stale answers
+      until a TTL expires, and there is no way for an upper layer to
+      disable them ("not fully controllable", §2.2).  Set both TTLs to
+      zero to model a cache-disabled mount. *)
+
+type m
+(** A client mount. *)
+
+val mount :
+  ?attr_ttl:int ->
+  ?name_ttl:int ->
+  ?data_ttl:int ->
+  Sim_net.t ->
+  client:Sim_net.host_id ->
+  server:Sim_net.host_id ->
+  export:string ->
+  (m, Errno.t) result
+(** TTLs are in simulated clock ticks (attribute and name caches default
+    to 30, matching SunOS's 3-second attribute cache at 10 ticks/s;
+    the file-block cache [data_ttl] defaults to 0 = disabled, so
+    replication experiments see every read — enable it to study the
+    §2.2 staleness).  Fails with [EUNREACHABLE] if the server cannot be
+    reached, [ENOENT] for an unknown export. *)
+
+val root : m -> Vnode.t
+
+val flush_caches : m -> unit
+(** Drop the attribute and name caches (client reboot / explicit purge). *)
+
+val counters : m -> Counters.t
+(** ["nfs.client.calls"], ["nfs.client.attr_hits"],
+    ["nfs.client.name_hits"], ["nfs.client.openclose_dropped"]. *)

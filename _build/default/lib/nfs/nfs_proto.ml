@@ -1,0 +1,43 @@
+type fh = string
+
+type request =
+  | Root of string
+  | Getattr of fh
+  | Setattr of fh * Vnode.setattr
+  | Lookup of fh * string
+  | Create of fh * string
+  | Mkdir of fh * string
+  | Remove of fh * string
+  | Rmdir of fh * string
+  | Rename of fh * string * fh * string
+  | Link of fh * fh * string
+  | Readdir of fh
+  | Read of fh * int * int
+  | Write of fh * int * string
+
+type response =
+  | R_ok
+  | R_attrs of Vnode.attrs
+  | R_node of fh * Vnode.attrs
+  | R_dirents of Vnode.dirent list
+  | R_data of string
+  | R_error of Errno.t
+
+type Sim_net.payload +=
+  | Nfs_request of request
+  | Nfs_response of response
+
+let pp_request ppf = function
+  | Root e -> Fmt.pf ppf "ROOT %s" e
+  | Getattr fh -> Fmt.pf ppf "GETATTR %s" fh
+  | Setattr (fh, _) -> Fmt.pf ppf "SETATTR %s" fh
+  | Lookup (fh, n) -> Fmt.pf ppf "LOOKUP %s %s" fh n
+  | Create (fh, n) -> Fmt.pf ppf "CREATE %s %s" fh n
+  | Mkdir (fh, n) -> Fmt.pf ppf "MKDIR %s %s" fh n
+  | Remove (fh, n) -> Fmt.pf ppf "REMOVE %s %s" fh n
+  | Rmdir (fh, n) -> Fmt.pf ppf "RMDIR %s %s" fh n
+  | Rename (s, sn, d, dn) -> Fmt.pf ppf "RENAME %s/%s -> %s/%s" s sn d dn
+  | Link (d, t, n) -> Fmt.pf ppf "LINK %s <- %s as %s" t d n
+  | Readdir fh -> Fmt.pf ppf "READDIR %s" fh
+  | Read (fh, off, len) -> Fmt.pf ppf "READ %s off=%d len=%d" fh off len
+  | Write (fh, off, data) -> Fmt.pf ppf "WRITE %s off=%d len=%d" fh off (String.length data)

@@ -1,0 +1,1 @@
+lib/sim/cluster.mli: Clock Disk Errno Ids Logical Nfs_server Physical Propagation Recon_daemon Reconcile Remote Sim_net Ufs Vnode

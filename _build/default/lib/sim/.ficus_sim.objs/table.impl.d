@@ -1,0 +1,1 @@
+lib/sim/table.ml: Format List Option Printf String

@@ -1,0 +1,1 @@
+lib/sim/workload.ml: Array Char Namei Printf Random Result String Vnode

@@ -1,0 +1,421 @@
+type host = {
+  h_index : int;
+  h_id : Sim_net.host_id;
+  h_name : string;
+  h_disk : Disk.t;
+  h_ufs : Ufs.t;
+  h_server : Nfs_server.t;
+  h_logical : Logical.t;
+  h_prop : Propagation.t;
+  h_recon : Recon_daemon.t;
+  mutable h_replicas : (Ids.volume_ref * Physical.t) list;
+  h_mounts : (string * string, Nfs_client.m) Hashtbl.t;  (* server name, export *)
+}
+
+type t = {
+  clock : Clock.t;
+  net : Sim_net.t;
+  hosts : host array;
+  name_to_id : (string, Sim_net.host_id) Hashtbl.t;
+  name_to_index : (string, int) Hashtbl.t;
+  volumes : (int * int, (Ids.replica_id * string) list) Hashtbl.t;
+  mutable next_vol : int;
+}
+
+let clock t = t.clock
+let net t = t.net
+let nhosts t = Array.length t.hosts
+let host t i = t.hosts.(i)
+let host_name h = h.h_name
+let host_id h = h.h_id
+let ufs h = h.h_ufs
+let disk h = h.h_disk
+let logical h = h.h_logical
+let propagation h = h.h_prop
+let reconciler h = h.h_recon
+let nfs_server h = h.h_server
+let replicas h = h.h_replicas
+
+let replica h vref =
+  List.find_map
+    (fun (v, phys) -> if Ids.vref_equal v vref then Some phys else None)
+    h.h_replicas
+
+let export_name (vref : Ids.volume_ref) rid =
+  Printf.sprintf "vol.%d.%d.%d" vref.Ids.alloc vref.Ids.vol rid
+
+let container_path (vref : Ids.volume_ref) rid =
+  Printf.sprintf "volumes/vol.%d.%d.%d" vref.Ids.alloc vref.Ids.vol rid
+
+let ( let* ) = Result.bind
+
+(* The connector used by everything running on host [h]: a co-resident
+   replica is its physical root directly; a remote one is an NFS mount
+   of the replica's export (paper Figure 2). *)
+let connector t h : Remote.connector =
+ fun ~host ~vref ~rid ->
+  if host = h.h_name then
+    match replica h vref with
+    | Some phys when Physical.rid phys = rid -> Ok (Physical.root phys)
+    | Some _ | None -> Error Errno.ENOENT
+  else
+    match Hashtbl.find_opt t.name_to_id host with
+    | None -> Error Errno.ENOENT
+    | Some server_id ->
+      let export = export_name vref rid in
+      let key = (host, export) in
+      (match Hashtbl.find_opt h.h_mounts key with
+       | Some m -> Ok (Nfs_client.root m)
+       | None ->
+         let* m = Nfs_client.mount t.net ~client:h.h_id ~server:server_id ~export in
+         Hashtbl.replace h.h_mounts key m;
+         Ok (Nfs_client.root m))
+
+let connect_from t i = connector t t.hosts.(i)
+
+let create ?(seed = 11) ?(datagram_loss = 0.0) ?(disk_blocks = 4096) ?(block_size = 1024)
+    ?(cache_capacity = 256) ?(propagation_delay = 0) ?(reconcile_period = 100)
+    ?(selection = Logical.Most_recent) ~nhosts () =
+  if nhosts <= 0 then invalid_arg "Cluster.create";
+  let clock = Clock.create () in
+  let net = Sim_net.create ~seed ~datagram_loss clock in
+  let name_to_id = Hashtbl.create 8 in
+  let name_to_index = Hashtbl.create 8 in
+  let t =
+    {
+      clock;
+      net;
+      hosts = [||];
+      name_to_id;
+      name_to_index;
+      volumes = Hashtbl.create 8;
+      next_vol = 1;
+    }
+  in
+  let make_host i =
+    let h_name = Printf.sprintf "host%d" i in
+    let h_id = Sim_net.add_host net h_name in
+    Hashtbl.replace name_to_id h_name h_id;
+    Hashtbl.replace name_to_index h_name i;
+    let h_disk = Disk.create ~label:h_name ~nblocks:disk_blocks ~block_size () in
+    let h_ufs =
+      match Ufs.mkfs ~cache_capacity ~now:(Clock.fn clock) h_disk with
+      | Ok fs -> fs
+      | Error e -> failwith ("Cluster: mkfs failed: " ^ Errno.to_string e)
+    in
+    let h_server = Nfs_server.create net ~host:h_id in
+    let rec h =
+      lazy
+        ((* Defer forcing until the closures are actually called: the
+            host record and its layers refer to each other. *)
+         let connect ~host ~vref ~rid = connector t (Lazy.force h) ~host ~vref ~rid in
+         let local_replica vref = replica (Lazy.force h) vref in
+         let h_logical = Logical.create ~selection ~host:h_name ~clock ~connect () in
+         let h_prop =
+           Propagation.create ~delay:propagation_delay ~clock ~host:h_name ~connect
+             ~local_replica ()
+         in
+         let h_recon =
+           Recon_daemon.create ~period:reconcile_period ~clock ~host:h_name ~connect
+             ~replicas:(fun () -> (Lazy.force h).h_replicas) ()
+         in
+         {
+           h_index = i;
+           h_id;
+           h_name;
+           h_disk;
+           h_ufs;
+           h_server;
+           h_logical;
+           h_prop;
+           h_recon;
+           h_replicas = [];
+           h_mounts = Hashtbl.create 8;
+         })
+    in
+    let host = Lazy.force h in
+    Sim_net.register_handler net h_id (fun ~src:_ payload ->
+        match payload with
+        | Notify.Ficus_notify ev -> Propagation.on_notify host.h_prop ev
+        | _ -> ());
+    host
+  in
+  let hosts = Array.init nhosts make_host in
+  { t with hosts }
+
+(* ------------------------------------------------------------------ *)
+(* Volumes                                                             *)
+
+let wire_notifier t h phys =
+  let peers = Physical.peers phys in
+  Physical.set_notifier phys (fun ev ->
+      List.iter
+        (fun (_rid, peer_host) ->
+          if peer_host <> h.h_name then
+            match Hashtbl.find_opt t.name_to_id peer_host with
+            | Some dst -> Sim_net.send t.net ~src:h.h_id ~dst (Notify.Ficus_notify ev)
+            | None -> ())
+        peers)
+
+let create_volume t ~on =
+  match on with
+  | [] -> Error Errno.EINVAL
+  | _ ->
+    let vref = { Ids.alloc = 0; vol = t.next_vol } in
+    t.next_vol <- t.next_vol + 1;
+    let peers = List.mapi (fun k i -> (k + 1, t.hosts.(i).h_name)) on in
+    let rec place rid = function
+      | [] -> Ok ()
+      | i :: rest ->
+        let h = t.hosts.(i) in
+        let* container = Namei.mkdir_p ~root:(Ufs_vnode.root h.h_ufs) (container_path vref rid) in
+        let* phys =
+          Physical.create ~container ~clock:t.clock ~host:h.h_name ~vref ~rid ~peers
+        in
+        wire_notifier t h phys;
+        Nfs_server.add_export h.h_server ~name:(export_name vref rid) (Physical.root phys);
+        h.h_replicas <- (vref, phys) :: h.h_replicas;
+        place (rid + 1) rest
+    in
+    let* () = place 1 on in
+    Hashtbl.replace t.volumes (vref.Ids.alloc, vref.Ids.vol) peers;
+    Ok vref
+
+let volume_peers t vref =
+  match Hashtbl.find_opt t.volumes (vref.Ids.alloc, vref.Ids.vol) with
+  | Some peers -> Ok peers
+  | None -> Error Errno.ENOENT
+
+(* Push a new peer list to every replica of [vref] this cluster can
+   still reach (unreachable ones learn it when their host returns; in a
+   full implementation the peer list is itself reconciled state). *)
+let refresh_peers t vref peers =
+  Hashtbl.replace t.volumes (vref.Ids.alloc, vref.Ids.vol) peers;
+  Array.iter
+    (fun h ->
+      match replica h vref with
+      | Some phys ->
+        (match Physical.set_peers phys peers with Ok () | Error _ -> ());
+        wire_notifier t h phys
+      | None -> ())
+    t.hosts
+
+let add_replica t ~host:i vref =
+  let* peers = volume_peers t vref in
+  let h = t.hosts.(i) in
+  if replica h vref <> None then Error Errno.EEXIST
+  else begin
+    let rid = 1 + List.fold_left (fun acc (r, _) -> max acc r) 0 peers in
+    let peers = peers @ [ (rid, h.h_name) ] in
+    let* container =
+      Namei.mkdir_p ~root:(Ufs_vnode.root h.h_ufs) (container_path vref rid)
+    in
+    let* phys = Physical.create ~container ~clock:t.clock ~host:h.h_name ~vref ~rid ~peers in
+    Nfs_server.add_export h.h_server ~name:(export_name vref rid) (Physical.root phys);
+    h.h_replicas <- (vref, phys) :: h.h_replicas;
+    refresh_peers t vref peers;
+    (* Populate the newcomer from the first accessible existing replica. *)
+    let connect = connector t h in
+    let rec populate = function
+      | [] -> Error Errno.EUNREACHABLE
+      | (r, hname) :: rest when r <> rid ->
+        (match connect ~host:hname ~vref ~rid:r with
+         | Ok remote_root ->
+           (match Reconcile.reconcile_volume ~local:phys ~remote_root ~remote_rid:r with
+            | Ok _ -> Ok ()
+            | Error _ -> populate rest)
+         | Error _ -> populate rest)
+      | _ :: rest -> populate rest
+    in
+    let* () = populate peers in
+    Ok rid
+  end
+
+let remove_replica t ~host:i vref =
+  let* peers = volume_peers t vref in
+  let h = t.hosts.(i) in
+  match replica h vref with
+  | None -> Error Errno.ENOENT
+  | Some phys ->
+    let rid = Physical.rid phys in
+    h.h_replicas <- List.filter (fun (v, _) -> not (Ids.vref_equal v vref)) h.h_replicas;
+    refresh_peers t vref (List.filter (fun (r, _) -> r <> rid) peers);
+    Ok ()
+
+let graft t i vref =
+  let* peers = volume_peers t vref in
+  Logical.graft_volume t.hosts.(i).h_logical vref ~replicas:peers;
+  Ok ()
+
+let logical_root t i vref =
+  let* () = graft t i vref in
+  Logical.root t.hosts.(i).h_logical vref
+
+(* ------------------------------------------------------------------ *)
+(* Failure and time control                                            *)
+
+let partition t groups =
+  Sim_net.set_partition t.net (List.map (List.map (fun i -> t.hosts.(i).h_id)) groups)
+
+let heal t = Sim_net.heal t.net
+
+let advance t n = Clock.advance t.clock n
+
+let reboot t i =
+  let h = t.hosts.(i) in
+  Block_cache.invalidate (Ufs.cache h.h_ufs);
+  Nfs_server.restart h.h_server;
+  Hashtbl.iter (fun _ m -> Nfs_client.flush_caches m) h.h_mounts;
+  (* Other hosts' NFS mounts to this server now hold stale handles; model
+     their clients re-mounting after the reboot is noticed. *)
+  Array.iter
+    (fun other ->
+      if other.h_index <> i then begin
+        let stale =
+          Hashtbl.fold
+            (fun (server, export) _ acc ->
+              if server = h.h_name then (server, export) :: acc else acc)
+            other.h_mounts []
+        in
+        List.iter (Hashtbl.remove other.h_mounts) stale;
+        Logical.reset_connections other.h_logical
+      end)
+    t.hosts;
+  Logical.reset_connections h.h_logical;
+  (* Re-attach every volume replica from disk (shadow cleanup included)
+     and re-export it. *)
+  let rec reattach acc = function
+    | [] -> Ok (List.rev acc)
+    | (vref, phys) :: rest ->
+      let rid = Physical.rid phys in
+      let* container =
+        Namei.walk ~root:(Ufs_vnode.root h.h_ufs) (container_path vref rid)
+      in
+      let* fresh = Physical.attach ~container ~clock:t.clock ~host:h.h_name in
+      wire_notifier t h fresh;
+      Nfs_server.add_export h.h_server ~name:(export_name vref rid) (Physical.root fresh);
+      reattach ((vref, fresh) :: acc) rest
+  in
+  let* fresh_replicas = reattach [] h.h_replicas in
+  h.h_replicas <- fresh_replicas;
+  Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* Daemons                                                             *)
+
+let pump t = Sim_net.pump t.net
+
+let run_propagation t =
+  let total = ref 0 in
+  let rec loop rounds =
+    if rounds <= 0 then ()
+    else begin
+      let delivered = pump t in
+      let attempted =
+        Array.fold_left (fun acc h -> acc + Propagation.run_once h.h_prop) 0 t.hosts
+      in
+      total := !total + attempted;
+      if delivered > 0 || attempted > 0 then loop (rounds - 1)
+    end
+  in
+  loop 50;
+  !total
+
+(* Advance time and drive every host's daemons, as a host's cron would:
+   deliver datagrams, run propagation, tick the periodic reconcilers. *)
+let tick_daemons t ticks =
+  Clock.advance t.clock ticks;
+  let (_ : int) = pump t in
+  let pulls = Array.fold_left (fun acc h -> acc + Propagation.run_once h.h_prop) 0 t.hosts in
+  let recon =
+    Array.fold_left
+      (fun acc h ->
+        match Recon_daemon.tick h.h_recon with
+        | Some stats -> Reconcile.add_stats acc stats
+        | None -> acc)
+      Reconcile.empty_stats t.hosts
+  in
+  (pulls, recon)
+
+let volume_replicas_in_order t vref =
+  let* peers = volume_peers t vref in
+  let find (rid, hname) =
+    match Hashtbl.find_opt t.name_to_index hname with
+    | None -> None
+    | Some i ->
+      (match replica t.hosts.(i) vref with
+       | Some phys -> Some (i, rid, phys)
+       | None -> None)
+  in
+  Ok (List.filter_map find peers)
+
+(* Reconcile one (local pulls from remote) pair, folding into stats. *)
+let reconcile_pair t vref stats (local_i, _local_rid, local_phys) (remote_i, remote_rid, _) =
+  let connect = connect_from t local_i in
+  match connect ~host:t.hosts.(remote_i).h_name ~vref ~rid:remote_rid with
+  | Error _ -> Reconcile.add_stats stats { Reconcile.empty_stats with errors = 1 }
+  | Ok remote_root ->
+    (match Reconcile.reconcile_volume ~local:local_phys ~remote_root ~remote_rid with
+     | Ok s -> Reconcile.add_stats stats s
+     | Error _ -> Reconcile.add_stats stats { Reconcile.empty_stats with errors = 1 })
+
+let reconcile_ring t vref =
+  let* reps = volume_replicas_in_order t vref in
+  let n = List.length reps in
+  if n < 2 then Ok Reconcile.empty_stats
+  else begin
+    let arr = Array.of_list reps in
+    let stats = ref Reconcile.empty_stats in
+    for k = 0 to n - 1 do
+      stats := reconcile_pair t vref !stats arr.(k) arr.((k + 1) mod n)
+    done;
+    Ok !stats
+  end
+
+let reconcile_all_pairs t vref =
+  let* reps = volume_replicas_in_order t vref in
+  let arr = Array.of_list reps in
+  let n = Array.length arr in
+  let stats = ref Reconcile.empty_stats in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j then stats := reconcile_pair t vref !stats arr.(i) arr.(j)
+    done
+  done;
+  Ok !stats
+
+let reconcile_star t vref ~hub =
+  let* reps = volume_replicas_in_order t vref in
+  let arr = Array.of_list reps in
+  let hub_entry =
+    match Array.to_list arr |> List.find_opt (fun (i, _, _) -> i = hub) with
+    | Some e -> e
+    | None -> arr.(0)
+  in
+  let stats = ref Reconcile.empty_stats in
+  Array.iter
+    (fun spoke ->
+      let i, _, _ = spoke and h, _, _ = hub_entry in
+      if i <> h then stats := reconcile_pair t vref !stats hub_entry spoke)
+    arr;
+  Array.iter
+    (fun spoke ->
+      let i, _, _ = spoke and h, _, _ = hub_entry in
+      if i <> h then stats := reconcile_pair t vref !stats spoke hub_entry)
+    arr;
+  Ok !stats
+
+let quiet (s : Reconcile.stats) =
+  s.Reconcile.files_pulled = 0
+  && s.Reconcile.entries_materialized = 0
+  && s.Reconcile.entries_unmaterialized = 0
+  && s.Reconcile.tombstones_expired = 0
+
+let converge t vref ?(max_rounds = 10) () =
+  let rec go round =
+    if round > max_rounds then Error Errno.EAGAIN
+    else
+      let* stats = reconcile_ring t vref in
+      if quiet stats then Ok round else go (round + 1)
+  in
+  go 1

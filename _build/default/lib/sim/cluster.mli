@@ -1,0 +1,121 @@
+(** Whole-system simulation harness: a set of hosts, each with a disk,
+    buffer cache, UFS, NFS server, Ficus physical layers (one per volume
+    replica stored), an update-propagation daemon, and a logical layer —
+    all wired over one simulated network.
+
+    This is paper Figure 1/Figure 2 as an executable object: the logical
+    layer reaches a co-resident physical layer directly and any remote
+    one through an interposed NFS client/server pair, without either
+    layer knowing the difference. *)
+
+type host
+
+type t
+
+val create :
+  ?seed:int ->
+  ?datagram_loss:float ->
+  ?disk_blocks:int ->
+  ?block_size:int ->
+  ?cache_capacity:int ->
+  ?propagation_delay:int ->
+  ?reconcile_period:int ->
+  ?selection:Logical.selection ->
+  nhosts:int -> unit -> t
+(** Hosts are named ["host0"], ["host1"], ….  All parameters are shared
+    by every host. *)
+
+val clock : t -> Clock.t
+val net : t -> Sim_net.t
+val nhosts : t -> int
+
+val host : t -> int -> host
+val host_name : host -> string
+val host_id : host -> Sim_net.host_id
+val ufs : host -> Ufs.t
+val disk : host -> Disk.t
+val logical : host -> Logical.t
+val propagation : host -> Propagation.t
+val reconciler : host -> Recon_daemon.t
+val nfs_server : host -> Nfs_server.t
+val replicas : host -> (Ids.volume_ref * Physical.t) list
+val replica : host -> Ids.volume_ref -> Physical.t option
+
+(** {1 Volumes} *)
+
+val create_volume : t -> on:int list -> (Ids.volume_ref, Errno.t) result
+(** Create a volume with one replica on each listed host (replica-ids
+    1, 2, … in list order); registers NFS exports and update-notification
+    wiring. *)
+
+val add_replica : t -> host:int -> Ids.volume_ref -> (Ids.replica_id, Errno.t) result
+(** Dynamically extend the volume's replica set (paper §3.1/§4.1: the
+    set of containers is "maximal, but extensible", changeable "whenever
+    a file replica is available"): create a fresh replica on [host],
+    register its export and notification wiring, teach every accessible
+    existing replica the new peer list, and populate the newcomer by
+    reconciling it against an existing replica. *)
+
+val remove_replica : t -> host:int -> Ids.volume_ref -> (unit, Errno.t) result
+(** Retire [host]'s replica: drop it from every accessible peer list and
+    from the host.  Its storage is abandoned (as when a host leaves). *)
+
+val graft : t -> int -> Ids.volume_ref -> (unit, Errno.t) result
+(** Explicitly graft the volume on a host's logical layer (the replica
+    list is read from the volume's peers). *)
+
+val logical_root : t -> int -> Ids.volume_ref -> (Vnode.t, Errno.t) result
+(** Graft if needed and return the client-facing root vnode for the
+    volume as seen from this host. *)
+
+val connect_from : t -> int -> Remote.connector
+(** The connector used by host [i]'s layers: direct for co-resident
+    replicas, NFS-mounted otherwise (mounts are cached). *)
+
+(** {1 Failure and time control} *)
+
+val partition : t -> int list list -> unit
+(** Partition by host index groups. *)
+
+val heal : t -> unit
+val advance : t -> int -> unit
+
+val reboot : t -> int -> (unit, Errno.t) result
+(** Simulated host crash + restart: the buffer cache empties, the NFS
+    server forgets its file-handle table (old handles go stale), local
+    NFS mounts drop their caches, physical layers re-attach from disk and
+    discard shadow leftovers. *)
+
+(** {1 Daemons} *)
+
+val pump : t -> int
+(** Deliver pending datagrams (notifications) once. *)
+
+val tick_daemons : t -> int -> int * Reconcile.stats
+(** Advance the clock by [ticks], then drive every host's daemons once:
+    pump datagrams, run propagation, and tick the periodic reconcilers
+    (which fire when their period elapses).  Returns (pulls, aggregated
+    reconciliation stats).  This is how a long-running deployment
+    converges without anyone calling {!converge} explicitly. *)
+
+val run_propagation : t -> int
+(** Pump, then run every host's propagation daemon once; repeats until no
+    daemon makes progress.  Returns total pulls attempted. *)
+
+val reconcile_ring : t -> Ids.volume_ref -> (Reconcile.stats, Errno.t) result
+(** One reconciliation round: each replica pulls from the next around the
+    ring (the paper's periodic pairwise protocol).  Unreachable pairs are
+    skipped and counted in [errors]. *)
+
+val reconcile_all_pairs : t -> Ids.volume_ref -> (Reconcile.stats, Errno.t) result
+(** One round in which every replica pulls from every other — maximal
+    per-round convergence at quadratic cost. *)
+
+val reconcile_star : t -> Ids.volume_ref -> hub:int -> (Reconcile.stats, Errno.t) result
+(** One round through a hub replica: the hub pulls from everyone, then
+    everyone pulls from the hub — 2(n-1) pair reconciliations. *)
+
+val converge : t -> Ids.volume_ref -> ?max_rounds:int -> unit -> (int, Errno.t) result
+(** Run reconciliation rounds until a full quiet round (nothing pulled,
+    merged-in, or expired); returns rounds used, or [EAGAIN] if
+    [max_rounds] (default 10) was hit. *)

@@ -1,0 +1,35 @@
+(** Deterministic synthetic workloads.
+
+    The paper leans on two empirical observations about general-purpose
+    Unix file usage (Floyd 1986): strong reference {e locality} (which
+    the namespace-parallel on-disk layout exploits) and {e bursty}
+    updates (which delayed propagation exploits).  This generator
+    reproduces both knobs: a Zipf-skewed file popularity distribution
+    and a configurable updates-per-burst count. *)
+
+type config = {
+  seed : int;
+  ndirs : int;             (** directories under the root *)
+  files_per_dir : int;
+  payload : int;           (** bytes written per update *)
+  write_fraction : float;  (** probability an operation is an update *)
+  zipf_s : float;          (** skew of file selection; 0 = uniform *)
+  burst : int;             (** consecutive updates applied to a chosen file *)
+}
+
+val default : config
+
+type stats = { reads : int; writes : int; errors : int }
+
+val setup : Vnode.t -> config -> (unit, Errno.t) result
+(** Create the directory tree and empty files under the given (logical)
+    root. *)
+
+val run : Vnode.t -> config -> ops:int -> stats
+(** Execute [ops] operations against the tree; individual failures are
+    counted, not raised. *)
+
+val file_path : config -> int -> string
+(** Path of the i-th file (for assertions). *)
+
+val nfiles : config -> int

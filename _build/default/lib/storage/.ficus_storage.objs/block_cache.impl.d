@@ -1,0 +1,1 @@
+lib/storage/block_cache.ml: Bytes Disk Hashtbl

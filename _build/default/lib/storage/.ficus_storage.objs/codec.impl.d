@@ -1,0 +1,1 @@
+lib/storage/codec.ml: Bytes Char Int32 String

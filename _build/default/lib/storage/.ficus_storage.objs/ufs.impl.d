@@ -1,0 +1,1 @@
+lib/storage/ufs.ml: Array Block_cache Buffer Bytes Char Codec Disk Errno Format Hashtbl List Option Result String

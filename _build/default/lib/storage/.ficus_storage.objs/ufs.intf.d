@@ -1,0 +1,1 @@
+lib/storage/ufs.mli: Block_cache Disk Errno

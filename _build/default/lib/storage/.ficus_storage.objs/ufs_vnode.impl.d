@@ -1,0 +1,1 @@
+lib/storage/ufs_vnode.ml: Errno List Result Ufs Vnode

@@ -1,0 +1,1 @@
+lib/storage/ufs_vnode.mli: Ufs Vnode

@@ -1,0 +1,83 @@
+(* LRU as a hashtable of entries holding a recency stamp; eviction scans
+   for the minimum stamp.  Capacities here are small (hundreds), and the
+   simulation favours obvious correctness over asymptotics. *)
+
+type entry = { buf : bytes; mutable stamp : int }
+
+type t = {
+  disk : Disk.t;
+  capacity : int;
+  table : (int, entry) Hashtbl.t;
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ?(capacity = 256) disk =
+  if capacity < 0 then invalid_arg "Block_cache.create";
+  { disk; capacity; table = Hashtbl.create (max 16 capacity); tick = 0; hits = 0; misses = 0 }
+
+let disk t = t.disk
+
+let touch t e =
+  t.tick <- t.tick + 1;
+  e.stamp <- t.tick
+
+let evict_if_full t =
+  if Hashtbl.length t.table >= t.capacity && t.capacity > 0 then begin
+    let victim = ref None in
+    let consider i e =
+      match !victim with
+      | Some (_, best) when best.stamp <= e.stamp -> ()
+      | _ -> victim := Some (i, e)
+    in
+    Hashtbl.iter consider t.table;
+    match !victim with
+    | Some (i, _) -> Hashtbl.remove t.table i
+    | None -> ()
+  end
+
+let insert t i buf =
+  if t.capacity > 0 then begin
+    evict_if_full t;
+    let e = { buf; stamp = 0 } in
+    Hashtbl.replace t.table i e;
+    touch t e
+  end
+
+let read t i =
+  match Hashtbl.find_opt t.table i with
+  | Some e ->
+    t.hits <- t.hits + 1;
+    touch t e;
+    Ok e.buf
+  | None ->
+    t.misses <- t.misses + 1;
+    (match Disk.read t.disk i with
+     | Error _ as e -> e
+     | Ok buf ->
+       insert t i buf;
+       Ok buf)
+
+let read_copy t i =
+  match read t i with Error _ as e -> e | Ok buf -> Ok (Bytes.copy buf)
+
+let write t i buf =
+  match Disk.write t.disk i buf with
+  | Error _ as e -> e
+  | Ok () ->
+    (match Hashtbl.find_opt t.table i with
+     | Some e ->
+       Bytes.blit buf 0 e.buf 0 (Bytes.length buf);
+       touch t e
+     | None -> insert t i (Bytes.copy buf));
+    Ok ()
+
+let invalidate t = Hashtbl.reset t.table
+
+let hits t = t.hits
+let misses t = t.misses
+
+let reset_stats t =
+  t.hits <- 0;
+  t.misses <- 0

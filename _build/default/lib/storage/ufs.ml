@@ -1,0 +1,868 @@
+(* On-disk layout:
+     block 0            superblock
+     ibitmap blocks     inode allocation bitmap (bit 0 reserved)
+     bbitmap blocks     block allocation bitmap (metadata pre-marked)
+     itable blocks      128-byte inode slots, inum 1.. (slot 0 unused)
+     data blocks        file and directory contents
+   Inode slot: kind u8, pad, nlink u16, size u32, mtime u32, mode u16,
+   uid u16, gen u32, 12 direct u32, 1 single-indirect u32.
+   Freed slots keep their gen so reallocation can bump it (NFS staleness). *)
+
+type inum = int
+
+type kind = Reg | Dir
+
+type attrs = {
+  kind : kind;
+  size : int;
+  nlink : int;
+  mtime : int;
+  mode : int;
+  uid : int;
+  gen : int;
+}
+
+type 'a io = ('a, Errno.t) result
+
+let ( let* ) = Result.bind
+
+let magic = 0x0F1C05F5
+let default_inode_size = 128
+let ndirect = 12
+let max_name = 255
+
+type superblock = {
+  nblocks : int;
+  ninodes : int;
+  inode_size : int;
+  ibitmap_start : int;
+  ibitmap_blocks : int;
+  bbitmap_start : int;
+  bbitmap_blocks : int;
+  itable_start : int;
+  itable_blocks : int;
+  data_start : int;
+}
+
+type t = {
+  cache : Block_cache.t;
+  sb : superblock;
+  bs : int;  (* block size *)
+  now : unit -> int;
+}
+
+type ino = {
+  i_kind : int;  (* 0 free, 1 Reg, 2 Dir *)
+  i_nlink : int;
+  i_size : int;
+  i_mtime : int;
+  i_mode : int;
+  i_uid : int;
+  i_gen : int;
+  i_direct : int array;
+  i_indirect : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Superblock                                                          *)
+
+let encode_sb bs sb =
+  let b = Bytes.make bs '\000' in
+  Codec.set_u32 b 0 magic;
+  Codec.set_u32 b 4 sb.nblocks;
+  Codec.set_u32 b 8 sb.ninodes;
+  Codec.set_u32 b 12 sb.ibitmap_start;
+  Codec.set_u32 b 16 sb.ibitmap_blocks;
+  Codec.set_u32 b 20 sb.bbitmap_start;
+  Codec.set_u32 b 24 sb.bbitmap_blocks;
+  Codec.set_u32 b 28 sb.itable_start;
+  Codec.set_u32 b 32 sb.itable_blocks;
+  Codec.set_u32 b 36 sb.data_start;
+  Codec.set_u32 b 40 sb.inode_size;
+  b
+
+let decode_sb b =
+  if Codec.get_u32 b 0 <> magic then Error Errno.EINVAL
+  else
+    Ok
+      {
+        nblocks = Codec.get_u32 b 4;
+        ninodes = Codec.get_u32 b 8;
+        ibitmap_start = Codec.get_u32 b 12;
+        ibitmap_blocks = Codec.get_u32 b 16;
+        bbitmap_start = Codec.get_u32 b 20;
+        bbitmap_blocks = Codec.get_u32 b 24;
+        itable_start = Codec.get_u32 b 28;
+        itable_blocks = Codec.get_u32 b 32;
+        data_start = Codec.get_u32 b 36;
+        inode_size = Codec.get_u32 b 40;
+      }
+
+(* ------------------------------------------------------------------ *)
+(* Bitmaps                                                             *)
+
+let bit_test t ~start bit =
+  let bits_per_block = t.bs * 8 in
+  let* b = Block_cache.read t.cache (start + (bit / bits_per_block)) in
+  let byte = Codec.get_u8 b (bit mod bits_per_block / 8) in
+  Ok (byte land (1 lsl (bit mod 8)) <> 0)
+
+let bit_update t ~start bit value =
+  let bits_per_block = t.bs * 8 in
+  let blk = start + (bit / bits_per_block) in
+  let* b = Block_cache.read_copy t.cache blk in
+  let idx = bit mod bits_per_block / 8 in
+  let mask = 1 lsl (bit mod 8) in
+  let byte = Codec.get_u8 b idx in
+  let byte = if value then byte lor mask else byte land lnot mask in
+  Codec.set_u8 b idx byte;
+  Block_cache.write t.cache blk b
+
+(* First clear bit below [limit], or ENOSPC-style [None]. *)
+let bit_find_clear t ~start ~nbitmap_blocks ~limit =
+  let bits_per_block = t.bs * 8 in
+  let rec scan_block bi =
+    if bi >= nbitmap_blocks then Ok None
+    else
+      let* b = Block_cache.read t.cache (start + bi) in
+      let base = bi * bits_per_block in
+      let rec scan_byte i =
+        if i >= t.bs then scan_block (bi + 1)
+        else
+          let byte = Codec.get_u8 b i in
+          if byte = 0xff then scan_byte (i + 1)
+          else
+            let rec scan_bit j =
+              if j >= 8 then scan_byte (i + 1)
+              else
+                let bit = base + (i * 8) + j in
+                if bit >= limit then Ok None
+                else if byte land (1 lsl j) = 0 then Ok (Some bit)
+                else scan_bit (j + 1)
+            in
+            scan_bit 0
+      in
+      scan_byte 0
+  in
+  scan_block 0
+
+let count_clear_bits t ~start ~nbitmap_blocks ~limit =
+  let bits_per_block = t.bs * 8 in
+  let rec go bi acc =
+    if bi >= nbitmap_blocks then Ok acc
+    else
+      let* b = Block_cache.read t.cache (start + bi) in
+      let base = bi * bits_per_block in
+      let acc = ref acc in
+      for i = 0 to t.bs - 1 do
+        let byte = Codec.get_u8 b i in
+        for j = 0 to 7 do
+          let bit = base + (i * 8) + j in
+          if bit < limit && byte land (1 lsl j) = 0 then incr acc
+        done
+      done;
+      go (bi + 1) !acc
+  in
+  go 0 0
+
+(* ------------------------------------------------------------------ *)
+(* Inode table                                                         *)
+
+let inodes_per_block t = t.bs / t.sb.inode_size
+
+let inode_loc t inum =
+  let blk = t.sb.itable_start + ((inum - 1) / inodes_per_block t) in
+  let off = (inum - 1) mod inodes_per_block t * t.sb.inode_size in
+  (blk, off)
+
+let decode_ino b off =
+  {
+    i_kind = Codec.get_u8 b off;
+    i_nlink = Codec.get_u16 b (off + 2);
+    i_size = Codec.get_u32 b (off + 4);
+    i_mtime = Codec.get_u32 b (off + 8);
+    i_mode = Codec.get_u16 b (off + 12);
+    i_uid = Codec.get_u16 b (off + 14);
+    i_gen = Codec.get_u32 b (off + 16);
+    i_direct = Array.init ndirect (fun k -> Codec.get_u32 b (off + 20 + (4 * k)));
+    i_indirect = Codec.get_u32 b (off + 68);
+  }
+
+let encode_ino b off ino =
+  Codec.set_u8 b off ino.i_kind;
+  Codec.set_u16 b (off + 2) ino.i_nlink;
+  Codec.set_u32 b (off + 4) ino.i_size;
+  Codec.set_u32 b (off + 8) ino.i_mtime;
+  Codec.set_u16 b (off + 12) ino.i_mode;
+  Codec.set_u16 b (off + 14) ino.i_uid;
+  Codec.set_u32 b (off + 16) ino.i_gen;
+  Array.iteri (fun k v -> Codec.set_u32 b (off + 20 + (4 * k)) v) ino.i_direct;
+  Codec.set_u32 b (off + 68) ino.i_indirect
+
+let valid_inum t inum = inum >= 1 && inum <= t.sb.ninodes
+
+let read_ino t inum =
+  if not (valid_inum t inum) then Error Errno.EINVAL
+  else
+    let blk, off = inode_loc t inum in
+    let* b = Block_cache.read t.cache blk in
+    Ok (decode_ino b off)
+
+let read_live_ino t inum =
+  let* ino = read_ino t inum in
+  if ino.i_kind = 0 then Error Errno.ESTALE else Ok ino
+
+let write_ino t inum ino =
+  let blk, off = inode_loc t inum in
+  let* b = Block_cache.read_copy t.cache blk in
+  encode_ino b off ino;
+  Block_cache.write t.cache blk b
+
+(* ------------------------------------------------------------------ *)
+(* mkfs / mount                                                        *)
+
+let layout ~bs ~nblocks ~ninodes ~inode_size =
+  let bits_per_block = bs * 8 in
+  let ceil_div a b = (a + b - 1) / b in
+  let ibitmap_blocks = ceil_div (ninodes + 1) bits_per_block in
+  let bbitmap_blocks = ceil_div nblocks bits_per_block in
+  let itable_blocks = ceil_div ninodes (bs / inode_size) in
+  let ibitmap_start = 1 in
+  let bbitmap_start = ibitmap_start + ibitmap_blocks in
+  let itable_start = bbitmap_start + bbitmap_blocks in
+  let data_start = itable_start + itable_blocks in
+  {
+    nblocks;
+    ninodes;
+    inode_size;
+    ibitmap_start;
+    ibitmap_blocks;
+    bbitmap_start;
+    bbitmap_blocks;
+    itable_start;
+    itable_blocks;
+    data_start;
+  }
+
+let empty_ino = {
+  i_kind = 0;
+  i_nlink = 0;
+  i_size = 0;
+  i_mtime = 0;
+  i_mode = 0;
+  i_uid = 0;
+  i_gen = 0;
+  i_direct = Array.make ndirect 0;
+  i_indirect = 0;
+}
+
+let root _t = 1
+let cache t = t.cache
+let disk t = Block_cache.disk t.cache
+
+let mkfs ?(cache_capacity = 256) ?ninodes ?(inode_size = default_inode_size) ~now disk =
+  let bs = Disk.block_size disk in
+  if bs < 512 || inode_size < default_inode_size || bs mod inode_size <> 0 then
+    Error Errno.EINVAL
+  else
+    let nblocks = Disk.nblocks disk in
+    let ninodes = match ninodes with Some n -> n | None -> max 16 (nblocks / 4) in
+    let sb = layout ~bs ~nblocks ~ninodes ~inode_size in
+    if sb.data_start >= nblocks then Error Errno.ENOSPC
+    else begin
+      let cache = Block_cache.create ~capacity:cache_capacity disk in
+      let t = { cache; sb; bs; now } in
+      let* () = Block_cache.write cache 0 (encode_sb bs sb) in
+      (* Zero both bitmaps and the inode table. *)
+      let zero = Bytes.make bs '\000' in
+      let rec zero_range blk n =
+        if n = 0 then Ok ()
+        else
+          let* () = Block_cache.write cache blk zero in
+          zero_range (blk + 1) (n - 1)
+      in
+      let* () = zero_range sb.ibitmap_start sb.ibitmap_blocks in
+      let* () = zero_range sb.bbitmap_start sb.bbitmap_blocks in
+      let* () = zero_range sb.itable_start sb.itable_blocks in
+      (* Reserve inode 0 and all metadata blocks. *)
+      let* () = bit_update t ~start:sb.ibitmap_start 0 true in
+      let rec mark blk =
+        if blk >= sb.data_start then Ok ()
+        else
+          let* () = bit_update t ~start:sb.bbitmap_start blk true in
+          mark (blk + 1)
+      in
+      let* () = mark 0 in
+      (* Root directory: inode 1, empty. *)
+      let* () = bit_update t ~start:sb.ibitmap_start 1 true in
+      let root_ino = { empty_ino with i_kind = 2; i_nlink = 1; i_mtime = now (); i_mode = 0o755; i_gen = 1 } in
+      let* () = write_ino t 1 root_ino in
+      Ok t
+    end
+
+let mount ?(cache_capacity = 256) ~now disk =
+  let bs = Disk.block_size disk in
+  let cache = Block_cache.create ~capacity:cache_capacity disk in
+  let* b = Block_cache.read cache 0 in
+  let* sb = decode_sb b in
+  if sb.nblocks <> Disk.nblocks disk then Error Errno.EINVAL
+  else Ok { cache; sb; bs; now }
+
+let nfree_blocks t =
+  count_clear_bits t ~start:t.sb.bbitmap_start ~nbitmap_blocks:t.sb.bbitmap_blocks
+    ~limit:t.sb.nblocks
+
+let nfree_inodes t =
+  count_clear_bits t ~start:t.sb.ibitmap_start ~nbitmap_blocks:t.sb.ibitmap_blocks
+    ~limit:(t.sb.ninodes + 1)
+
+(* ------------------------------------------------------------------ *)
+(* Allocation                                                          *)
+
+let alloc_block t =
+  let* found =
+    bit_find_clear t ~start:t.sb.bbitmap_start ~nbitmap_blocks:t.sb.bbitmap_blocks
+      ~limit:t.sb.nblocks
+  in
+  match found with
+  | None -> Error Errno.ENOSPC
+  | Some blk ->
+    let* () = bit_update t ~start:t.sb.bbitmap_start blk true in
+    Ok blk
+
+let free_block t blk =
+  if blk = 0 then Ok () else bit_update t ~start:t.sb.bbitmap_start blk false
+
+let alloc_inode t ~kind ~mode ~uid =
+  let* found =
+    bit_find_clear t ~start:t.sb.ibitmap_start ~nbitmap_blocks:t.sb.ibitmap_blocks
+      ~limit:(t.sb.ninodes + 1)
+  in
+  match found with
+  | None -> Error Errno.ENFILE
+  | Some inum ->
+    let* () = bit_update t ~start:t.sb.ibitmap_start inum true in
+    let* old = read_ino t inum in
+    let ino =
+      {
+        empty_ino with
+        i_kind = (match kind with Reg -> 1 | Dir -> 2);
+        i_nlink = 1;
+        i_mtime = t.now ();
+        i_mode = mode;
+        i_uid = uid;
+        i_gen = old.i_gen + 1;
+      }
+    in
+    let* () = write_ino t inum ino in
+    Ok inum
+
+(* ------------------------------------------------------------------ *)
+(* Block mapping: 12 direct + 1 single indirect                        *)
+
+let ptrs_per_block t = t.bs / 4
+
+let max_file_blocks t = ndirect + ptrs_per_block t
+
+(* Physical block for file block [n], or 0 if unmapped. *)
+let bmap t ino n =
+  if n < ndirect then Ok ino.i_direct.(n)
+  else if n >= max_file_blocks t then Error Errno.EFBIG
+  else if ino.i_indirect = 0 then Ok 0
+  else
+    let* b = Block_cache.read t.cache ino.i_indirect in
+    Ok (Codec.get_u32 b (4 * (n - ndirect)))
+
+(* Ensure file block [n] is mapped, allocating as needed.  Returns the
+   physical block and the (possibly updated) inode. *)
+let bmap_alloc t ino n =
+  if n >= max_file_blocks t then Error Errno.EFBIG
+  else if n < ndirect then
+    if ino.i_direct.(n) <> 0 then Ok (ino.i_direct.(n), ino)
+    else
+      let* blk = alloc_block t in
+      let direct = Array.copy ino.i_direct in
+      direct.(n) <- blk;
+      Ok (blk, { ino with i_direct = direct })
+  else
+    let* indirect, ino =
+      if ino.i_indirect <> 0 then Ok (ino.i_indirect, ino)
+      else
+        let* blk = alloc_block t in
+        let* () = Block_cache.write t.cache blk (Bytes.make t.bs '\000') in
+        Ok (blk, { ino with i_indirect = blk })
+    in
+    let* b = Block_cache.read_copy t.cache indirect in
+    let slot = 4 * (n - ndirect) in
+    let existing = Codec.get_u32 b slot in
+    if existing <> 0 then Ok (existing, ino)
+    else
+      let* blk = alloc_block t in
+      Codec.set_u32 b slot blk;
+      let* () = Block_cache.write t.cache indirect b in
+      Ok (blk, ino)
+
+(* ------------------------------------------------------------------ *)
+(* File read / write / truncate                                        *)
+
+let read_at t ino ~off ~len =
+  if off < 0 || len < 0 then Error Errno.EINVAL
+  else
+    let len = min len (max 0 (ino.i_size - off)) in
+    if len = 0 then Ok ""
+    else begin
+      let out = Bytes.make len '\000' in
+      let rec copy pos =
+        if pos >= len then Ok ()
+        else
+          let fpos = off + pos in
+          let fblk = fpos / t.bs in
+          let boff = fpos mod t.bs in
+          let chunk = min (t.bs - boff) (len - pos) in
+          let* phys = bmap t ino fblk in
+          let* () =
+            if phys = 0 then Ok () (* sparse: zeros *)
+            else
+              let* b = Block_cache.read t.cache phys in
+              Bytes.blit b boff out pos chunk;
+              Ok ()
+          in
+          copy (pos + chunk)
+      in
+      let* () = copy 0 in
+      Ok (Bytes.to_string out)
+    end
+
+let write_at t inum ino ~off data =
+  if off < 0 then Error Errno.EINVAL
+  else begin
+    let len = String.length data in
+    let rec store ino pos =
+      if pos >= len then Ok ino
+      else
+        let fpos = off + pos in
+        let fblk = fpos / t.bs in
+        let boff = fpos mod t.bs in
+        let chunk = min (t.bs - boff) (len - pos) in
+        let* was_mapped = bmap t ino fblk in
+        let* phys, ino = bmap_alloc t ino fblk in
+        let* buf =
+          if chunk = t.bs || was_mapped = 0 then Ok (Bytes.make t.bs '\000')
+          else Block_cache.read_copy t.cache phys
+        in
+        Bytes.blit_string data pos buf boff chunk;
+        let* () = Block_cache.write t.cache phys buf in
+        store ino (pos + chunk)
+    in
+    let* ino = store ino 0 in
+    let ino = { ino with i_size = max ino.i_size (off + len); i_mtime = t.now () } in
+    let* () = write_ino t inum ino in
+    Ok ()
+  end
+
+(* Free all blocks at file-block index >= [keep]. *)
+let free_blocks_from t ino ~keep =
+  let rec free_direct n direct =
+    if n >= ndirect then Ok direct
+    else if n < keep || direct.(n) = 0 then free_direct (n + 1) direct
+    else
+      let* () = free_block t direct.(n) in
+      direct.(n) <- 0;
+      free_direct (n + 1) direct
+  in
+  let* direct = free_direct 0 (Array.copy ino.i_direct) in
+  if ino.i_indirect = 0 then Ok { ino with i_direct = direct }
+  else
+    let* b = Block_cache.read_copy t.cache ino.i_indirect in
+    let nptrs = ptrs_per_block t in
+    let rec free_ind i any_kept =
+      if i >= nptrs then Ok any_kept
+      else
+        let ptr = Codec.get_u32 b (4 * i) in
+        if ndirect + i < keep then free_ind (i + 1) (any_kept || ptr <> 0)
+        else if ptr = 0 then free_ind (i + 1) any_kept
+        else
+          let* () = free_block t ptr in
+          Codec.set_u32 b (4 * i) 0;
+          free_ind (i + 1) any_kept
+    in
+    let* any_kept = free_ind 0 false in
+    if any_kept then
+      let* () = Block_cache.write t.cache ino.i_indirect b in
+      Ok { ino with i_direct = direct }
+    else
+      let* () = free_block t ino.i_indirect in
+      Ok { ino with i_direct = direct; i_indirect = 0 }
+
+let truncate_ino t inum ino len =
+  if len < 0 then Error Errno.EINVAL
+  else if len >= ino.i_size then
+    (* Extension: the gap reads back as zeros (sparse or zero-padded). *)
+    write_ino t inum { ino with i_size = len; i_mtime = t.now () }
+  else begin
+    let keep = (len + t.bs - 1) / t.bs in
+    let* ino = free_blocks_from t ino ~keep in
+    (* Zero the tail of the last kept block so later extension cannot
+       resurrect stale bytes. *)
+    let* () =
+      if len mod t.bs = 0 then Ok ()
+      else
+        let* phys = bmap t ino (len / t.bs) in
+        if phys = 0 then Ok ()
+        else
+          let* b = Block_cache.read_copy t.cache phys in
+          Bytes.fill b (len mod t.bs) (t.bs - (len mod t.bs)) '\000';
+          Block_cache.write t.cache phys b
+    in
+    write_ino t inum { ino with i_size = len; i_mtime = t.now () }
+  end
+
+let free_inode t inum ino =
+  let* _ino = free_blocks_from t ino ~keep:0 in
+  (* Keep the generation in the dead slot so reallocation bumps it. *)
+  let* () = write_ino t inum { empty_ino with i_gen = ino.i_gen } in
+  bit_update t ~start:t.sb.ibitmap_start inum false
+
+(* ------------------------------------------------------------------ *)
+(* Directories                                                         *)
+
+(* Directory data is a packed entry list:
+   u32 inum, u8 kind, u8 namelen, name bytes. *)
+
+(* Directory data ends at a zero-inum terminator record (or at the data
+   size).  The terminator makes in-place rewrites crash-safe: new content
+   plus terminator is written first, and any stale tail bytes or a stale
+   (larger) size field are simply never parsed. *)
+let parse_dir data =
+  let n = String.length data in
+  let rec go pos acc =
+    if pos + 6 > n then List.rev acc
+    else begin
+      let inum =
+        Char.code data.[pos]
+        lor (Char.code data.[pos + 1] lsl 8)
+        lor (Char.code data.[pos + 2] lsl 16)
+        lor (Char.code data.[pos + 3] lsl 24)
+      in
+      if inum = 0 then List.rev acc
+      else begin
+        let kind = if Char.code data.[pos + 4] = 2 then Dir else Reg in
+        let namelen = Char.code data.[pos + 5] in
+        if pos + 6 + namelen > n then
+          (* Torn suffix: a crash cut off a record that was being
+             appended.  Everything before it is intact. *)
+          List.rev acc
+        else
+          let name = String.sub data (pos + 6) namelen in
+          go (pos + 6 + namelen) ((name, inum, kind) :: acc)
+      end
+    end
+  in
+  go 0 []
+
+let serialize_dir entries =
+  let buf = Buffer.create 256 in
+  let emit (name, inum, kind) =
+    Buffer.add_char buf (Char.chr (inum land 0xff));
+    Buffer.add_char buf (Char.chr ((inum lsr 8) land 0xff));
+    Buffer.add_char buf (Char.chr ((inum lsr 16) land 0xff));
+    Buffer.add_char buf (Char.chr ((inum lsr 24) land 0xff));
+    Buffer.add_char buf (Char.chr (match kind with Reg -> 1 | Dir -> 2));
+    Buffer.add_char buf (Char.chr (String.length name));
+    Buffer.add_string buf name
+  in
+  List.iter emit entries;
+  Buffer.contents buf
+
+let valid_name name =
+  let len = String.length name in
+  len > 0 && len <= max_name && not (String.contains name '/')
+
+let load_dir t inum =
+  let* ino = read_live_ino t inum in
+  if ino.i_kind <> 2 then Error Errno.ENOTDIR
+  else
+    let* data = read_at t ino ~off:0 ~len:ino.i_size in
+    Ok (ino, parse_dir data)
+
+(* Rewrite directory contents in place.  For a directory that fits in one
+   block this is a single data-block write followed by bookkeeping: a
+   crash in between leaves either the old or the new entry set, never a
+   mixture and never an empty directory (see the terminator note above). *)
+let store_dir t inum ino entries =
+  if entries = [] then truncate_ino t inum ino 0
+  else begin
+    let data = serialize_dir entries ^ String.make 6 '\000' in
+    let* () = write_at t inum ino ~off:0 data in
+    let* ino = read_live_ino t inum in
+    if ino.i_size > String.length data then truncate_ino t inum ino (String.length data)
+    else Ok ()
+  end
+
+let dir_entries t inum =
+  let* _ino, entries = load_dir t inum in
+  Ok entries
+
+let dir_lookup t inum name =
+  let* _ino, entries = load_dir t inum in
+  match List.find_opt (fun (n, _, _) -> n = name) entries with
+  | Some (_, child, _) -> Ok child
+  | None -> Error Errno.ENOENT
+
+(* ------------------------------------------------------------------ *)
+(* Public attribute operations                                         *)
+
+let stat t inum =
+  let* ino = read_live_ino t inum in
+  Ok
+    {
+      kind = (if ino.i_kind = 2 then Dir else Reg);
+      size = ino.i_size;
+      nlink = ino.i_nlink;
+      mtime = ino.i_mtime;
+      mode = ino.i_mode;
+      uid = ino.i_uid;
+      gen = ino.i_gen;
+    }
+
+let set_mode t inum mode =
+  let* ino = read_live_ino t inum in
+  write_ino t inum { ino with i_mode = mode land 0xffff }
+
+let set_uid t inum uid =
+  let* ino = read_live_ino t inum in
+  write_ino t inum { ino with i_uid = uid land 0xffff }
+
+let set_mtime t inum mtime =
+  let* ino = read_live_ino t inum in
+  write_ino t inum { ino with i_mtime = mtime }
+
+let read t inum ~off ~len =
+  let* ino = read_live_ino t inum in
+  if ino.i_kind = 2 then Error Errno.EISDIR else read_at t ino ~off ~len
+
+let write t inum ~off data =
+  let* ino = read_live_ino t inum in
+  if ino.i_kind = 2 then Error Errno.EISDIR else write_at t inum ino ~off data
+
+let truncate t inum len =
+  let* ino = read_live_ino t inum in
+  if ino.i_kind = 2 then Error Errno.EISDIR else truncate_ino t inum ino len
+
+(* ------------------------------------------------------------------ *)
+(* Namespace operations                                                *)
+
+let add_entry t dir name child kind =
+  if not (valid_name name) then
+    Error (if String.length name > max_name then Errno.ENAMETOOLONG else Errno.EINVAL)
+  else
+    let* ino, entries = load_dir t dir in
+    if List.exists (fun (n, _, _) -> n = name) entries then Error Errno.EEXIST
+    else store_dir t dir ino (entries @ [ (name, child, kind) ])
+
+let create t ~dir name =
+  let* _ = load_dir t dir in
+  let* exists = match dir_lookup t dir name with
+    | Ok _ -> Ok true
+    | Error Errno.ENOENT -> Ok false
+    | Error _ as e -> e
+  in
+  if exists then Error Errno.EEXIST
+  else
+    let* inum = alloc_inode t ~kind:Reg ~mode:0o644 ~uid:0 in
+    let* () = add_entry t dir name inum Reg in
+    Ok inum
+
+let mkdir t ~dir name =
+  let* _ = load_dir t dir in
+  let* exists = match dir_lookup t dir name with
+    | Ok _ -> Ok true
+    | Error Errno.ENOENT -> Ok false
+    | Error _ as e -> e
+  in
+  if exists then Error Errno.EEXIST
+  else
+    let* inum = alloc_inode t ~kind:Dir ~mode:0o755 ~uid:0 in
+    let* () = add_entry t dir name inum Dir in
+    Ok inum
+
+let link t ~dir name target =
+  let* ino = read_live_ino t target in
+  if ino.i_nlink >= 0xffff then Error Errno.EMLINK
+  else
+    let* () = add_entry t dir name target (if ino.i_kind = 2 then Dir else Reg) in
+    write_ino t target { ino with i_nlink = ino.i_nlink + 1 }
+
+let remove_entry t dir name =
+  let* ino, entries = load_dir t dir in
+  match List.find_opt (fun (n, _, _) -> n = name) entries with
+  | None -> Error Errno.ENOENT
+  | Some (_, child, kind) ->
+    let entries = List.filter (fun (n, _, _) -> n <> name) entries in
+    let* () = store_dir t dir ino entries in
+    Ok (child, kind)
+
+let drop_link t inum =
+  let* ino = read_live_ino t inum in
+  let nlink = ino.i_nlink - 1 in
+  if nlink <= 0 then free_inode t inum ino
+  else write_ino t inum { ino with i_nlink = nlink }
+
+let unlink t ~dir name =
+  let* child = dir_lookup t dir name in
+  let* ino = read_live_ino t child in
+  if ino.i_kind = 2 then Error Errno.EISDIR
+  else
+    let* _ = remove_entry t dir name in
+    drop_link t child
+
+let rmdir t ~dir name =
+  let* child = dir_lookup t dir name in
+  let* ino = read_live_ino t child in
+  if ino.i_kind <> 2 then Error Errno.ENOTDIR
+  else
+    let* _ino, entries = load_dir t child in
+    if ino.i_nlink <= 1 && entries <> [] then Error Errno.ENOTEMPTY
+    else
+      let* _ = remove_entry t dir name in
+      drop_link t child
+
+(* Check that replacing [d] (the existing destination) is legal, without
+   yet touching anything. *)
+let check_replaceable t ~src_is_dir d =
+  let* dst_ino = read_live_ino t d in
+  let dst_is_dir = dst_ino.i_kind = 2 in
+  match src_is_dir, dst_is_dir with
+  | true, false -> Error Errno.ENOTDIR
+  | false, true -> Error Errno.EISDIR
+  | true, true ->
+    let* _ino, entries = load_dir t d in
+    if dst_ino.i_nlink <= 1 && entries <> [] then Error Errno.ENOTEMPTY else Ok ()
+  | false, false -> Ok ()
+
+let rename t ~sdir ~sname ~ddir ~dname =
+  if not (valid_name dname) then Error Errno.EINVAL
+  else
+    let* src = dir_lookup t sdir sname in
+    let* src_ino = read_live_ino t src in
+    let src_is_dir = src_ino.i_kind = 2 in
+    let src_kind = if src_is_dir then Dir else Reg in
+    let* dst_existing =
+      match dir_lookup t ddir dname with
+      | Ok d -> Ok (Some d)
+      | Error Errno.ENOENT -> Ok None
+      | Error _ as e -> e
+    in
+    match dst_existing with
+    | Some d when d = src ->
+      (* Same object under both names: POSIX says do nothing. *)
+      Ok ()
+    | Some d when sdir = ddir ->
+      (* The commit point of the shadow-file protocol: one directory
+         rewrite retargets the name, and only afterwards is the replaced
+         inode released.  A crash in between leaks the old inode but the
+         name always resolves to a complete version. *)
+      let* () = check_replaceable t ~src_is_dir d in
+      let* ino, entries = load_dir t sdir in
+      let entries =
+        List.filter (fun (n, _, _) -> n <> sname && n <> dname) entries
+        @ [ (dname, src, src_kind) ]
+      in
+      let* () = store_dir t sdir ino entries in
+      drop_link t d
+    | Some d ->
+      let* () = check_replaceable t ~src_is_dir d in
+      let* _ = remove_entry t ddir dname in
+      let* () = drop_link t d in
+      let* _ = remove_entry t sdir sname in
+      add_entry t ddir dname src src_kind
+    | None when sdir = ddir ->
+      let* ino, entries = load_dir t sdir in
+      let entries =
+        List.map (fun (n, i, k) -> if n = sname then (dname, i, k) else (n, i, k)) entries
+      in
+      store_dir t sdir ino entries
+    | None ->
+      let* _ = remove_entry t sdir sname in
+      add_entry t ddir dname src src_kind
+
+let sync _t = Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* fsck                                                                *)
+
+let check t =
+  (* Walk the namespace from the root, counting references and reachable
+     blocks, and compare against the bitmaps and stored link counts. *)
+  let refcount = Hashtbl.create 64 in
+  let bump inum = Hashtbl.replace refcount inum (1 + Option.value ~default:0 (Hashtbl.find_opt refcount inum)) in
+  let reachable_blocks = Hashtbl.create 64 in
+  let visited = Hashtbl.create 64 in
+  let problems = ref [] in
+  let complain fmt = Format.kasprintf (fun s -> problems := s :: !problems) fmt in
+  let note_blocks ino =
+    Array.iter (fun b -> if b <> 0 then Hashtbl.replace reachable_blocks b ()) ino.i_direct;
+    if ino.i_indirect <> 0 then begin
+      Hashtbl.replace reachable_blocks ino.i_indirect ();
+      match Block_cache.read t.cache ino.i_indirect with
+      | Error _ -> complain "unreadable indirect block %d" ino.i_indirect
+      | Ok b ->
+        for i = 0 to ptrs_per_block t - 1 do
+          let p = Codec.get_u32 b (4 * i) in
+          if p <> 0 then Hashtbl.replace reachable_blocks p ()
+        done
+    end
+  in
+  let rec walk inum =
+    if not (Hashtbl.mem visited inum) then begin
+      Hashtbl.replace visited inum ();
+      match read_ino t inum with
+      | Error _ -> complain "unreadable inode %d" inum
+      | Ok ino ->
+        if ino.i_kind = 0 then complain "reference to free inode %d" inum
+        else begin
+          note_blocks ino;
+          if ino.i_kind = 2 then
+            match load_dir t inum with
+            | Error _ -> complain "unreadable directory %d" inum
+            | Ok (_, entries) ->
+              List.iter
+                (fun (_, child, _) ->
+                  bump child;
+                  walk child)
+                entries
+        end
+    end
+  in
+  bump 1;
+  walk 1;
+  (* Link counts. *)
+  Hashtbl.iter
+    (fun inum refs ->
+      match read_ino t inum with
+      | Error _ -> ()
+      | Ok ino ->
+        if ino.i_kind <> 0 && ino.i_nlink <> refs then
+          complain "inode %d: nlink=%d but %d references" inum ino.i_nlink refs)
+    refcount;
+  (* Inode bitmap vs. reachability. *)
+  for inum = 1 to t.sb.ninodes do
+    match bit_test t ~start:t.sb.ibitmap_start inum with
+    | Error _ -> complain "unreadable inode bitmap for %d" inum
+    | Ok used ->
+      let reachable = Hashtbl.mem visited inum in
+      if used && not reachable then complain "inode %d allocated but unreachable" inum
+      else if (not used) && reachable then complain "inode %d reachable but free" inum
+  done;
+  (* Block bitmap vs. reachability (metadata blocks are always used). *)
+  for blk = t.sb.data_start to t.sb.nblocks - 1 do
+    match bit_test t ~start:t.sb.bbitmap_start blk with
+    | Error _ -> complain "unreadable block bitmap for %d" blk
+    | Ok used ->
+      let reachable = Hashtbl.mem reachable_blocks blk in
+      if used && not reachable then complain "block %d allocated but unreferenced" blk
+      else if (not used) && reachable then complain "block %d referenced but free" blk
+  done;
+  match !problems with
+  | [] -> Ok ()
+  | ps -> Error (String.concat "; " (List.rev ps))

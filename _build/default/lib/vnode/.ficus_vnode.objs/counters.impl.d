@@ -1,0 +1,1 @@
+lib/vnode/counters.ml: Fmt Hashtbl List String

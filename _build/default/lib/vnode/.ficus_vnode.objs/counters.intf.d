@@ -1,0 +1,1 @@
+lib/vnode/counters.mli: Format

@@ -1,0 +1,1 @@
+lib/vnode/ctl_name.ml: Buffer Char Errno List Printf String

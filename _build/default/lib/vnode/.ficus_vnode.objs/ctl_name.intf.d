@@ -1,0 +1,1 @@
+lib/vnode/ctl_name.mli: Errno

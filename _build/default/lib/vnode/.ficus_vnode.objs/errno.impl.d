@@ -1,0 +1,1 @@
+lib/vnode/errno.ml: Format

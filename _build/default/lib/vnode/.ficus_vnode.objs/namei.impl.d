@@ -1,0 +1,1 @@
+lib/vnode/namei.ml: Errno List String Vnode

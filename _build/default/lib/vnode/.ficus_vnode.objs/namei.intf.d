@@ -1,0 +1,1 @@
+lib/vnode/namei.mli: Vnode

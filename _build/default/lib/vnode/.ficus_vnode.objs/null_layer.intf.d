@@ -1,0 +1,1 @@
+lib/vnode/null_layer.mli: Counters Vnode

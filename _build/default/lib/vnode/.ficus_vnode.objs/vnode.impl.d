@@ -1,0 +1,1 @@
+lib/vnode/vnode.ml: Errno Fmt

@@ -1,0 +1,1 @@
+lib/vnode/vnode.mli: Errno Format

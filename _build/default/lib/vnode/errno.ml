@@ -1,0 +1,47 @@
+type t =
+  | ENOENT
+  | EEXIST
+  | EIO
+  | ENOTDIR
+  | EISDIR
+  | ENOSPC
+  | ENOTEMPTY
+  | EINVAL
+  | ENAMETOOLONG
+  | ESTALE
+  | EROFS
+  | EXDEV
+  | ENOTSUP
+  | EMLINK
+  | EFBIG
+  | ENFILE
+  | EAGAIN
+  | EACCES
+  | EUNREACHABLE
+  | ECONFLICT
+
+let to_string = function
+  | ENOENT -> "ENOENT"
+  | EEXIST -> "EEXIST"
+  | EIO -> "EIO"
+  | ENOTDIR -> "ENOTDIR"
+  | EISDIR -> "EISDIR"
+  | ENOSPC -> "ENOSPC"
+  | ENOTEMPTY -> "ENOTEMPTY"
+  | EINVAL -> "EINVAL"
+  | ENAMETOOLONG -> "ENAMETOOLONG"
+  | ESTALE -> "ESTALE"
+  | EROFS -> "EROFS"
+  | EXDEV -> "EXDEV"
+  | ENOTSUP -> "ENOTSUP"
+  | EMLINK -> "EMLINK"
+  | EFBIG -> "EFBIG"
+  | ENFILE -> "ENFILE"
+  | EAGAIN -> "EAGAIN"
+  | EACCES -> "EACCES"
+  | EUNREACHABLE -> "EUNREACHABLE"
+  | ECONFLICT -> "ECONFLICT"
+
+let pp ppf e = Format.pp_print_string ppf (to_string e)
+
+let equal (a : t) (b : t) = a = b

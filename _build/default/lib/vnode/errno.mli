@@ -1,0 +1,32 @@
+(** Error codes shared by every layer of the stack.
+
+    These mirror the Unix errno values a SunOS vnode operation could
+    return, plus [ECONFLICT] (a Ficus-specific code for detected
+    conflicting replica updates) and [EUNREACHABLE] (the simulated
+    network's equivalent of a dropped or timed-out RPC). *)
+
+type t =
+  | ENOENT        (** no such file or directory *)
+  | EEXIST        (** file exists *)
+  | EIO           (** disk I/O error *)
+  | ENOTDIR       (** not a directory *)
+  | EISDIR        (** is a directory *)
+  | ENOSPC        (** no space left on device *)
+  | ENOTEMPTY     (** directory not empty *)
+  | EINVAL        (** invalid argument *)
+  | ENAMETOOLONG  (** name exceeds the per-component limit *)
+  | ESTALE        (** stale (NFS) file handle *)
+  | EROFS         (** read-only file system *)
+  | EXDEV         (** cross-device link *)
+  | ENOTSUP       (** operation not supported by this layer *)
+  | EMLINK        (** too many links *)
+  | EFBIG         (** file too large *)
+  | ENFILE        (** file table overflow *)
+  | EAGAIN        (** resource temporarily unavailable *)
+  | EACCES        (** permission denied *)
+  | EUNREACHABLE  (** host unreachable (network partition or timeout) *)
+  | ECONFLICT     (** conflicting concurrent updates detected *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

@@ -1,0 +1,16 @@
+(** The identity (null) layer.
+
+    Forwards every vnode operation unchanged to the layer below, wrapping
+    any vnode that comes back so the whole subtree stays inside the layer.
+    Useful on its own to measure the cost of crossing a formal layer
+    boundary (paper §6: "one additional procedure call, one pointer
+    indirection, and storage for another vnode block"), and as the
+    skeleton from which interposing layers are written. *)
+
+val wrap : ?counters:Counters.t -> Vnode.t -> Vnode.t
+(** [wrap v] interposes one null layer above [v].  If [counters] is given,
+    each operation that crosses the boundary increments
+    ["layer.crossings"]. *)
+
+val wrap_depth : ?counters:Counters.t -> int -> Vnode.t -> Vnode.t
+(** [wrap_depth n v] stacks [n] null layers above [v]. *)

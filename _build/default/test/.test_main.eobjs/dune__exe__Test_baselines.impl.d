@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Availability Float List Printf Replica_control Util

@@ -1,0 +1,1 @@
+test/test_cluster.ml: Alcotest Cluster Fdir Ids List Namei Option Physical Reconcile Util Vnode

@@ -1,0 +1,1 @@
+test/test_ctl_name.ml: Alcotest Ctl_name Errno List Option String Util

@@ -1,0 +1,1 @@
+test/test_daemons.ml: Alcotest Clock Cluster Counters Fdir List Nfs_client Nfs_server Option Physical Printf Recon_daemon Reconcile Sim_net Ufs Ufs_vnode Util Vnode

@@ -1,0 +1,1 @@
+test/test_fdir.ml: Alcotest Aux_attrs Errno Fdir Ids List Option String Util Version_vector

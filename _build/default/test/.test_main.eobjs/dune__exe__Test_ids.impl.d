@@ -1,0 +1,1 @@
+test/test_ids.ml: Alcotest Ids List Option String Util

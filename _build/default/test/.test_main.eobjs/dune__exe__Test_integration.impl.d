@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Cluster Conflict_log Errno Fdir List Option Physical Printf Reconcile Util Vnode

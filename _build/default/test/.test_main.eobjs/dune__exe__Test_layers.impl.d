@@ -1,0 +1,1 @@
+test/test_layers.ml: Access_layer Alcotest Clock Counters Crypt_layer Errno Fdir Ids List Measure_layer Physical Result Ufs_vnode Util Vnode

@@ -1,0 +1,1 @@
+test/test_logical.ml: Alcotest Cluster Counters Errno List Logical Option Physical Result String Util Vnode

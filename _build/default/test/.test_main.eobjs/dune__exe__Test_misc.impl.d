@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Aux_attrs Conflict_log Errno Ids List Namei New_version_cache Notify Result Ufs_vnode Util Version_vector Vnode Workload

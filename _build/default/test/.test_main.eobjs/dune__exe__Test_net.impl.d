@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Clock Counters Errno List Sim_net Util

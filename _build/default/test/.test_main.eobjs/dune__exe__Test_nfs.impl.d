@@ -1,0 +1,1 @@
+test/test_nfs.ml: Alcotest Clock Counters Ctl_name Errno List Nfs_client Nfs_server Result Sim_net Ufs Ufs_vnode Util Vnode

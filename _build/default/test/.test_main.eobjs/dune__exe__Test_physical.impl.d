@@ -1,0 +1,1 @@
+test/test_physical.ml: Alcotest Aux_attrs Clock Conflict_log Counters Ctl_name Errno Fdir Filename Ids List Namei Notify Option Physical Remote Result Shadow Ufs_vnode Util Version_vector Vnode

@@ -1,0 +1,1 @@
+test/test_propagation.ml: Alcotest Cluster Counters Fdir List Namei Option Physical Printf Propagation Util

@@ -1,0 +1,1 @@
+test/test_reconcile.ml: Alcotest Cluster Conflict_log Errno Fdir Ids List Namei Option Physical Printf Reconcile Result Util Vnode

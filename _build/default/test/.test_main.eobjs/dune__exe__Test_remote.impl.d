@@ -1,0 +1,1 @@
+test/test_remote.ml: Alcotest Aux_attrs Cluster Errno Fdir Ids List Namei Option Physical Remote Result Util Vnode

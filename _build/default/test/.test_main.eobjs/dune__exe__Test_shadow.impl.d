@@ -1,0 +1,1 @@
+test/test_shadow.ml: Alcotest Disk Errno Ids Result Shadow Ufs_vnode Util Vnode

@@ -1,0 +1,1 @@
+test/test_stacking.ml: Alcotest Clock Cluster Counters Disk Errno Ids List Logical Nfs_client Nfs_server Null_layer Option Physical Printf Random Result Sim_net String Ufs Ufs_vnode Util Vnode

@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Block_cache Bytes Clock Disk Errno Result Util

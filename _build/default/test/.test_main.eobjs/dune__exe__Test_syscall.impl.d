@@ -1,0 +1,1 @@
+test/test_syscall.ml: Alcotest Cluster Errno Result Syscall Ufs_vnode Util

@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Cluster List Printf String Trace_layer Ufs_vnode Util Vnode

@@ -1,0 +1,1 @@
+test/test_ufs.ml: Alcotest Disk Errno List Printf Result String Ufs Util

@@ -1,0 +1,1 @@
+test/test_vnode.ml: Alcotest Counters Errno Namei Null_layer Result Ufs_vnode Util Vnode

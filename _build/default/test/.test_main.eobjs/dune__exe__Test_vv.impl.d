@@ -1,0 +1,1 @@
+test/test_vv.ml: Alcotest Fmt List Util Version_vector

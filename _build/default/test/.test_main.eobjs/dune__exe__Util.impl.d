@@ -1,0 +1,1 @@
+test/util.ml: Alcotest Disk Errno Namei Ufs Version_vector Vnode

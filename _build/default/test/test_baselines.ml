@@ -1,0 +1,153 @@
+(* Replica-control baselines and the availability evaluator (E4). *)
+
+open Util
+
+let up bools = Array.of_list bools
+
+let test_one_copy () =
+  let p = Replica_control.One_copy in
+  Alcotest.(check bool) "read any" true (Replica_control.can_read p ~up:(up [ false; true ]));
+  Alcotest.(check bool) "update any" true
+    (Replica_control.can_update p ~up:(up [ false; true ]));
+  Alcotest.(check bool) "nothing up" false
+    (Replica_control.can_update p ~up:(up [ false; false ]))
+
+let test_primary_copy () =
+  let p = Replica_control.Primary_copy in
+  Alcotest.(check bool) "read from secondary" true
+    (Replica_control.can_read p ~up:(up [ false; true ]));
+  Alcotest.(check bool) "no update without primary" false
+    (Replica_control.can_update p ~up:(up [ false; true; true ]));
+  Alcotest.(check bool) "update at primary" true
+    (Replica_control.can_update p ~up:(up [ true; false; false ]))
+
+let test_majority_voting () =
+  let p = Replica_control.Majority_voting in
+  Alcotest.(check bool) "2 of 3" true (Replica_control.can_update p ~up:(up [ true; true; false ]));
+  Alcotest.(check bool) "1 of 3" false (Replica_control.can_read p ~up:(up [ true; false; false ]));
+  Alcotest.(check bool) "2 of 4 is not a majority" false
+    (Replica_control.can_update p ~up:(up [ true; true; false; false ]))
+
+let ok_or_fail = function
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg
+
+let test_weighted_voting () =
+  let p =
+    Replica_control.Weighted_voting
+      { weights = [| 2; 1; 1 |]; read_quorum = 2; write_quorum = 3 }
+  in
+  ok_or_fail (Replica_control.validate p ~nreplicas:3);
+  (* The weight-2 replica alone satisfies the read quorum. *)
+  Alcotest.(check bool) "heavy replica reads alone" true
+    (Replica_control.can_read p ~up:(up [ true; false; false ]));
+  Alcotest.(check bool) "light replicas together" true
+    (Replica_control.can_read p ~up:(up [ false; true; true ]));
+  Alcotest.(check bool) "write needs 3 votes" false
+    (Replica_control.can_update p ~up:(up [ true; false; false ]));
+  Alcotest.(check bool) "heavy + light writes" true
+    (Replica_control.can_update p ~up:(up [ true; true; false ]))
+
+let test_validate_rejects_bad_quorums () =
+  let bad = Replica_control.Quorum_consensus { read_quorum = 1; write_quorum = 1 } in
+  (match Replica_control.validate bad ~nreplicas:3 with
+   | Ok () -> Alcotest.fail "should reject r+w <= n"
+   | Error _ -> ());
+  let bad2 =
+    Replica_control.Weighted_voting { weights = [| 1; 1 |]; read_quorum = 2; write_quorum = 1 }
+  in
+  (match Replica_control.validate bad2 ~nreplicas:2 with
+   | Ok () -> Alcotest.fail "should reject 2w <= total"
+   | Error _ -> ())
+
+let close_to ?(eps = 0.02) expected actual =
+  if Float.abs (expected -. actual) > eps then
+    Alcotest.failf "expected %.4f, got %.4f" expected actual
+
+let test_monte_carlo_matches_analytic () =
+  let trials = 40_000 in
+  let p = 0.8 in
+  List.iter
+    (fun policy ->
+      List.iter
+        (fun n ->
+          let mc =
+            Availability.evaluate ~trials ~nreplicas:n ~model:(Availability.Independent p)
+              policy
+          in
+          (match Availability.analytic_read ~nreplicas:n ~p policy with
+           | Some expected -> close_to expected mc.Availability.read_availability
+           | None -> ());
+          match Availability.analytic_update ~nreplicas:n ~p policy with
+          | Some expected -> close_to expected mc.Availability.update_availability
+          | None -> ())
+        [ 1; 3; 5 ])
+    [
+      Replica_control.One_copy;
+      Replica_control.Primary_copy;
+      Replica_control.Majority_voting;
+      Replica_control.Quorum_consensus { read_quorum = 2; write_quorum = 2 };
+    ]
+
+let test_one_copy_dominates_everything () =
+  (* The paper's strict-dominance claim, over both failure models. *)
+  let trials = 20_000 in
+  let models = [ Availability.Independent 0.7; Availability.Partition_groups 3 ] in
+  let rivals n =
+    [
+      Replica_control.Primary_copy;
+      Replica_control.Majority_voting;
+      Replica_control.default_weighted ~nreplicas:n;
+      Replica_control.Quorum_consensus
+        { read_quorum = (n / 2) + 1; write_quorum = (n / 2) + 1 };
+    ]
+  in
+  List.iter
+    (fun model ->
+      List.iter
+        (fun n ->
+          let ficus =
+            Availability.evaluate ~trials ~nreplicas:n ~model Replica_control.One_copy
+          in
+          List.iter
+            (fun rival ->
+              let r = Availability.evaluate ~trials ~nreplicas:n ~model rival in
+              Alcotest.(check bool)
+                (Printf.sprintf "read: one-copy >= %s (n=%d)" (Replica_control.name rival) n)
+                true
+                (ficus.Availability.read_availability
+                 >= r.Availability.read_availability -. 0.001);
+              Alcotest.(check bool)
+                (Printf.sprintf "update: one-copy > %s (n=%d)" (Replica_control.name rival) n)
+                true
+                (ficus.Availability.update_availability
+                 > r.Availability.update_availability))
+            (rivals n))
+        [ 3; 5 ])
+    models
+
+let test_binomial_tail () =
+  close_to ~eps:1e-9 1.0 (Availability.binomial_tail ~n:3 ~p:0.5 ~k:0);
+  close_to ~eps:1e-9 0.125 (Availability.binomial_tail ~n:3 ~p:0.5 ~k:3);
+  close_to ~eps:1e-9 0.5 (Availability.binomial_tail ~n:3 ~p:0.5 ~k:2)
+
+let test_deterministic_with_seed () =
+  let run () =
+    Availability.evaluate ~seed:123 ~trials:1000 ~nreplicas:3
+      ~model:(Availability.Partition_groups 2) Replica_control.One_copy
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "same result" true (a = b)
+
+let suite =
+  [
+    case "one-copy availability" test_one_copy;
+    case "primary copy" test_primary_copy;
+    case "majority voting" test_majority_voting;
+    case "weighted voting" test_weighted_voting;
+    case "validate rejects bad quorums" test_validate_rejects_bad_quorums;
+    case "Monte-Carlo matches closed forms" test_monte_carlo_matches_analytic;
+    case "one-copy dominates all baselines" test_one_copy_dominates_everything;
+    case "binomial tail" test_binomial_tail;
+    case "deterministic with seed" test_deterministic_with_seed;
+  ]

@@ -1,0 +1,58 @@
+(* The overloaded-lookup encoding (paper §2.3, footnote 2). *)
+
+open Util
+
+let test_roundtrip () =
+  let cases =
+    [
+      ("open", [ "@00000001.00000002"; "rw" ]);
+      ("getvv", [ "." ]);
+      ("resolve", [ "a name with spaces" ]);
+      ("x", [ "arg#with#hashes"; "arg%with%percents" ]);
+      ("noargs", []);
+    ]
+  in
+  List.iter
+    (fun (op, args) ->
+      let name = ok (Ctl_name.encode ~op ~args) in
+      Alcotest.(check bool) "recognized" true (Ctl_name.is_ctl name);
+      match Ctl_name.decode name with
+      | None -> Alcotest.fail "decode failed"
+      | Some (op', args') ->
+        Alcotest.(check string) "op" op op';
+        Alcotest.(check (list string)) "args" args args')
+    cases
+
+let test_plain_names_not_ctl () =
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) name false (Ctl_name.is_ctl name);
+      Alcotest.(check bool) "no decode" true (Ctl_name.decode name = None))
+    [ "README"; ".hidden"; ".#fic"; "#ficus#x"; "" ]
+
+let test_name_length_limit () =
+  (* Footnote 2: encoding reduces the usable component length to ~200. *)
+  let long_arg = String.make 300 'a' in
+  expect_err Errno.ENAMETOOLONG (Ctl_name.encode ~op:"open" ~args:[ long_arg ]);
+  let fine = String.make 200 'a' in
+  let name = ok (Ctl_name.encode ~op:"open" ~args:[ fine ]) in
+  Alcotest.(check bool) "within component limit" true
+    (String.length name <= Ctl_name.max_component)
+
+let test_escape_roundtrip () =
+  let s = "we#ird%stri#ng%%" in
+  Alcotest.(check string) "roundtrip" s (Option.get (Ctl_name.unescape (Ctl_name.escape s)));
+  Alcotest.(check bool) "no separators survive" true
+    (not (String.contains (Ctl_name.escape s) '#'))
+
+let test_unescape_rejects_truncated () =
+  Alcotest.(check bool) "truncated escape" true (Ctl_name.unescape "abc%2" = None)
+
+let suite =
+  [
+    case "encode/decode roundtrip" test_roundtrip;
+    case "plain names are not control names" test_plain_names_not_ctl;
+    case "component length limit (footnote 2)" test_name_length_limit;
+    case "escape roundtrip" test_escape_roundtrip;
+    case "unescape rejects truncated input" test_unescape_rejects_truncated;
+  ]

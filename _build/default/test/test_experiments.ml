@@ -1,0 +1,17 @@
+(* Keep the headline reproduction results under test: the fast
+   experiments run inside `dune runtest` and must HOLD.  (The full set,
+   including the slower sweeps and timing benches, runs from
+   bench/main.exe.) *)
+
+let verdict_holds name () =
+  match Experiments.run_by_name name with
+  | None -> Alcotest.failf "unknown experiment %s" name
+  | Some v ->
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: %s" v.Experiments.experiment v.Experiments.claim)
+      true v.Experiments.holds
+
+let suite =
+  List.map
+    (fun name -> Alcotest.test_case ("experiment " ^ name) `Slow (verdict_holds name))
+    [ "e2"; "e3"; "e4"; "e6"; "e9"; "e10"; "f2"; "a1"; "a3" ]

@@ -1,0 +1,180 @@
+(* Ficus directory files: OR-set merge, collision repair, tombstone GC. *)
+
+open Util
+module Vv = Version_vector
+
+let fid i = { Ids.issuer = 1; uniq = i }
+let birth rid seq = { Fdir.b_rid = rid; b_seq = seq }
+
+let add d ~rid ~name ~f ~b =
+  ok (Fdir.add d ~rid ~name ~fid:f ~kind:Aux_attrs.Freg ~birth:b)
+
+let live_names d = Fdir.live d |> List.map fst |> List.sort compare
+
+let test_add_and_lookup () =
+  let d = add (Fdir.empty 1) ~rid:1 ~name:"a" ~f:(fid 2) ~b:(birth 1 2) in
+  Alcotest.(check (list string)) "names" [ "a" ] (live_names d);
+  let e = Option.get (Fdir.find_live d "a") in
+  Alcotest.(check bool) "fid" true (Ids.fid_equal e.Fdir.fid (fid 2));
+  Alcotest.(check bool) "by fid" true (Fdir.find_by_fid d (fid 2) <> None);
+  Alcotest.(check int) "vv bumped" 1 (Vv.get d.Fdir.vv 1)
+
+let test_add_duplicate_name_rejected () =
+  let d = add (Fdir.empty 1) ~rid:1 ~name:"a" ~f:(fid 2) ~b:(birth 1 2) in
+  expect_err Errno.EEXIST
+    (Fdir.add d ~rid:1 ~name:"a" ~fid:(fid 3) ~kind:Aux_attrs.Freg ~birth:(birth 1 3))
+
+let test_add_invalid_names_rejected () =
+  let d = Fdir.empty 1 in
+  List.iter
+    (fun name ->
+      expect_err Errno.EINVAL
+        (Fdir.add d ~rid:1 ~name ~fid:(fid 2) ~kind:Aux_attrs.Freg ~birth:(birth 1 2)))
+    [ ""; "a/b"; "@handle"; ".#ficus#open"; String.make 201 'x' ]
+
+let test_kill_makes_tombstone () =
+  let d = add (Fdir.empty 1) ~rid:1 ~name:"a" ~f:(fid 2) ~b:(birth 1 2) in
+  let d = ok (Fdir.kill d ~rid:1 (birth 1 2)) in
+  Alcotest.(check (list string)) "gone from live view" [] (live_names d);
+  Alcotest.(check int) "tombstone retained" 1 (List.length d.Fdir.entries);
+  expect_err Errno.ENOENT (Fdir.kill d ~rid:1 (birth 1 2))
+
+let test_insert_insert_merge () =
+  let base = Fdir.empty 1 in
+  let at1 = add base ~rid:1 ~name:"x" ~f:{ Ids.issuer = 1; uniq = 5 } ~b:(birth 1 5) in
+  let at2 = add base ~rid:2 ~name:"y" ~f:{ Ids.issuer = 2; uniq = 5 } ~b:(birth 2 5) in
+  let r = Fdir.merge ~local_rid:1 ~remote_rid:2 ~peers:[ 1; 2 ] at1 at2 in
+  Alcotest.(check (list string)) "union" [ "x"; "y" ] (live_names r.Fdir.merged);
+  Alcotest.(check int) "one materialize" 1
+    (List.length
+       (List.filter (function Fdir.Materialize _ -> true | _ -> false) r.Fdir.actions))
+
+let test_delete_wins_over_live () =
+  let d = add (Fdir.empty 1) ~rid:1 ~name:"a" ~f:(fid 2) ~b:(birth 1 2) in
+  (* Replica 2 saw the entry and killed it. *)
+  let at2 = ok (Fdir.kill d ~rid:2 (birth 1 2)) in
+  let r = Fdir.merge ~local_rid:1 ~remote_rid:2 ~peers:[ 1; 2 ] d at2 in
+  Alcotest.(check (list string)) "deleted" [] (live_names r.Fdir.merged);
+  Alcotest.(check int) "one unmaterialize" 1
+    (List.length
+       (List.filter (function Fdir.Unmaterialize _ -> true | _ -> false) r.Fdir.actions))
+
+let test_merge_idempotent () =
+  let d = add (Fdir.empty 1) ~rid:1 ~name:"a" ~f:(fid 2) ~b:(birth 1 2) in
+  let r1 = Fdir.merge ~local_rid:1 ~remote_rid:2 ~peers:[ 1; 2 ] d d in
+  Alcotest.(check (list string)) "same live view" (live_names d) (live_names r1.Fdir.merged);
+  let r2 = Fdir.merge ~local_rid:1 ~remote_rid:2 ~peers:[ 1; 2 ] r1.Fdir.merged d in
+  Alcotest.(check (list string)) "still same" (live_names d) (live_names r2.Fdir.merged)
+
+let test_merge_symmetric_convergence () =
+  let base = Fdir.empty 1 in
+  let at1 = add base ~rid:1 ~name:"x" ~f:{ Ids.issuer = 1; uniq = 5 } ~b:(birth 1 5) in
+  let at2 = add base ~rid:2 ~name:"y" ~f:{ Ids.issuer = 2; uniq = 5 } ~b:(birth 2 5) in
+  let m12 = (Fdir.merge ~local_rid:1 ~remote_rid:2 ~peers:[ 1; 2 ] at1 at2).Fdir.merged in
+  let m21 = (Fdir.merge ~local_rid:2 ~remote_rid:1 ~peers:[ 1; 2 ] at2 at1).Fdir.merged in
+  Alcotest.(check (list string)) "same entries" (live_names m12) (live_names m21);
+  Alcotest.check vv_testable "same vv" m12.Fdir.vv m21.Fdir.vv
+
+let test_collision_repair_deterministic () =
+  let base = Fdir.empty 1 in
+  let at1 = add base ~rid:1 ~name:"n" ~f:{ Ids.issuer = 1; uniq = 9 } ~b:(birth 1 9) in
+  let at2 = add base ~rid:2 ~name:"n" ~f:{ Ids.issuer = 2; uniq = 3 } ~b:(birth 2 3) in
+  let r = Fdir.merge ~local_rid:1 ~remote_rid:2 ~peers:[ 1; 2 ] at1 at2 in
+  let names = live_names r.Fdir.merged in
+  Alcotest.(check int) "both kept" 2 (List.length names);
+  Alcotest.(check bool) "older birth keeps plain name" true (List.mem "n" names);
+  Alcotest.(check bool) "younger renamed" true (List.mem "n#2.3" names);
+  Alcotest.(check int) "collision reported" 1 (List.length r.Fdir.new_collisions);
+  (* The other side computes the identical repaired view. *)
+  let r' = Fdir.merge ~local_rid:2 ~remote_rid:1 ~peers:[ 1; 2 ] at2 at1 in
+  Alcotest.(check (list string)) "same everywhere" names (live_names r'.Fdir.merged)
+
+let test_collision_suffix_avoids_existing_name () =
+  let base = Fdir.empty 1 in
+  (* A user file already holds the repair name "n#2.3". *)
+  let at1 = add base ~rid:1 ~name:"n#2.3" ~f:{ Ids.issuer = 1; uniq = 8 } ~b:(birth 1 8) in
+  let at1 = add at1 ~rid:1 ~name:"n" ~f:{ Ids.issuer = 1; uniq = 9 } ~b:(birth 1 9) in
+  let at2 = add base ~rid:2 ~name:"n" ~f:{ Ids.issuer = 2; uniq = 3 } ~b:(birth 2 3) in
+  let r = Fdir.merge ~local_rid:1 ~remote_rid:2 ~peers:[ 1; 2 ] at1 at2 in
+  let names = live_names r.Fdir.merged in
+  Alcotest.(check int) "all three kept" 3 (List.length names);
+  Alcotest.(check bool) "extended suffix used" true (List.mem "n#2.3#" names)
+
+let test_mixed_kind_name_collision () =
+  (* A file and a directory created under one name in different
+     partitions: both survive, deterministically disambiguated. *)
+  let base = Fdir.empty 1 in
+  let at1 = add base ~rid:1 ~name:"thing" ~f:{ Ids.issuer = 1; uniq = 4 } ~b:(birth 1 4) in
+  let at2 =
+    ok
+      (Fdir.add base ~rid:2 ~name:"thing" ~fid:{ Ids.issuer = 2; uniq = 4 }
+         ~kind:Aux_attrs.Fdir ~birth:(birth 2 4))
+  in
+  let r = Fdir.merge ~local_rid:1 ~remote_rid:2 ~peers:[ 1; 2 ] at1 at2 in
+  let live = Fdir.live r.Fdir.merged in
+  Alcotest.(check int) "both kept" 2 (List.length live);
+  let kinds = List.map (fun (_, e) -> e.Fdir.kind) live |> List.sort_uniq compare in
+  Alcotest.(check int) "one of each kind" 2 (List.length kinds)
+
+let test_tombstone_gc_two_replicas () =
+  (* Kill at 1; merge to 2; once both replicas' known-vvs cover the death,
+     the tombstone is expired on merge. *)
+  let d = add (Fdir.empty 1) ~rid:1 ~name:"a" ~f:(fid 2) ~b:(birth 1 2) in
+  let at2 = (Fdir.merge ~local_rid:2 ~remote_rid:1 ~peers:[ 1; 2 ] (Fdir.empty 2) d).Fdir.merged in
+  let d = ok (Fdir.kill d ~rid:1 (birth 1 2)) in
+  (* 2 pulls from 1: sees the tombstone, applies the deletion. *)
+  let at2 = (Fdir.merge ~local_rid:2 ~remote_rid:1 ~peers:[ 1; 2 ] at2 d).Fdir.merged in
+  Alcotest.(check (list string)) "deleted at 2" [] (live_names at2);
+  (* 1 pulls from 2: learns that 2 has seen the deletion -> GC fires. *)
+  let r1 = Fdir.merge ~local_rid:1 ~remote_rid:2 ~peers:[ 1; 2 ] d at2 in
+  Alcotest.(check int) "tombstone expired at 1" 0 (List.length r1.Fdir.merged.Fdir.entries);
+  (* 2 pulls from 1 again: GC fires there too, and the entry must NOT
+     resurrect. *)
+  let r2 = Fdir.merge ~local_rid:2 ~remote_rid:1 ~peers:[ 1; 2 ] at2 r1.Fdir.merged in
+  Alcotest.(check int) "expired at 2" 0 (List.length r2.Fdir.merged.Fdir.entries);
+  Alcotest.(check (list string)) "still deleted" [] (live_names r2.Fdir.merged)
+
+let test_tombstone_not_gced_before_all_peers_know () =
+  let d = add (Fdir.empty 1) ~rid:1 ~name:"a" ~f:(fid 2) ~b:(birth 1 2) in
+  let d = ok (Fdir.kill d ~rid:1 (birth 1 2)) in
+  (* Three peers; only 2 has merged.  The tombstone must survive at both
+     1 and 2 because 3 has not seen the deletion. *)
+  let at2 = (Fdir.merge ~local_rid:2 ~remote_rid:1 ~peers:[ 1; 2; 3 ] (Fdir.empty 2) d).Fdir.merged in
+  Alcotest.(check int) "tombstone survives at 2" 1 (List.length at2.Fdir.entries);
+  let r1 = Fdir.merge ~local_rid:1 ~remote_rid:2 ~peers:[ 1; 2; 3 ] d at2 in
+  Alcotest.(check int) "tombstone survives at 1" 1 (List.length r1.Fdir.merged.Fdir.entries)
+
+let test_codec_roundtrip () =
+  let d = add (Fdir.empty 1) ~rid:1 ~name:"plain" ~f:(fid 2) ~b:(birth 1 2) in
+  let d = add d ~rid:1 ~name:"with space & weird%chars#" ~f:(fid 3) ~b:(birth 1 3) in
+  let d = ok (Fdir.kill d ~rid:1 (birth 1 2)) in
+  match Fdir.decode (Fdir.encode d) with
+  | None -> Alcotest.fail "decode failed"
+  | Some d' ->
+    Alcotest.(check (list string)) "live view" (live_names d) (live_names d');
+    Alcotest.check vv_testable "vv" d.Fdir.vv d'.Fdir.vv;
+    Alcotest.(check int) "entry count" (List.length d.Fdir.entries) (List.length d'.Fdir.entries)
+
+let test_decode_rejects_garbage () =
+  List.iter
+    (fun s -> Alcotest.(check bool) s true (Fdir.decode s = None))
+    [ "E"; "E name"; "X whatever"; "V notavv"; "E n 00000001.00000001 1.2 reg Q" ]
+
+let suite =
+  [
+    case "add and lookup" test_add_and_lookup;
+    case "duplicate name rejected" test_add_duplicate_name_rejected;
+    case "invalid names rejected" test_add_invalid_names_rejected;
+    case "kill leaves a tombstone" test_kill_makes_tombstone;
+    case "insert/insert merge" test_insert_insert_merge;
+    case "delete wins over live" test_delete_wins_over_live;
+    case "merge idempotent" test_merge_idempotent;
+    case "merge symmetric convergence" test_merge_symmetric_convergence;
+    case "collision repair deterministic" test_collision_repair_deterministic;
+    case "collision suffix avoids existing names" test_collision_suffix_avoids_existing_name;
+    case "mixed-kind name collision" test_mixed_kind_name_collision;
+    case "tombstone GC after both replicas know" test_tombstone_gc_two_replicas;
+    case "tombstone survives until all peers know" test_tombstone_not_gced_before_all_peers_know;
+    case "encode/decode roundtrip" test_codec_roundtrip;
+    case "decode rejects garbage" test_decode_rejects_garbage;
+  ]

@@ -1,0 +1,226 @@
+(* End-to-end tests over the full stack: logical layer -> (NFS) ->
+   physical layer -> UFS -> disk, on a simulated multi-host cluster. *)
+
+open Util
+
+let two_host_volume () =
+  let cluster = Cluster.create ~nhosts:2 () in
+  let vref = ok (Cluster.create_volume cluster ~on:[ 0; 1 ]) in
+  (cluster, vref)
+
+let test_write_read_same_host () =
+  let cluster, vref = two_host_volume () in
+  let root = ok (Cluster.logical_root cluster 0 vref) in
+  create_file root "hello.txt" "greetings from host0";
+  Alcotest.(check string) "read back" "greetings from host0" (read_file root "hello.txt")
+
+let test_remote_read_through_nfs () =
+  let cluster, vref = two_host_volume () in
+  let root0 = ok (Cluster.logical_root cluster 0 vref) in
+  create_file root0 "shared.txt" "payload";
+  (* Propagate the update to host1's replica, then read it there. *)
+  let (_ : int) = Cluster.run_propagation cluster in
+  let root1 = ok (Cluster.logical_root cluster 1 vref) in
+  Alcotest.(check string) "remote read" "payload" (read_file root1 "shared.txt")
+
+let test_propagation_converges_replicas () =
+  let cluster, vref = two_host_volume () in
+  let root0 = ok (Cluster.logical_root cluster 0 vref) in
+  create_file root0 "f" "v1";
+  let (_ : int) = Cluster.run_propagation cluster in
+  (* host1's own replica must now store the contents. *)
+  let phys1 = Option.get (Cluster.replica (Cluster.host cluster 1) vref) in
+  let fdir = ok (Physical.fetch_dir phys1 []) in
+  let entry = Option.get (Fdir.find_live fdir "f") in
+  let vi, data = ok (Physical.fetch_file phys1 [ entry.Fdir.fid ]) in
+  Alcotest.(check string) "replica contents" "v1" data;
+  Alcotest.(check bool) "stored" true vi.Physical.vi_stored
+
+let test_update_during_partition_one_copy_availability () =
+  let cluster, vref = two_host_volume () in
+  let root0 = ok (Cluster.logical_root cluster 0 vref) in
+  create_file root0 "doc" "base";
+  let (_ : int) = Cluster.run_propagation cluster in
+  Cluster.partition cluster [ [ 0 ]; [ 1 ] ];
+  (* Both sides keep working: updates allowed with any accessible copy. *)
+  let root1 = ok (Cluster.logical_root cluster 1 vref) in
+  write_file root0 "doc" "from host0";
+  Alcotest.(check string) "host0 sees its write" "from host0" (read_file root0 "doc");
+  Alcotest.(check string) "host1 still reads old" "base" (read_file root1 "doc")
+
+let test_reconcile_after_partition () =
+  let cluster, vref = two_host_volume () in
+  let root0 = ok (Cluster.logical_root cluster 0 vref) in
+  create_file root0 "doc" "base";
+  let (_ : int) = Cluster.run_propagation cluster in
+  Cluster.partition cluster [ [ 0 ]; [ 1 ] ];
+  write_file root0 "doc" "newer";
+  Cluster.heal cluster;
+  let (_ : int) = Cluster.converge cluster vref () |> ok in
+  let root1 = ok (Cluster.logical_root cluster 1 vref) in
+  Alcotest.(check string) "host1 converged" "newer" (read_file root1 "doc")
+
+let test_conflicting_updates_detected_not_lost () =
+  let cluster, vref = two_host_volume () in
+  let root0 = ok (Cluster.logical_root cluster 0 vref) in
+  create_file root0 "doc" "base";
+  let (_ : int) = Cluster.run_propagation cluster in
+  Cluster.partition cluster [ [ 0 ]; [ 1 ] ];
+  let root1 = ok (Cluster.logical_root cluster 1 vref) in
+  write_file root0 "doc" "version A";
+  write_file root1 "doc" "version B";
+  Cluster.heal cluster;
+  let (_ : Reconcile.stats) = ok (Cluster.reconcile_ring cluster vref) in
+  (* Both physical layers must have detected the concurrent histories;
+     neither version is silently overwritten. *)
+  let conflicts_somewhere =
+    List.exists
+      (fun i ->
+        match Cluster.replica (Cluster.host cluster i) vref with
+        | None -> false
+        | Some phys -> Conflict_log.pending (Physical.conflicts phys) <> [])
+      [ 0; 1 ]
+  in
+  Alcotest.(check bool) "conflict reported" true conflicts_somewhere;
+  let a = read_file root0 "doc" and b = read_file root1 "doc" in
+  Alcotest.(check bool) "no silent loss"
+    true
+    ((a = "version A" || a = "version B") && (b = "version A" || b = "version B"))
+
+let test_conflict_resolution_propagates () =
+  let cluster, vref = two_host_volume () in
+  let root0 = ok (Cluster.logical_root cluster 0 vref) in
+  create_file root0 "doc" "base";
+  let (_ : int) = Cluster.run_propagation cluster in
+  Cluster.partition cluster [ [ 0 ]; [ 1 ] ];
+  let root1 = ok (Cluster.logical_root cluster 1 vref) in
+  write_file root0 "doc" "version A";
+  write_file root1 "doc" "version B";
+  Cluster.heal cluster;
+  let (_ : Reconcile.stats) = ok (Cluster.reconcile_ring cluster vref) in
+  (* Resolve at whichever replica logged the conflict. *)
+  let resolved =
+    List.exists
+      (fun i ->
+        match Cluster.replica (Cluster.host cluster i) vref with
+        | None -> false
+        | Some phys ->
+          (match Conflict_log.pending (Physical.conflicts phys) with
+           | [] -> false
+           | entry :: _ ->
+             ok (Reconcile.resolve_file_conflict ~local:phys entry ~keep:(`Merged "merged AB"));
+             true))
+      [ 0; 1 ]
+  in
+  Alcotest.(check bool) "resolved somewhere" true resolved;
+  let (_ : int) = Cluster.run_propagation cluster in
+  let (_ : int) = Cluster.converge cluster vref () |> ok in
+  Alcotest.(check string) "host0 merged" "merged AB" (read_file root0 "doc");
+  Alcotest.(check string) "host1 merged" "merged AB" (read_file root1 "doc")
+
+let test_directory_updates_merge_automatically () =
+  let cluster, vref = two_host_volume () in
+  let root0 = ok (Cluster.logical_root cluster 0 vref) in
+  let (_ : int) = Cluster.run_propagation cluster in
+  Cluster.partition cluster [ [ 0 ]; [ 1 ] ];
+  let root1 = ok (Cluster.logical_root cluster 1 vref) in
+  create_file root0 "a" "from0";
+  create_file root1 "b" "from1";
+  Cluster.heal cluster;
+  let (_ : int) = Cluster.converge cluster vref () |> ok in
+  (* Both names visible on both sides: the insert/insert case repairs
+     automatically. *)
+  List.iter
+    (fun root ->
+      let names =
+        ok (root.Vnode.readdir ()) |> List.map (fun d -> d.Vnode.entry_name) |> List.sort compare
+      in
+      Alcotest.(check (list string)) "merged entries" [ "a"; "b" ] names)
+    [ root0; root1 ];
+  Alcotest.(check string) "a content" "from0" (read_file root1 "a");
+  Alcotest.(check string) "b content" "from1" (read_file root0 "b")
+
+let test_remove_propagates () =
+  let cluster, vref = two_host_volume () in
+  let root0 = ok (Cluster.logical_root cluster 0 vref) in
+  create_file root0 "victim" "x";
+  let (_ : int) = Cluster.run_propagation cluster in
+  ok (root0.Vnode.remove "victim");
+  let (_ : int) = Cluster.converge cluster vref () |> ok in
+  let root1 = ok (Cluster.logical_root cluster 1 vref) in
+  expect_err Errno.ENOENT (root1.Vnode.lookup "victim")
+
+let test_name_collision_repair () =
+  let cluster, vref = two_host_volume () in
+  let root0 = ok (Cluster.logical_root cluster 0 vref) in
+  let (_ : int) = Cluster.run_propagation cluster in
+  Cluster.partition cluster [ [ 0 ]; [ 1 ] ];
+  let root1 = ok (Cluster.logical_root cluster 1 vref) in
+  create_file root0 "same" "zero";
+  create_file root1 "same" "one";
+  Cluster.heal cluster;
+  let (_ : int) = Cluster.converge cluster vref () |> ok in
+  (* Both files survive under deterministically repaired names, the same
+     on every replica. *)
+  let names root =
+    ok (root.Vnode.readdir ()) |> List.map (fun d -> d.Vnode.entry_name) |> List.sort compare
+  in
+  let n0 = names root0 and n1 = names root1 in
+  Alcotest.(check (list string)) "same view" n0 n1;
+  Alcotest.(check int) "both survive" 2 (List.length n0);
+  Alcotest.(check bool) "plain name kept" true (List.mem "same" n0);
+  (* Contents agree across replicas under each repaired name. *)
+  List.iter
+    (fun name ->
+      Alcotest.(check string)
+        (Printf.sprintf "content of %s" name)
+        (read_file root0 name) (read_file root1 name))
+    n0
+
+let test_reboot_recovers () =
+  let cluster, vref = two_host_volume () in
+  let root0 = ok (Cluster.logical_root cluster 0 vref) in
+  create_file root0 "persist" "survives";
+  ok (Cluster.reboot cluster 0);
+  let root0 = ok (Cluster.logical_root cluster 0 vref) in
+  Alcotest.(check string) "after reboot" "survives" (read_file root0 "persist")
+
+let test_three_replicas_converge () =
+  let cluster = Cluster.create ~nhosts:3 () in
+  let vref = ok (Cluster.create_volume cluster ~on:[ 0; 1; 2 ]) in
+  let root0 = ok (Cluster.logical_root cluster 0 vref) in
+  create_file root0 "base" "b";
+  let (_ : int) = Cluster.run_propagation cluster in
+  Cluster.partition cluster [ [ 0 ]; [ 1 ]; [ 2 ] ];
+  let root1 = ok (Cluster.logical_root cluster 1 vref) in
+  let root2 = ok (Cluster.logical_root cluster 2 vref) in
+  create_file root0 "only0" "0";
+  create_file root1 "only1" "1";
+  create_file root2 "only2" "2";
+  Cluster.heal cluster;
+  let (_ : int) = Cluster.converge cluster vref () |> ok in
+  List.iter
+    (fun root ->
+      let names =
+        ok (root.Vnode.readdir ()) |> List.map (fun d -> d.Vnode.entry_name) |> List.sort compare
+      in
+      Alcotest.(check (list string)) "all entries everywhere"
+        [ "base"; "only0"; "only1"; "only2" ] names)
+    [ root0; root1; root2 ]
+
+let suite =
+  [
+    case "write/read on one host" test_write_read_same_host;
+    case "remote read through NFS" test_remote_read_through_nfs;
+    case "propagation converges replicas" test_propagation_converges_replicas;
+    case "update during partition (one-copy availability)"
+      test_update_during_partition_one_copy_availability;
+    case "reconcile after partition" test_reconcile_after_partition;
+    case "conflicting updates detected, not lost" test_conflicting_updates_detected_not_lost;
+    case "conflict resolution propagates" test_conflict_resolution_propagates;
+    case "directory updates merge automatically" test_directory_updates_merge_automatically;
+    case "remove propagates" test_remove_propagates;
+    case "name collision repaired deterministically" test_name_collision_repair;
+    case "reboot recovers" test_reboot_recovers;
+    case "three replicas converge" test_three_replicas_converge;
+  ]

@@ -1,0 +1,30 @@
+let () =
+  Alcotest.run "ficus"
+    [
+      ("version-vectors", Test_vv.suite);
+      ("ids", Test_ids.suite);
+      ("ctl-name", Test_ctl_name.suite);
+      ("fdir", Test_fdir.suite);
+      ("storage", Test_storage.suite);
+      ("ufs", Test_ufs.suite);
+      ("vnode", Test_vnode.suite);
+      ("net", Test_net.suite);
+      ("nfs", Test_nfs.suite);
+      ("misc", Test_misc.suite);
+      ("shadow", Test_shadow.suite);
+      ("physical", Test_physical.suite);
+      ("logical", Test_logical.suite);
+      ("propagation", Test_propagation.suite);
+      ("reconcile", Test_reconcile.suite);
+      ("baselines", Test_baselines.suite);
+      ("integration", Test_integration.suite);
+      ("remote", Test_remote.suite);
+      ("stacking", Test_stacking.suite);
+      ("daemons", Test_daemons.suite);
+      ("trace", Test_trace.suite);
+      ("syscall", Test_syscall.suite);
+      ("cluster", Test_cluster.suite);
+      ("layers", Test_layers.suite);
+      ("properties", Test_props.suite);
+      ("experiments", Test_experiments.suite);
+    ]

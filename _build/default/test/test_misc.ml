@@ -1,0 +1,180 @@
+(* Smaller core modules: aux attribute files, the conflict log, the
+   new-version cache, the workload generator. *)
+
+open Util
+module Vv = Version_vector
+
+(* ---------------- aux attribute files ---------------- *)
+
+let test_aux_codec_roundtrip () =
+  let cases =
+    [
+      Aux_attrs.make Aux_attrs.Freg;
+      { (Aux_attrs.make Aux_attrs.Fdir) with Aux_attrs.uid = 42; conflict = true };
+      {
+        (Aux_attrs.make Aux_attrs.Fgraft) with
+        Aux_attrs.vv = Vv.of_list [ (1, 3); (9, 7) ];
+        graft_target = Some { Ids.alloc = 2; vol = 5 };
+      };
+    ]
+  in
+  List.iter
+    (fun aux ->
+      match Aux_attrs.decode (Aux_attrs.encode aux) with
+      | None -> Alcotest.fail "decode failed"
+      | Some aux' ->
+        Alcotest.(check bool) "kind" true (aux.Aux_attrs.kind = aux'.Aux_attrs.kind);
+        Alcotest.check vv_testable "vv" aux.Aux_attrs.vv aux'.Aux_attrs.vv;
+        Alcotest.(check int) "uid" aux.Aux_attrs.uid aux'.Aux_attrs.uid;
+        Alcotest.(check bool) "conflict" aux.Aux_attrs.conflict aux'.Aux_attrs.conflict;
+        Alcotest.(check bool) "graft" true
+          (aux.Aux_attrs.graft_target = aux'.Aux_attrs.graft_target))
+    cases
+
+let test_aux_decode_rejects_garbage () =
+  List.iter
+    (fun s -> Alcotest.(check bool) s true (Aux_attrs.decode s = None))
+    [ ""; "kind=banana\nvv=\nuid=0\nconflict=0\n"; "vv=1:1\n"; "kind=reg\nvv=x:y\nuid=0\nconflict=0\n" ]
+
+let test_aux_load_store_via_vnodes () =
+  let _, fs = fresh_ufs () in
+  let root = Ufs_vnode.root fs in
+  let fid = { Ids.issuer = 2; uniq = 9 } in
+  let aux = { (Aux_attrs.make Aux_attrs.Freg) with Aux_attrs.vv = Vv.singleton 2 4 } in
+  ok (Aux_attrs.store ~dir:root fid aux);
+  let aux' = ok (Aux_attrs.load ~dir:root fid) in
+  Alcotest.check vv_testable "vv persisted" (Vv.singleton 2 4) aux'.Aux_attrs.vv;
+  (* Overwrite in place. *)
+  ok (Aux_attrs.store ~dir:root fid { aux with Aux_attrs.conflict = true });
+  Alcotest.(check bool) "updated" true (ok (Aux_attrs.load ~dir:root fid)).Aux_attrs.conflict;
+  expect_err Errno.ENOENT
+    (Result.map (fun _ -> ()) (Aux_attrs.load ~dir:root { Ids.issuer = 0; uniq = 99 }))
+
+(* ---------------- conflict log ---------------- *)
+
+let test_conflict_log_lifecycle () =
+  let log = Conflict_log.create () in
+  let vref = { Ids.alloc = 0; vol = 1 } in
+  let e1 =
+    Conflict_log.report log ~vref ~fidpath:[] ~fid:Ids.root_fid ~owner_uid:7 ~detected_at:5
+      (Conflict_log.Name_collision { name = "x"; births = [] })
+  in
+  let _e2 =
+    Conflict_log.report log ~vref ~fidpath:[] ~fid:Ids.root_fid ~owner_uid:7 ~detected_at:6
+      (Conflict_log.Removed_while_updated { orphaned_to = "ORPHANS/x" })
+  in
+  Alcotest.(check int) "two pending" 2 (List.length (Conflict_log.pending log));
+  Alcotest.(check int) "ids distinct" 1
+    (match Conflict_log.all log with a :: b :: _ -> b.Conflict_log.id - a.Conflict_log.id | _ -> 0);
+  Conflict_log.mark_resolved log e1.Conflict_log.id;
+  Alcotest.(check int) "one left" 1 (List.length (Conflict_log.pending log));
+  Alcotest.(check int) "all keeps both" 2 (List.length (Conflict_log.all log));
+  Alcotest.(check bool) "find" true (Conflict_log.find log e1.Conflict_log.id <> None);
+  Conflict_log.mark_resolved log 999 (* unknown id: no-op *)
+
+(* ---------------- new-version cache ---------------- *)
+
+let event ?(fid = 7) ?(rid = 2) ?(host = "hostB") () =
+  {
+    Notify.vref = { Ids.alloc = 0; vol = 1 };
+    fidpath = [ { Ids.issuer = 1; uniq = fid } ];
+    fid = { Ids.issuer = 1; uniq = fid };
+    kind = Aux_attrs.Freg;
+    origin_rid = rid;
+    origin_host = host;
+  }
+
+let test_nvc_dedupes_per_object () =
+  let nvc = New_version_cache.create () in
+  New_version_cache.note nvc (event ()) ~now:0;
+  New_version_cache.note nvc (event ()) ~now:3;
+  New_version_cache.note nvc (event ~fid:8 ()) ~now:4;
+  Alcotest.(check int) "two objects" 2 (New_version_cache.size nvc);
+  Alcotest.(check int) "three notes" 3 (New_version_cache.notes nvc)
+
+let test_nvc_keeps_earliest_age_and_newest_origin () =
+  let nvc = New_version_cache.create () in
+  New_version_cache.note nvc (event ~rid:2 ~host:"hostB" ()) ~now:0;
+  New_version_cache.note nvc (event ~rid:3 ~host:"hostC" ()) ~now:9;
+  (* Not yet old enough if age counts from the second note... it must
+     count from the first. *)
+  let ready = New_version_cache.take_ready nvc ~now:10 ~min_age:10 in
+  Alcotest.(check int) "ready by first-note age" 1 (List.length ready);
+  let e = List.hd ready in
+  Alcotest.(check string) "newest origin host" "hostC" e.New_version_cache.origin_host;
+  Alcotest.(check int) "newest origin rid" 3 e.New_version_cache.origin_rid
+
+let test_nvc_min_age_filter () =
+  let nvc = New_version_cache.create () in
+  New_version_cache.note nvc (event ~fid:1 ()) ~now:0;
+  New_version_cache.note nvc (event ~fid:2 ()) ~now:8;
+  let ready = New_version_cache.take_ready nvc ~now:10 ~min_age:5 in
+  Alcotest.(check int) "only the old one" 1 (List.length ready);
+  Alcotest.(check int) "younger still parked" 1 (New_version_cache.size nvc);
+  (* Requeue puts it back for a later retry. *)
+  New_version_cache.requeue nvc (List.hd ready);
+  Alcotest.(check int) "requeued" 2 (New_version_cache.size nvc)
+
+(* ---------------- workload generator ---------------- *)
+
+let test_workload_deterministic () =
+  let run () =
+    let _, fs = fresh_ufs ~blocks:4096 () in
+    let root = Ufs_vnode.root fs in
+    let cfg = Workload.default in
+    ok (Workload.setup root cfg);
+    let stats = Workload.run root cfg ~ops:100 in
+    (stats, read_file root (Workload.file_path cfg 0))
+  in
+  let (s1, c1) = run () and (s2, c2) = run () in
+  Alcotest.(check bool) "same stats" true (s1 = s2);
+  Alcotest.(check string) "same contents" c1 c2
+
+let test_workload_op_counts () =
+  let _, fs = fresh_ufs ~blocks:4096 () in
+  let root = Ufs_vnode.root fs in
+  let cfg = { Workload.default with write_fraction = 0.5; burst = 1 } in
+  ok (Workload.setup root cfg);
+  let stats = Workload.run root cfg ~ops:200 in
+  Alcotest.(check int) "all ops accounted" 200
+    (stats.Workload.reads + stats.Workload.writes + stats.Workload.errors);
+  Alcotest.(check int) "no errors" 0 stats.Workload.errors;
+  Alcotest.(check bool) "mix of both" true (stats.Workload.reads > 0 && stats.Workload.writes > 0)
+
+let test_workload_zipf_skew () =
+  (* With heavy skew, the most popular file receives far more writes
+     than a tail file. *)
+  let _, fs = fresh_ufs ~blocks:8192 () in
+  let root = Ufs_vnode.root fs in
+  let cfg = { Workload.default with write_fraction = 1.0; zipf_s = 1.5; payload = 4 } in
+  ok (Workload.setup root cfg);
+  let (_ : Workload.stats) = Workload.run root cfg ~ops:300 in
+  let mtime i = (ok (Namei.walk ~root (Workload.file_path cfg i)) |> fun v -> ok (v.Vnode.getattr ())).Vnode.mtime in
+  (* The hot file was written recently; the coldest tail file likely
+     never (mtime still from setup). *)
+  Alcotest.(check bool) "hot file touched later than coldest" true
+    (mtime 0 > mtime (Workload.nfiles cfg - 1))
+
+let test_workload_burst () =
+  let _, fs = fresh_ufs ~blocks:4096 () in
+  let root = Ufs_vnode.root fs in
+  let cfg = { Workload.default with write_fraction = 1.0; burst = 10 } in
+  ok (Workload.setup root cfg);
+  let stats = Workload.run root cfg ~ops:50 in
+  Alcotest.(check int) "exactly the requested ops" 50
+    (stats.Workload.reads + stats.Workload.writes + stats.Workload.errors)
+
+let suite =
+  [
+    case "aux codec roundtrip" test_aux_codec_roundtrip;
+    case "aux decode rejects garbage" test_aux_decode_rejects_garbage;
+    case "aux load/store via vnodes" test_aux_load_store_via_vnodes;
+    case "conflict log lifecycle" test_conflict_log_lifecycle;
+    case "nvc dedupes per object" test_nvc_dedupes_per_object;
+    case "nvc keeps earliest age, newest origin" test_nvc_keeps_earliest_age_and_newest_origin;
+    case "nvc min-age filter and requeue" test_nvc_min_age_filter;
+    case "workload deterministic" test_workload_deterministic;
+    case "workload op counts" test_workload_op_counts;
+    case "workload zipf skew" test_workload_zipf_skew;
+    case "workload burst" test_workload_burst;
+  ]

@@ -1,0 +1,124 @@
+(* The simulated network: clock, partitions, datagram semantics, RPC. *)
+
+open Util
+
+type Sim_net.payload += Ping of int | Pong of int
+
+let setup () =
+  let clock = Clock.create () in
+  let net = Sim_net.create clock in
+  let a = Sim_net.add_host net "a" in
+  let b = Sim_net.add_host net "b" in
+  let c = Sim_net.add_host net "c" in
+  (clock, net, a, b, c)
+
+let test_clock () =
+  let clock = Clock.create ~start:5 () in
+  Alcotest.(check int) "start" 5 (Clock.now clock);
+  Clock.advance clock 10;
+  Clock.tick clock;
+  Alcotest.(check int) "advanced" 16 (Clock.now clock);
+  Alcotest.(check int) "fn" 16 (Clock.fn clock ());
+  Alcotest.check_raises "negative" (Invalid_argument "Clock.advance") (fun () ->
+      Clock.advance clock (-1))
+
+let test_datagram_delivery () =
+  let _, net, a, b, _ = setup () in
+  let received = ref [] in
+  Sim_net.register_handler net b (fun ~src payload ->
+      match payload with Ping n -> received := (src, n) :: !received | _ -> ());
+  Sim_net.send net ~src:a ~dst:b (Ping 1);
+  Sim_net.send net ~src:a ~dst:b (Ping 2);
+  Alcotest.(check int) "queued" 2 (Sim_net.pending net);
+  Alcotest.(check (list (pair int int))) "not yet delivered" [] !received;
+  Alcotest.(check int) "pumped" 2 (Sim_net.pump net);
+  Alcotest.(check (list (pair int int))) "in order" [ (a, 2); (a, 1) ] !received
+
+let test_partition_drops_datagrams () =
+  let _, net, a, b, c = setup () in
+  let count = ref 0 in
+  List.iter
+    (fun h -> Sim_net.register_handler net h (fun ~src:_ _ -> incr count))
+    [ b; c ];
+  Sim_net.set_partition net [ [ a; b ]; [ c ] ];
+  Sim_net.broadcast net ~src:a ~dst:[ b; c ] (Ping 9);
+  let delivered = Sim_net.pump net in
+  Alcotest.(check int) "only the same-side host" 1 delivered;
+  Alcotest.(check int) "handler fired once" 1 !count;
+  (* Reachability is evaluated at delivery time: a message sent while
+     connected still dies if the partition forms first. *)
+  Sim_net.heal net;
+  Sim_net.send net ~src:a ~dst:c (Ping 10);
+  Sim_net.set_partition net [ [ a ]; [ b; c ] ];
+  Alcotest.(check int) "cut before the pump" 0 (Sim_net.pump net)
+
+let test_datagram_loss () =
+  let clock = Clock.create () in
+  let net = Sim_net.create ~seed:3 ~datagram_loss:1.0 clock in
+  let a = Sim_net.add_host net "a" in
+  let b = Sim_net.add_host net "b" in
+  let hits = ref 0 in
+  Sim_net.register_handler net b (fun ~src:_ _ -> incr hits);
+  for _ = 1 to 10 do
+    Sim_net.send net ~src:a ~dst:b (Ping 0)
+  done;
+  Alcotest.(check int) "all lost" 0 (Sim_net.pump net);
+  Alcotest.(check int) "none seen" 0 !hits;
+  Alcotest.(check int) "counted as dropped" 10
+    (Counters.get (Sim_net.counters net) "net.datagrams.dropped")
+
+let test_isolate_and_heal () =
+  let _, net, a, b, c = setup () in
+  Sim_net.isolate net b;
+  Alcotest.(check bool) "a-c fine" true (Sim_net.reachable net a c);
+  Alcotest.(check bool) "a-b cut" false (Sim_net.reachable net a b);
+  Alcotest.(check bool) "self always" true (Sim_net.reachable net b b);
+  Sim_net.heal net;
+  Alcotest.(check bool) "healed" true (Sim_net.reachable net a b)
+
+let test_unlisted_hosts_become_isolated () =
+  let _, net, a, b, c = setup () in
+  Sim_net.set_partition net [ [ a; b ] ];
+  Alcotest.(check bool) "c cut from a" false (Sim_net.reachable net a c);
+  Alcotest.(check bool) "c cut from b" false (Sim_net.reachable net b c)
+
+let test_rpc_roundtrip_and_errors () =
+  let _, net, a, b, _ = setup () in
+  Sim_net.register_rpc net b (fun ~src:_ payload ->
+      match payload with Ping n -> Some (Pong (n + 1)) | _ -> None);
+  (match Sim_net.call net ~src:a ~dst:b (Ping 41) with
+   | Ok (Pong 42) -> ()
+   | Ok _ -> Alcotest.fail "wrong response"
+   | Error e -> Alcotest.failf "rpc failed: %s" (Errno.to_string e));
+  (* No matching handler. *)
+  (match Sim_net.call net ~src:a ~dst:b (Pong 0) with
+   | Error Errno.ENOTSUP -> ()
+   | Ok _ | Error _ -> Alcotest.fail "expected ENOTSUP");
+  (* Across a partition. *)
+  Sim_net.set_partition net [ [ a ]; [ b ] ];
+  match Sim_net.call net ~src:a ~dst:b (Ping 0) with
+  | Error Errno.EUNREACHABLE -> ()
+  | Ok _ | Error _ -> Alcotest.fail "expected EUNREACHABLE"
+
+let test_multiple_handlers_first_wins () =
+  let _, net, a, b, _ = setup () in
+  Sim_net.register_rpc net b (fun ~src:_ -> function Ping 1 -> Some (Pong 100) | _ -> None);
+  Sim_net.register_rpc net b (fun ~src:_ -> function Ping _ -> Some (Pong 200) | _ -> None);
+  (match Sim_net.call net ~src:a ~dst:b (Ping 1) with
+   | Ok (Pong 100) -> ()
+   | _ -> Alcotest.fail "first handler should win");
+  match Sim_net.call net ~src:a ~dst:b (Ping 2) with
+  | Ok (Pong 200) -> ()
+  | _ -> Alcotest.fail "second handler should catch the rest"
+
+let suite =
+  [
+    case "clock" test_clock;
+    case "datagram delivery order" test_datagram_delivery;
+    case "partitions drop datagrams at delivery" test_partition_drops_datagrams;
+    case "datagram loss" test_datagram_loss;
+    case "isolate and heal" test_isolate_and_heal;
+    case "unlisted hosts become isolated" test_unlisted_hosts_become_isolated;
+    case "rpc roundtrip and errors" test_rpc_roundtrip_and_errors;
+    case "multiple rpc handlers" test_multiple_handlers_first_wins;
+  ]

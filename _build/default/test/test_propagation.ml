@@ -1,0 +1,129 @@
+(* Update notification and the propagation daemon: hints, burst
+   collapse, retry/abandon, and the reconciliation backstop under 100%
+   notification loss. *)
+
+open Util
+
+let test_notification_drives_propagation () =
+  let cluster = Cluster.create ~nhosts:2 () in
+  let vref = ok (Cluster.create_volume cluster ~on:[ 0; 1 ]) in
+  let root0 = ok (Cluster.logical_root cluster 0 vref) in
+  create_file root0 "f" "pushed";
+  let prop1 = Cluster.propagation (Cluster.host cluster 1) in
+  Alcotest.(check int) "nothing pending before delivery" 0 (Propagation.pending prop1);
+  let (_ : int) = Cluster.pump cluster in
+  Alcotest.(check bool) "hint parked in the cache" true (Propagation.pending prop1 > 0);
+  let (_ : int) = Propagation.run_once prop1 in
+  let (_ : int) = Cluster.run_propagation cluster in
+  let phys1 = Option.get (Cluster.replica (Cluster.host cluster 1) vref) in
+  let fdir = ok (Physical.fetch_dir phys1 []) in
+  let e = Option.get (Fdir.find_live fdir "f") in
+  let _, data = ok (Physical.fetch_file phys1 [ e.Fdir.fid ]) in
+  Alcotest.(check string) "propagated" "pushed" data
+
+let test_burst_collapses_in_cache () =
+  (* Delayed propagation absorbs a burst of updates into one pull
+     (paper §3.2: "delayed propagation may reduce the overall
+     propagation cost when updates are bursty"). *)
+  let cluster = Cluster.create ~nhosts:2 ~propagation_delay:10 () in
+  let vref = ok (Cluster.create_volume cluster ~on:[ 0; 1 ]) in
+  let root0 = ok (Cluster.logical_root cluster 0 vref) in
+  create_file root0 "hot" "v0";
+  let (_ : int) = Cluster.run_propagation cluster in
+  Cluster.advance cluster 20;
+  let (_ : int) = Cluster.run_propagation cluster in
+  let prop1 = Cluster.propagation (Cluster.host cluster 1) in
+  let pulls_before = Counters.get (Propagation.counters prop1) "prop.pull.file" in
+  for i = 1 to 10 do
+    write_file root0 "hot" (Printf.sprintf "v%d" i)
+  done;
+  let (_ : int) = Cluster.pump cluster in
+  (* All ten notifications arrive before the delay expires: one entry. *)
+  Alcotest.(check int) "collapsed to one pending entry" 1 (Propagation.pending prop1);
+  Cluster.advance cluster 11;
+  let (_ : int) = Cluster.run_propagation cluster in
+  let pulls_after = Counters.get (Propagation.counters prop1) "prop.pull.file" in
+  Alcotest.(check int) "a single pull" 1 (pulls_after - pulls_before);
+  let phys1 = Option.get (Cluster.replica (Cluster.host cluster 1) vref) in
+  let fdir = ok (Physical.fetch_dir phys1 []) in
+  let e = Option.get (Fdir.find_live fdir "hot") in
+  let _, data = ok (Physical.fetch_file phys1 [ e.Fdir.fid ]) in
+  Alcotest.(check string) "latest version" "v10" data
+
+let test_retry_then_abandon () =
+  let cluster = Cluster.create ~nhosts:2 () in
+  let vref = ok (Cluster.create_volume cluster ~on:[ 0; 1 ]) in
+  let root0 = ok (Cluster.logical_root cluster 0 vref) in
+  create_file root0 "f" "x";
+  (* Deliver the notification, then cut the link before the pull. *)
+  let (_ : int) = Cluster.pump cluster in
+  Cluster.partition cluster [ [ 0 ]; [ 1 ] ];
+  let prop1 = Cluster.propagation (Cluster.host cluster 1) in
+  for _ = 1 to 10 do
+    ignore (Propagation.run_once prop1)
+  done;
+  Alcotest.(check bool) "retried" true
+    (Counters.get (Propagation.counters prop1) "prop.retries" > 0);
+  Alcotest.(check bool) "eventually abandoned" true
+    (Counters.get (Propagation.counters prop1) "prop.abandoned" > 0);
+  Alcotest.(check int) "queue drained" 0 (Propagation.pending prop1)
+
+let test_convergence_with_total_notification_loss () =
+  (* Notifications are an optimization only: with every datagram lost,
+     reconciliation alone must still converge the replicas. *)
+  let cluster = Cluster.create ~nhosts:2 ~datagram_loss:1.0 () in
+  let vref = ok (Cluster.create_volume cluster ~on:[ 0; 1 ]) in
+  let root0 = ok (Cluster.logical_root cluster 0 vref) in
+  create_file root0 "a" "1";
+  create_file root0 "b" "2";
+  let (_ : int) = Cluster.run_propagation cluster in
+  let phys1 = Option.get (Cluster.replica (Cluster.host cluster 1) vref) in
+  Alcotest.(check (list string)) "nothing propagated" []
+    (Fdir.live (ok (Physical.fetch_dir phys1 [])) |> List.map fst);
+  let (_ : int) = ok (Cluster.converge cluster vref ()) in
+  let root1 = ok (Cluster.logical_root cluster 1 vref) in
+  Alcotest.(check string) "a arrived by reconciliation" "1" (read_file root1 "a");
+  Alcotest.(check string) "b arrived by reconciliation" "2" (read_file root1 "b")
+
+let test_propagation_of_new_directory_trees () =
+  let cluster = Cluster.create ~nhosts:2 () in
+  let vref = ok (Cluster.create_volume cluster ~on:[ 0; 1 ]) in
+  let root0 = ok (Cluster.logical_root cluster 0 vref) in
+  let _ = ok (Namei.mkdir_p ~root:root0 "deep/nested/tree") in
+  create_file root0 "deep/nested/tree/leaf" "found me";
+  let (_ : int) = Cluster.run_propagation cluster in
+  (* The whole subtree must exist at host1's replica without any
+     reconciliation pass. *)
+  let phys1 = Option.get (Cluster.replica (Cluster.host cluster 1) vref) in
+  let rec descend path names =
+    match names with
+    | [] -> path
+    | n :: rest ->
+      let fdir = ok (Physical.fetch_dir phys1 path) in
+      let e = Option.get (Fdir.find_live fdir n) in
+      descend (path @ [ e.Fdir.fid ]) rest
+  in
+  let leaf_path = descend [] [ "deep"; "nested"; "tree"; "leaf" ] in
+  let _, data = ok (Physical.fetch_file phys1 leaf_path) in
+  Alcotest.(check string) "leaf content propagated" "found me" data
+
+let test_own_updates_ignored () =
+  let cluster = Cluster.create ~nhosts:2 () in
+  let vref = ok (Cluster.create_volume cluster ~on:[ 0; 1 ]) in
+  let root0 = ok (Cluster.logical_root cluster 0 vref) in
+  create_file root0 "f" "x";
+  let (_ : int) = Cluster.run_propagation cluster in
+  let prop0 = Cluster.propagation (Cluster.host cluster 0) in
+  (* host0's own update must not end up in host0's cache. *)
+  Alcotest.(check int) "no self-pull pending" 0 (Propagation.pending prop0)
+
+let suite =
+  [
+    case "notification drives propagation" test_notification_drives_propagation;
+    case "burst collapses to one pull" test_burst_collapses_in_cache;
+    case "retry then abandon" test_retry_then_abandon;
+    case "reconciliation backstop under 100% loss"
+      test_convergence_with_total_notification_loss;
+    case "new directory trees propagate" test_propagation_of_new_directory_trees;
+    case "own updates ignored" test_own_updates_ignored;
+  ]

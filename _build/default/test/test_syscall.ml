@@ -1,0 +1,113 @@
+(* The system-call layer over two very different stacks: a bare UFS and
+   the full replicated Ficus stack.  Same code, same behavior. *)
+
+open Util
+
+let over_ufs () =
+  let _, fs = fresh_ufs () in
+  Syscall.create ~root:(Ufs_vnode.root fs)
+
+let over_ficus () =
+  let cluster = Cluster.create ~nhosts:2 () in
+  let vref = ok (Cluster.create_volume cluster ~on:[ 0; 1 ]) in
+  let root = ok (Cluster.logical_root cluster 0 vref) in
+  (cluster, vref, Syscall.create ~root)
+
+let test_open_write_read_close sys =
+  let fd = ok (Syscall.openf sys ~create:true "file.txt" Syscall.O_rdwr) in
+  ok (Syscall.write sys fd "hello ");
+  ok (Syscall.write sys fd "world");
+  ok (Syscall.lseek sys fd 0);
+  Alcotest.(check string) "sequential read" "hello world" (ok (Syscall.read sys fd 64));
+  Alcotest.(check string) "eof" "" (ok (Syscall.read sys fd 64));
+  ok (Syscall.close sys fd);
+  expect_err Errno.EINVAL (Result.map (fun _ -> ()) (Syscall.read sys fd 1))
+
+let test_basic_over_ufs () = test_open_write_read_close (over_ufs ())
+
+let test_basic_over_ficus () =
+  let _, _, sys = over_ficus () in
+  test_open_write_read_close sys
+
+let test_mode_enforcement () =
+  let sys = over_ufs () in
+  ok (Syscall.write_file sys "f" "data");
+  let ro = ok (Syscall.openf sys "f" Syscall.O_rdonly) in
+  expect_err Errno.EINVAL (Syscall.write sys ro "x");
+  let wo = ok (Syscall.openf sys "f" Syscall.O_wronly) in
+  expect_err Errno.EINVAL (Result.map (fun _ -> ()) (Syscall.read sys wo 1));
+  ok (Syscall.close sys ro);
+  ok (Syscall.close sys wo)
+
+let test_pread_pwrite_do_not_move_offset () =
+  let sys = over_ufs () in
+  let fd = ok (Syscall.openf sys ~create:true "f" Syscall.O_rdwr) in
+  ok (Syscall.write sys fd "0123456789");
+  ok (Syscall.lseek sys fd 2);
+  Alcotest.(check string) "pread" "45" (ok (Syscall.pread sys fd ~off:4 ~len:2));
+  ok (Syscall.pwrite sys fd ~off:0 "XX");
+  Alcotest.(check string) "offset unmoved" "23" (ok (Syscall.read sys fd 2));
+  ok (Syscall.close sys fd)
+
+let test_trunc_flag () =
+  let sys = over_ufs () in
+  ok (Syscall.write_file sys "f" "long old contents");
+  let fd = ok (Syscall.openf sys ~trunc:true "f" Syscall.O_wronly) in
+  ok (Syscall.write sys fd "new");
+  ok (Syscall.close sys fd);
+  Alcotest.(check string) "truncated" "new" (ok (Syscall.read_file sys "f"))
+
+let test_path_calls () =
+  let sys = over_ufs () in
+  ok (Syscall.mkdir sys "d");
+  ok (Syscall.mkdir sys "d/sub");
+  ok (Syscall.write_file sys "d/sub/f" "x");
+  Alcotest.(check (list string)) "readdir" [ "sub" ] (ok (Syscall.readdir sys "d"));
+  ok (Syscall.rename sys "d/sub/f" "d/f2");
+  Alcotest.(check string) "renamed" "x" (ok (Syscall.read_file sys "d/f2"));
+  ok (Syscall.link sys "d/f2" "alias");
+  Alcotest.(check string) "linked" "x" (ok (Syscall.read_file sys "alias"));
+  ok (Syscall.unlink sys "alias");
+  ok (Syscall.unlink sys "d/f2");
+  ok (Syscall.rmdir sys "d/sub");
+  ok (Syscall.rmdir sys "d");
+  expect_err Errno.ENOENT (Result.map (fun _ -> ()) (Syscall.stat sys "d"))
+
+let test_open_dir_for_write_rejected () =
+  let sys = over_ufs () in
+  ok (Syscall.mkdir sys "d");
+  expect_err Errno.EISDIR (Result.map (fun _ -> ()) (Syscall.openf sys "d" Syscall.O_wronly))
+
+let test_open_engages_ficus_locking () =
+  (* openf over the logical layer must engage whole-file concurrency
+     control: two writers are excluded. *)
+  let _, _, sys = over_ficus () in
+  ok (Syscall.write_file sys "shared" "x");
+  let w1 = ok (Syscall.openf sys "shared" Syscall.O_wronly) in
+  expect_err Errno.EAGAIN (Result.map (fun _ -> ()) (Syscall.openf sys "shared" Syscall.O_wronly));
+  ok (Syscall.close sys w1);
+  let w2 = ok (Syscall.openf sys "shared" Syscall.O_wronly) in
+  ok (Syscall.close sys w2);
+  Alcotest.(check int) "table empty" 0 (Syscall.open_fds sys)
+
+let test_replication_through_syscalls () =
+  let cluster, vref, sys0 = over_ficus () in
+  ok (Syscall.write_file sys0 "doc" "written via syscalls");
+  let (_ : int) = Cluster.run_propagation cluster in
+  let root1 = ok (Cluster.logical_root cluster 1 vref) in
+  let sys1 = Syscall.create ~root:root1 in
+  Alcotest.(check string) "read on the other host" "written via syscalls"
+    (ok (Syscall.read_file sys1 "doc"))
+
+let suite =
+  [
+    case "open/write/read/close over UFS" test_basic_over_ufs;
+    case "open/write/read/close over Ficus" test_basic_over_ficus;
+    case "mode enforcement" test_mode_enforcement;
+    case "pread/pwrite leave offset alone" test_pread_pwrite_do_not_move_offset;
+    case "O_TRUNC" test_trunc_flag;
+    case "path calls" test_path_calls;
+    case "open dir for write rejected" test_open_dir_for_write_rejected;
+    case "open engages Ficus locking" test_open_engages_ficus_locking;
+    case "replication through syscalls" test_replication_through_syscalls;
+  ]
