@@ -4,9 +4,11 @@
    timing-sensitive claims (layer crossing, shadow commit).
 
    Usage:
-     bench/main.exe            run everything
-     bench/main.exe e4 e6      run selected experiments
-     bench/main.exe micro      run only the microbenchmarks *)
+     bench/main.exe                   run everything
+     bench/main.exe e4 e6             run selected experiments
+     bench/main.exe micro             run only the microbenchmarks
+     bench/main.exe --smoke           fast subset (CI; no microbenchmarks)
+     bench/main.exe --json out.json   also write verdicts as JSON *)
 
 open Bechamel
 open Toolkit
@@ -92,31 +94,97 @@ let print_summary verdicts =
     (List.length verdicts - List.length failed)
     (List.length verdicts)
 
+(* Hand-rolled JSON (no JSON library in the dependency set). *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_json path ~mode verdicts =
+  let oc = open_out path in
+  let failed = List.filter (fun v -> not v.Experiments.holds) verdicts in
+  Printf.fprintf oc "{\n  \"schema\": \"ficus-bench/1\",\n  \"mode\": %S,\n" mode;
+  Printf.fprintf oc "  \"reproduced\": %d,\n  \"total\": %d,\n"
+    (List.length verdicts - List.length failed)
+    (List.length verdicts);
+  Printf.fprintf oc "  \"experiments\": [";
+  List.iteri
+    (fun i v ->
+      Printf.fprintf oc "%s\n    { \"experiment\": \"%s\", \"holds\": %b, \"claim\": \"%s\", \"detail\": \"%s\" }"
+        (if i = 0 then "" else ",")
+        (json_escape v.Experiments.experiment)
+        v.Experiments.holds
+        (json_escape v.Experiments.claim)
+        (json_escape v.Experiments.detail))
+    verdicts;
+  Printf.fprintf oc "\n  ]\n}\n";
+  close_out oc;
+  Printf.printf "\nWrote %s\n%!" path
+
+(* The fast, deterministic subset for CI: no timing-sensitive
+   experiments (E1 is wall-clock based), no parameter sweeps, no
+   bechamel runs. *)
+let smoke_names = [ "e2"; "e3"; "e4"; "e6"; "e9"; "e10"; "f2"; "a1"; "a3"; "chaos" ]
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  match args with
-  | [] ->
-    let verdicts = Experiments.all () in
-    run_micro ();
-    print_summary verdicts;
-    if List.exists (fun v -> not v.Experiments.holds) verdicts then exit 1
-  | [ "micro" ] -> run_micro ()
-  | names ->
-    let verdicts =
-      List.filter_map
-        (fun name ->
-          if name = "micro" then begin
-            run_micro ();
-            None
-          end
-          else
-            match Experiments.run_by_name name with
-            | Some v -> Some v
-            | None ->
-              Printf.eprintf "unknown experiment %S (known: %s)\n" name
-                (String.concat ", " Experiments.names);
-              exit 2)
-        names
-    in
-    print_summary verdicts;
-    if List.exists (fun v -> not v.Experiments.holds) verdicts then exit 1
+  let rec parse args (json, smoke, rest) =
+    match args with
+    | [] -> (json, smoke, List.rev rest)
+    | "--json" :: path :: tl -> parse tl (Some path, smoke, rest)
+    | [ "--json" ] ->
+      Printf.eprintf "--json requires a path\n";
+      exit 2
+    | "--smoke" :: tl -> parse tl (json, true, rest)
+    | a :: tl -> parse tl (json, smoke, a :: rest)
+  in
+  let json, smoke, names = parse args (None, false, []) in
+  let mode =
+    if smoke then "smoke"
+    else if names = [] then "full"
+    else String.concat "+" names
+  in
+  let run_names names =
+    List.filter_map
+      (fun name ->
+        if name = "micro" then begin
+          run_micro ();
+          None
+        end
+        else
+          match Experiments.run_by_name name with
+          | Some v -> Some v
+          | None ->
+            Printf.eprintf "unknown experiment %S (known: %s)\n" name
+              (String.concat ", " Experiments.names);
+            exit 2)
+      names
+  in
+  let verdicts =
+    match (smoke, names) with
+    | true, [] -> run_names smoke_names
+    | true, _ ->
+      Printf.eprintf "--smoke takes no experiment names\n";
+      exit 2
+    | false, [] ->
+      let verdicts = Experiments.all () in
+      run_micro ();
+      verdicts
+    | false, [ "micro" ] ->
+      run_micro ();
+      []
+    | false, names -> run_names names
+  in
+  if verdicts <> [] then print_summary verdicts;
+  (match json with Some path -> write_json path ~mode verdicts | None -> ());
+  if List.exists (fun v -> not v.Experiments.holds) verdicts then exit 1

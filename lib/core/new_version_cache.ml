@@ -7,6 +7,7 @@ type entry = {
   origin_host : string;
   queued_at : int;
   mutable attempts : int;
+  mutable not_before : int;  (* backoff: ignore until the clock reaches this *)
 }
 
 type key = int * int * string (* alloc, vol, fidpath *)
@@ -42,13 +43,15 @@ let note t (e : Notify.event) ~now =
         origin_host = e.Notify.origin_host;
         queued_at = now;
         attempts = 0;
+        not_before = 0;
       }
 
 let take_ready t ~now ~min_age =
   let ready, _ =
     Hashtbl.fold
       (fun key e (ready, keep) ->
-        if now - e.queued_at >= min_age then ((key, e) :: ready, keep)
+        if now - e.queued_at >= min_age && now >= e.not_before then
+          ((key, e) :: ready, keep)
         else (ready, keep))
       t.table ([], ())
   in

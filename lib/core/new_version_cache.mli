@@ -20,6 +20,9 @@ type entry = {
   origin_host : string;
   queued_at : int;       (** simulated time of first pending notification *)
   mutable attempts : int;
+  mutable not_before : int;
+      (** retry backoff: {!take_ready} skips the entry until the clock
+          reaches this tick (0 = ready immediately) *)
 }
 
 type t
@@ -32,12 +35,13 @@ val note : t -> Notify.event -> now:int -> unit
 
 val take_ready : t -> now:int -> min_age:int -> entry list
 (** Remove and return entries that have been pending at least [min_age]
-    ticks; [min_age] 0 means propagate eagerly. *)
+    ticks and whose [not_before] backoff has expired; [min_age] 0 means
+    propagate eagerly. *)
 
 val requeue : t -> entry -> unit
-(** Put a failed entry back (e.g. origin unreachable); [attempts] is
-    preserved so the daemon can eventually give up and leave the work to
-    reconciliation. *)
+(** Put a failed entry back (e.g. origin unreachable); [attempts] and
+    [not_before] are preserved so the daemon backs off between retries
+    and can eventually give up and leave the work to reconciliation. *)
 
 val size : t -> int
 val notes : t -> int

@@ -10,10 +10,18 @@ type t = {
   local_replica : Ids.volume_ref -> Physical.t option;
   delay : int;
   max_attempts : int;
+  backoff_base : int;
+  backoff_max : int;
+  deadline : int;
+  rng : Random.State.t;
   counters : Counters.t;
 }
 
-let create ?(delay = 0) ?(max_attempts = 5) ~clock ~host ~connect ~local_replica () =
+let create ?(delay = 0) ?(max_attempts = 5) ?(backoff_base = 2) ?(backoff_max = 64)
+    ?(deadline = 500) ?seed ~clock ~host ~connect ~local_replica () =
+  if backoff_base < 0 || backoff_max < 0 || deadline < 0 then
+    invalid_arg "Propagation.create";
+  let seed = match seed with Some s -> s | None -> Hashtbl.hash host in
   {
     nvc = New_version_cache.create ();
     clock;
@@ -22,8 +30,22 @@ let create ?(delay = 0) ?(max_attempts = 5) ~clock ~host ~connect ~local_replica
     local_replica;
     delay;
     max_attempts;
+    backoff_base;
+    backoff_max;
+    deadline;
+    rng = Random.State.make [| seed |];
     counters = Counters.create ();
   }
+
+(* Exponential backoff with jitter: after the [n]th failure wait
+   [base * 2^(n-1)] ticks (capped) plus up to that much again of
+   jitter, so retries from many hosts decorrelate instead of hammering
+   a recovering origin in lockstep. *)
+let backoff t attempts =
+  let shift = min (max 0 (attempts - 1)) 16 in
+  let base = min t.backoff_max (t.backoff_base * (1 lsl shift)) in
+  let jitter = if base > 1 then Random.State.int t.rng base else 0 in
+  base + jitter
 
 let on_notify t (e : Notify.event) =
   match t.local_replica e.Notify.vref with
@@ -98,17 +120,32 @@ let run_once t =
          List.iter (fun ev -> New_version_cache.note t.nvc ev ~now) followups
        | Error err ->
          e.New_version_cache.attempts <- e.New_version_cache.attempts + 1;
-         if e.New_version_cache.attempts < t.max_attempts then begin
+         let now = Clock.now t.clock in
+         let expired =
+           t.deadline > 0 && now - e.New_version_cache.queued_at >= t.deadline
+         in
+         if e.New_version_cache.attempts < t.max_attempts && not expired then begin
+           (* Back off only on network failure; other errors are usually
+              ordering (a parent directory still being pulled) and want
+              an immediate retry in the same propagation pass. *)
+           let wait =
+             match err with
+             | Errno.EUNREACHABLE -> backoff t e.New_version_cache.attempts
+             | _ -> 0
+           in
+           e.New_version_cache.not_before <- now + wait;
            Counters.incr t.counters "prop.retries";
+           Counters.add t.counters "prop.backoff_ticks" wait;
            New_version_cache.requeue t.nvc e
          end
          else begin
            (* Give up; the reconciliation protocol will converge it. *)
            Log.info (fun m ->
-               m "%s abandoning pull of %s from %s after %d attempts (%s)" t.host
+               m "%s abandoning pull of %s from %s after %d attempts (%s%s)" t.host
                  (Ids.fidpath_to_string e.New_version_cache.fidpath)
                  e.New_version_cache.origin_host e.New_version_cache.attempts
-                 (Errno.to_string err));
+                 (Errno.to_string err)
+                 (if expired then ", deadline passed" else ""));
            Counters.incr t.counters "prop.abandoned"
          end)
   in

@@ -13,14 +13,18 @@
       for their own pulls.
 
     Propagation is an optimization, not a correctness mechanism: if the
-    origin is unreachable, the entry is retried and eventually abandoned
-    to the periodic reconciliation protocol. *)
+    origin is unreachable, the entry is retried with exponential backoff
+    and eventually abandoned to the periodic reconciliation protocol. *)
 
 type t
 
 val create :
   ?delay:int ->
   ?max_attempts:int ->
+  ?backoff_base:int ->
+  ?backoff_max:int ->
+  ?deadline:int ->
+  ?seed:int ->
   clock:Clock.t ->
   host:string ->
   connect:Remote.connector ->
@@ -28,7 +32,17 @@ val create :
   unit -> t
 (** [delay] (default 0) is the minimum age before a cache entry is acted
     on — the "later, more convenient time"; larger delays batch bursty
-    updates.  [max_attempts] (default 5) bounds retries per entry. *)
+    updates.  [max_attempts] (default 5) bounds retries per entry.
+
+    A pull that fails with [EUNREACHABLE] is requeued with exponential
+    backoff plus jitter (other failures — typically ordering, a parent
+    directory still in flight — retry immediately): after
+    the [n]th failure the entry sleeps [backoff_base * 2^(n-1)] ticks
+    (capped at [backoff_max], defaults 2 and 64) plus up to that much
+    jitter again, drawn from a PRNG seeded by [seed] (default: a hash of
+    [host], so every daemon jitters differently but deterministically).
+    An entry older than [deadline] ticks (default 500; 0 disables) is
+    abandoned at its next failure regardless of attempts left. *)
 
 val on_notify : t -> Notify.event -> unit
 (** Feed one notification (wire this to the host's datagram handler).
@@ -42,4 +56,5 @@ val pending : t -> int
 val cache : t -> New_version_cache.t
 val counters : t -> Counters.t
 (** ["prop.pull.file"], ["prop.pull.dir"], ["prop.bytes"],
-    ["prop.conflicts"], ["prop.retries"], ["prop.abandoned"]. *)
+    ["prop.conflicts"], ["prop.retries"], ["prop.backoff_ticks"]
+    (cumulative sleep imposed by backoff), ["prop.abandoned"]. *)

@@ -24,28 +24,46 @@ let create ?(period = 100) ~clock ~host ~connect ~replicas () =
 let counters t = t.counters
 let next_due t = t.next_due
 
-(* Reconcile one local replica against its next rotation peer. *)
+(* Reconcile one local replica against its next rotation peer.  An
+   unreachable peer is skipped — the daemon fails over to the following
+   peers in rotation order rather than wasting the whole period, so one
+   dead host degrades a pass gracefully instead of erroring it out. *)
 let reconcile_one t (vref, phys) =
   let my_rid = Physical.rid phys in
   let peers = List.filter (fun (rid, _) -> rid <> my_rid) (Physical.peers phys) in
   match peers with
   | [] -> Reconcile.empty_stats
   | _ ->
+    let npeers = List.length peers in
     let key = (vref.Ids.alloc, vref.Ids.vol) in
     let cursor = Option.value ~default:0 (Hashtbl.find_opt t.rotation key) in
     Hashtbl.replace t.rotation key (cursor + 1);
-    let remote_rid, remote_host = List.nth peers (cursor mod List.length peers) in
-    Counters.incr t.counters "recon.pairs";
-    match t.connect ~host:remote_host ~vref ~rid:remote_rid with
-    | Error _ ->
-      Counters.incr t.counters "recon.errors";
-      { Reconcile.empty_stats with errors = 1 }
-    | Ok remote_root ->
-      (match Reconcile.reconcile_volume ~local:phys ~remote_root ~remote_rid with
-       | Ok stats -> stats
-       | Error _ ->
-         Counters.incr t.counters "recon.errors";
-         { Reconcile.empty_stats with errors = 1 })
+    let rec try_peer k =
+      if k >= npeers then begin
+        (* Every peer unreachable this pass; reconciliation will catch
+           up when somebody returns. *)
+        Counters.incr t.counters "recon.errors";
+        { Reconcile.empty_stats with errors = 1 }
+      end
+      else begin
+        let remote_rid, remote_host = List.nth peers ((cursor + k) mod npeers) in
+        Counters.incr t.counters "recon.pairs";
+        match t.connect ~host:remote_host ~vref ~rid:remote_rid with
+        | Error _ ->
+          Counters.incr t.counters "recon.skipped";
+          try_peer (k + 1)
+        | Ok remote_root ->
+          (match Reconcile.reconcile_volume ~local:phys ~remote_root ~remote_rid with
+           | Ok stats -> stats
+           | Error _ ->
+             (* Mid-reconcile failure (e.g. the link died): no failover —
+                partial progress is already durable and the next period
+                resumes. *)
+             Counters.incr t.counters "recon.errors";
+             { Reconcile.empty_stats with errors = 1 })
+      end
+    in
+    try_peer 0
 
 let force t =
   Counters.incr t.counters "recon.passes";

@@ -27,13 +27,15 @@ val create :
 
 val tick : t -> Reconcile.stats option
 (** Run a pass if the period has elapsed; [None] when not yet due.
-    Unreachable peers count in the stats' [errors] and the rotation
-    simply moves on next period. *)
+    An unreachable peer is skipped (counted in ["recon.skipped"]) and
+    the pass fails over to the next peer in rotation order; only when
+    {e every} peer is unreachable does the pass count an error. *)
 
 val force : t -> Reconcile.stats
 (** Run a pass now, regardless of the period. *)
 
 val counters : t -> Counters.t
-(** ["recon.passes"], ["recon.pairs"], ["recon.errors"]. *)
+(** ["recon.passes"], ["recon.pairs"], ["recon.skipped"] (unreachable
+    peers failed over), ["recon.errors"]. *)
 
 val next_due : t -> int

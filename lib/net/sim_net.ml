@@ -2,30 +2,91 @@ type host_id = int
 
 type payload = ..
 
+type faults = {
+  loss : float;
+  rpc_failure_prob : float;
+  latency_min : int;
+  latency_max : int;
+  duplication_prob : float;
+  reorder_prob : float;
+}
+
+let no_faults =
+  {
+    loss = 0.0;
+    rpc_failure_prob = 0.0;
+    latency_min = 0;
+    latency_max = 0;
+    duplication_prob = 0.0;
+    reorder_prob = 0.0;
+  }
+
+let check_faults f =
+  let prob p = p >= 0.0 && p <= 1.0 in
+  if
+    not
+      (prob f.loss && prob f.rpc_failure_prob && prob f.duplication_prob
+       && prob f.reorder_prob && f.latency_min >= 0
+       && f.latency_max >= 0)
+  then invalid_arg "Sim_net: bad fault spec"
+
+(* Fault scopes compose pessimistically: wherever several scopes apply
+   to a packet (global, either endpoint host, the directed link), each
+   knob takes the worst applicable value. *)
+let worst a b =
+  {
+    loss = Float.max a.loss b.loss;
+    rpc_failure_prob = Float.max a.rpc_failure_prob b.rpc_failure_prob;
+    latency_min = max a.latency_min b.latency_min;
+    latency_max = max a.latency_max b.latency_max;
+    duplication_prob = Float.max a.duplication_prob b.duplication_prob;
+    reorder_prob = Float.max a.reorder_prob b.reorder_prob;
+  }
+
 type host = {
   name : string;
   mutable group : int;
+  mutable flaky_until : int;
   mutable datagram_handlers : (src:host_id -> payload -> unit) list;
   mutable rpc_handlers : (src:host_id -> payload -> payload option) list;
+}
+
+type packet = {
+  p_src : host_id;
+  p_dst : host_id;
+  p_payload : payload;
+  p_due : int;  (* deliverable once the clock reaches this tick *)
+  p_seq : int;  (* send order, the tiebreak among equally due packets *)
 }
 
 type t = {
   clock : Clock.t;
   rng : Random.State.t;
   datagram_loss : float;
+  mutable faults : faults;
+  host_faults : (host_id, faults) Hashtbl.t;
+  link_faults : (host_id * host_id, faults) Hashtbl.t;
+  severed : (host_id * host_id, unit) Hashtbl.t;
   mutable host_table : host array;
-  mutable queue : (host_id * host_id * payload) list;  (* reversed send order *)
+  mutable queue : packet list;  (* unordered; delivery sorts by (due, seq) *)
+  mutable seq : int;
   counters : Counters.t;
 }
 
-let create ?(seed = 42) ?(datagram_loss = 0.0) clock =
+let create ?(seed = 42) ?(datagram_loss = 0.0) ?(faults = no_faults) clock =
   if datagram_loss < 0.0 || datagram_loss > 1.0 then invalid_arg "Sim_net.create";
+  check_faults faults;
   {
     clock;
     rng = Random.State.make [| seed |];
     datagram_loss;
+    faults;
+    host_faults = Hashtbl.create 8;
+    link_faults = Hashtbl.create 8;
+    severed = Hashtbl.create 8;
     host_table = [||];
     queue = [];
+    seq = 0;
     counters = Counters.create ();
   }
 
@@ -34,7 +95,9 @@ let counters t = t.counters
 
 let add_host t name =
   let id = Array.length t.host_table in
-  let h = { name; group = 0; datagram_handlers = []; rpc_handlers = [] } in
+  let h =
+    { name; group = 0; flaky_until = 0; datagram_handlers = []; rpc_handlers = [] }
+  in
   t.host_table <- Array.append t.host_table [| h |];
   id
 
@@ -45,6 +108,42 @@ let host t id =
 let host_name t id = (host t id).name
 
 let hosts t = List.init (Array.length t.host_table) Fun.id
+
+(* ------------------------------------------------------------------ *)
+(* Fault configuration                                                 *)
+
+let set_faults t f =
+  check_faults f;
+  t.faults <- f
+
+let set_host_faults t id f =
+  check_faults f;
+  ignore (host t id);
+  Hashtbl.replace t.host_faults id f
+
+let set_link_faults t ~src ~dst f =
+  check_faults f;
+  ignore (host t src);
+  ignore (host t dst);
+  Hashtbl.replace t.link_faults (src, dst) f
+
+let clear_faults t =
+  t.faults <- no_faults;
+  Hashtbl.reset t.host_faults;
+  Hashtbl.reset t.link_faults
+
+let effective t src dst =
+  let f = t.faults in
+  let f = match Hashtbl.find_opt t.host_faults src with Some g -> worst f g | None -> f in
+  let f = match Hashtbl.find_opt t.host_faults dst with Some g -> worst f g | None -> f in
+  match Hashtbl.find_opt t.link_faults (src, dst) with Some g -> worst f g | None -> f
+
+let set_flaky t id ~until = (host t id).flaky_until <- until
+
+let flaky t id = (host t id).flaky_until > Clock.now t.clock
+
+(* ------------------------------------------------------------------ *)
+(* Partitions, severed links, flaky windows                            *)
 
 let set_partition t groups =
   let mentioned = Hashtbl.create 16 in
@@ -66,19 +165,60 @@ let set_partition t groups =
       end)
     t.host_table
 
-let heal t = Array.iter (fun h -> h.group <- 0) t.host_table
+let heal t =
+  Array.iter
+    (fun h ->
+      h.group <- 0;
+      h.flaky_until <- 0)
+    t.host_table;
+  Hashtbl.reset t.severed
 
 let isolate t id =
-  let lowest_free =
-    Array.fold_left (fun acc h -> max acc (h.group + 1)) 1 t.host_table
-  in
-  (host t id).group <- lowest_free
+  (* A true lowest-free search: the group must differ from every other
+     host's, whatever sparse ids earlier set_partition/isolate calls
+     left behind, and repeated calls must not grow ids unboundedly. *)
+  let used = Hashtbl.create 16 in
+  Array.iteri
+    (fun i h -> if i <> id then Hashtbl.replace used h.group ())
+    t.host_table;
+  let g = ref 0 in
+  while Hashtbl.mem used !g do
+    incr g
+  done;
+  (host t id).group <- !g
 
-let reachable t a b = a = b || (host t a).group = (host t b).group
+let sever t ~src ~dst = Hashtbl.replace t.severed (src, dst) ()
+
+let unsever t ~src ~dst = Hashtbl.remove t.severed (src, dst)
+
+let reachable t a b =
+  a = b
+  || ((host t a).group = (host t b).group
+      && (not (Hashtbl.mem t.severed (a, b)))
+      && (not (flaky t a))
+      && not (flaky t b))
+
+(* ------------------------------------------------------------------ *)
+(* Datagrams                                                           *)
+
+let draw_latency t (f : faults) =
+  if f.latency_max <= f.latency_min then f.latency_min
+  else f.latency_min + Random.State.int t.rng (f.latency_max - f.latency_min + 1)
+
+let enqueue t ~src ~dst p ~due =
+  t.queue <- { p_src = src; p_dst = dst; p_payload = p; p_due = due; p_seq = t.seq } :: t.queue;
+  t.seq <- t.seq + 1
 
 let send t ~src ~dst p =
   Counters.incr t.counters "net.datagrams.sent";
-  t.queue <- (src, dst, p) :: t.queue
+  let f = effective t src dst in
+  let now = Clock.now t.clock in
+  enqueue t ~src ~dst p ~due:(now + draw_latency t f);
+  if f.duplication_prob > 0.0 && Random.State.float t.rng 1.0 < f.duplication_prob
+  then begin
+    Counters.incr t.counters "net.datagrams.duplicated";
+    enqueue t ~src ~dst p ~due:(now + draw_latency t f)
+  end
 
 let broadcast t ~src ~dst p = List.iter (fun d -> send t ~src ~dst:d p) dst
 
@@ -88,22 +228,47 @@ let register_handler t id f =
 
 let pending t = List.length t.queue
 
+(* One adjacent-swap pass over the delivery order: each packet may slip
+   behind its successor with the link's reorder probability. *)
+let rec reorder_pass t = function
+  | a :: b :: rest ->
+    let f = effective t a.p_src a.p_dst in
+    if f.reorder_prob > 0.0 && Random.State.float t.rng 1.0 < f.reorder_prob then begin
+      Counters.incr t.counters "net.datagrams.reordered";
+      b :: reorder_pass t (a :: rest)
+    end
+    else a :: reorder_pass t (b :: rest)
+  | l -> l
+
 let pump t =
-  let batch = List.rev t.queue in
-  t.queue <- [];
+  let now = Clock.now t.clock in
+  let ready, later = List.partition (fun p -> p.p_due <= now) t.queue in
+  t.queue <- later;
+  let ready =
+    List.sort
+      (fun a b ->
+        match Int.compare a.p_due b.p_due with 0 -> Int.compare a.p_seq b.p_seq | c -> c)
+      ready
+  in
+  let ready = reorder_pass t ready in
   let delivered = ref 0 in
-  let deliver (src, dst, p) =
-    let lost = t.datagram_loss > 0.0 && Random.State.float t.rng 1.0 < t.datagram_loss in
-    if lost || not (reachable t src dst) then
+  let deliver p =
+    let f = effective t p.p_src p.p_dst in
+    let loss = Float.max t.datagram_loss f.loss in
+    let lost = loss > 0.0 && Random.State.float t.rng 1.0 < loss in
+    if lost || not (reachable t p.p_src p.p_dst) then
       Counters.incr t.counters "net.datagrams.dropped"
     else begin
       Counters.incr t.counters "net.datagrams.delivered";
       incr delivered;
-      List.iter (fun f -> f ~src p) (host t dst).datagram_handlers
+      List.iter (fun f -> f ~src:p.p_src p.p_payload) (host t p.p_dst).datagram_handlers
     end
   in
-  List.iter deliver batch;
+  List.iter deliver ready;
   !delivered
+
+(* ------------------------------------------------------------------ *)
+(* RPC                                                                 *)
 
 let register_rpc t id f =
   let h = host t id in
@@ -116,11 +281,19 @@ let call t ~src ~dst p =
     Error Errno.EUNREACHABLE
   end
   else
-    let rec try_handlers = function
-      | [] ->
-        Counters.incr t.counters "net.rpc.failed";
-        Error Errno.ENOTSUP
-      | f :: rest ->
-        (match f ~src p with Some resp -> Ok resp | None -> try_handlers rest)
-    in
-    try_handlers (host t dst).rpc_handlers
+    let f = effective t src dst in
+    if f.rpc_failure_prob > 0.0 && Random.State.float t.rng 1.0 < f.rpc_failure_prob
+    then begin
+      Counters.incr t.counters "net.rpc.failed";
+      Counters.incr t.counters "net.rpc.injected";
+      Error Errno.EUNREACHABLE
+    end
+    else
+      let rec try_handlers = function
+        | [] ->
+          Counters.incr t.counters "net.rpc.failed";
+          Error Errno.ENOTSUP
+        | f :: rest ->
+          (match f ~src p with Some resp -> Ok resp | None -> try_handlers rest)
+      in
+      try_handlers (host t dst).rpc_handlers

@@ -14,6 +14,14 @@
       Fails with [EUNREACHABLE] across a partition — the caller sees the
       same thing as an RPC timeout.
 
+    On top of partitions sits a {b fault-injection layer} ({!faults}):
+    datagram latency (delivery scheduled on clock ticks), duplication,
+    reordering, extra loss, and probabilistic RPC failure, configurable
+    globally, per host, or per directed link; plus transient "flaky host"
+    windows ({!set_flaky}) and one-way severed links ({!sever}).  All
+    randomness flows through the seeded PRNG, so a given (seed, schedule)
+    is fully deterministic.
+
     Payloads are an extensible variant: each protocol (NFS, Ficus
     notifications…) declares its own constructors and hosts may register
     several handlers; a handler ignores payloads it does not recognize. *)
@@ -24,15 +32,53 @@ type payload = ..
 
 type t
 
-val create : ?seed:int -> ?datagram_loss:float -> Clock.t -> t
+(** {1 Fault model} *)
+
+type faults = {
+  loss : float;            (** extra datagram loss probability *)
+  rpc_failure_prob : float;(** each RPC fails with [EUNREACHABLE] *)
+  latency_min : int;       (** datagram delivery delay, in clock ticks *)
+  latency_max : int;       (** drawn uniformly from [min, max] *)
+  duplication_prob : float;(** datagram delivered twice *)
+  reorder_prob : float;    (** packet slips behind its successor at delivery *)
+}
+
+val no_faults : faults
+(** All zeros: the pre-fault-injection behavior. *)
+
+val create : ?seed:int -> ?datagram_loss:float -> ?faults:faults -> Clock.t -> t
 (** [datagram_loss] (default 0.0) is the probability, from a seeded PRNG,
     that any given datagram is silently dropped even without a
-    partition. *)
+    partition.  [faults] (default {!no_faults}) is the initial global
+    fault spec; see {!set_faults}. *)
+
+val set_faults : t -> faults -> unit
+(** Replace the global fault spec.  Raises [Invalid_argument] on
+    probabilities outside [0,1] or negative latencies. *)
+
+val set_host_faults : t -> host_id -> faults -> unit
+(** Faults applying to every packet and RPC touching this host (either
+    direction). *)
+
+val set_link_faults : t -> src:host_id -> dst:host_id -> faults -> unit
+(** Faults for the directed link [src → dst] only. *)
+
+val clear_faults : t -> unit
+(** Drop the global, per-host and per-link fault specs (back to
+    {!no_faults}).  Does not heal partitions, severed links or flaky
+    windows; see {!heal}. *)
+
+val set_flaky : t -> host_id -> until:int -> unit
+(** Mark a host flaky: until the clock reaches [until], it can neither
+    send nor receive anything (datagrams drop, RPCs in either direction
+    fail with [EUNREACHABLE]).  Cleared early by {!heal}. *)
 
 val clock : t -> Clock.t
 val counters : t -> Counters.t
 (** ["net.datagrams.sent"], ["net.datagrams.delivered"],
-    ["net.datagrams.dropped"], ["net.rpc.calls"], ["net.rpc.failed"]. *)
+    ["net.datagrams.dropped"], ["net.datagrams.duplicated"],
+    ["net.datagrams.reordered"], ["net.rpc.calls"], ["net.rpc.failed"],
+    ["net.rpc.injected"] (the subset of failures due to injection). *)
 
 val add_host : t -> string -> host_id
 val host_name : t -> host_id -> string
@@ -47,19 +93,34 @@ val set_partition : t -> host_id list list -> unit
     Simplest usage: list every host exactly once. *)
 
 val heal : t -> unit
-(** Put every host back into one group. *)
+(** Put every host back into one group, reconnect every severed link and
+    end every flaky window.  Fault specs ({!set_faults} etc.) survive;
+    use {!clear_faults} for those. *)
 
 val isolate : t -> host_id -> unit
-(** Cut one host off from everyone else. *)
+(** Cut one host off from everyone else, by moving it to the lowest
+    group id no other host occupies (safe to call repeatedly and after
+    {!set_partition} left sparse group ids behind). *)
+
+val sever : t -> src:host_id -> dst:host_id -> unit
+(** Cut the directed link [src → dst]: datagrams from [src] to [dst]
+    drop and RPCs fail, while traffic the other way still flows — an
+    asymmetric partition.  Undone by {!unsever} or {!heal}. *)
+
+val unsever : t -> src:host_id -> dst:host_id -> unit
 
 val reachable : t -> host_id -> host_id -> bool
-(** Hosts can always reach themselves. *)
+(** [reachable t src dst]: same partition group, the directed link is
+    not severed, and neither end is flaky.  Hosts can always reach
+    themselves.  Directional once {!sever} is in play. *)
 
 (** {1 Datagrams} *)
 
 val send : t -> src:host_id -> dst:host_id -> payload -> unit
-(** Queue a datagram.  Reachability is checked at {e delivery} time, so a
-    partition that forms after [send] still loses the message. *)
+(** Queue a datagram.  Its delivery tick is [now + latency] drawn from
+    the effective fault spec (zero by default).  Reachability is checked
+    at {e delivery} time, so a partition that forms after [send] still
+    loses the message.  May enqueue a duplicate per [duplication_prob]. *)
 
 val broadcast : t -> src:host_id -> dst:host_id list -> payload -> unit
 (** The multicast notification primitive: one {!send} per destination. *)
@@ -69,11 +130,15 @@ val register_handler : t -> host_id -> (src:host_id -> payload -> unit) -> unit
     delivered datagram and ignores payloads it does not recognize. *)
 
 val pump : t -> int
-(** Deliver every queued datagram (dropping unreachable/lost ones);
-    returns the number delivered.  Handlers may queue more datagrams;
-    those wait for the next pump. *)
+(** Deliver every queued datagram whose delivery tick has arrived
+    (dropping unreachable/lost ones); returns the number delivered.
+    Packets with a future delivery tick stay queued — advance the clock
+    and pump again.  Handlers may queue more datagrams; those wait for
+    the next pump. *)
 
 val pending : t -> int
+(** Queued packets, including ones whose delivery tick is still in the
+    future. *)
 
 (** {1 RPC} *)
 
@@ -81,5 +146,8 @@ val register_rpc : t -> host_id -> (src:host_id -> payload -> payload option) ->
 (** RPC servers; the first handler returning [Some response] wins. *)
 
 val call : t -> src:host_id -> dst:host_id -> payload -> (payload, Errno.t) result
-(** Synchronous call; [EUNREACHABLE] across a partition, [ENOTSUP] if no
-    handler on the destination recognizes the request. *)
+(** Synchronous call; [EUNREACHABLE] across a partition or severed/flaky
+    link, or with probability [rpc_failure_prob] even when connected
+    (the caller cannot tell a lost request from a lost reply — both look
+    like a timeout); [ENOTSUP] if no handler on the destination
+    recognizes the request. *)

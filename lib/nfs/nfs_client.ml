@@ -5,6 +5,7 @@ type m = {
   client : Sim_net.host_id;
   server : Sim_net.host_id;
   export : string;
+  max_retries : int;
   attr_ttl : int;
   name_ttl : int;
   data_ttl : int;
@@ -19,18 +20,35 @@ type Vnode.vdata += Nfs_vnode of m * fh
 
 let now m = Clock.now (Sim_net.clock m.net)
 
+(* A retransmission is only safe when replaying the request cannot
+   corrupt state.  This is the classical NFS idempotency split: reads
+   and full-state writes (Setattr, Write at an absolute offset) replay
+   harmlessly; namespace mutations do not (a replayed Create after a
+   lost reply would see EEXIST, a replayed Remove ENOENT). *)
+let idempotent = function
+  | Root _ | Getattr _ | Lookup _ | Readdir _ | Read _ | Setattr _ | Write _ -> true
+  | Create _ | Mkdir _ | Remove _ | Rmdir _ | Rename _ | Link _ -> false
+
 let rpc m req =
-  Counters.incr m.counters "nfs.client.calls";
-  match Sim_net.call m.net ~src:m.client ~dst:m.server (Nfs_request req) with
-  | Error _ as e -> e
-  | Ok (Nfs_response resp) -> Ok resp
-  | Ok _ -> Error Errno.EINVAL
+  (* Bounded retry with exponential backoff on idempotent requests.  The
+     shared clock is owned by the simulation driver, so the backoff is
+     not spent on the clock; each retry stands for one timed-out
+     retransmission, and the waiting it models is recorded in
+     "nfs.client.backoff_ticks". *)
+  let rec go tries =
+    Counters.incr m.counters "nfs.client.calls";
+    match Sim_net.call m.net ~src:m.client ~dst:m.server (Nfs_request req) with
+    | Error Errno.EUNREACHABLE when idempotent req && tries < m.max_retries ->
+      Counters.incr m.counters "nfs.client.retries";
+      Counters.add m.counters "nfs.client.backoff_ticks" (1 lsl tries);
+      go (tries + 1)
+    | Error _ as e -> e
+    | Ok (Nfs_response resp) -> Ok resp
+    | Ok _ -> Error Errno.EINVAL
+  in
+  go 0
 
 let ( let* ) = Result.bind
-
-let expect_ok m req =
-  let* resp = rpc m req in
-  match resp with R_ok -> Ok () | R_error e -> Error e | _ -> Error Errno.EINVAL
 
 (* Drop any cached state about [fh]; on ESTALE or update. *)
 let forget_attrs m fh = Hashtbl.remove m.attr_cache fh
@@ -42,6 +60,36 @@ let forget_data m fh =
       m.data_cache []
   in
   List.iter (Hashtbl.remove m.data_cache) stale
+
+(* Every cached fact about [fh], including name-cache entries resolving
+   to it, is suspect once the server said ESTALE (its epoch moved — the
+   handle is from before a restart) or stopped being reachable (we may
+   reconnect to a restarted server). *)
+let invalidate_fh m fh =
+  forget_attrs m fh;
+  forget_data m fh;
+  let stale =
+    Hashtbl.fold
+      (fun key (fh', _) acc -> if fh' = fh then key :: acc else acc)
+      m.name_cache []
+  in
+  List.iter (Hashtbl.remove m.name_cache) stale
+
+let on_error m fh e =
+  (match e with
+   | Errno.ESTALE ->
+     Counters.incr m.counters "nfs.client.stale";
+     invalidate_fh m fh
+   | Errno.EUNREACHABLE -> invalidate_fh m fh
+   | _ -> ());
+  Error e
+
+let expect_ok m fh req =
+  match rpc m req with
+  | Error e -> on_error m fh e
+  | Ok R_ok -> Ok ()
+  | Ok (R_error e) -> on_error m fh e
+  | Ok _ -> Error Errno.EINVAL
 
 let cache_data m fh ~off ~len data =
   if m.data_ttl > 0 then
@@ -93,7 +141,7 @@ let rec make m fh : Vnode.t =
     | R_node (child_fh, attrs) ->
       cache_attrs m child_fh attrs;
       Ok (child_fh, attrs)
-    | R_error e -> Error e
+    | R_error e -> on_error m fh e
     | _ -> Error Errno.EINVAL
   in
   {
@@ -110,12 +158,12 @@ let rec make m fh : Vnode.t =
              Ok attrs
            | R_error e ->
              forget_attrs m fh;
-             Error e
+             on_error m fh e
            | _ -> Error Errno.EINVAL));
     setattr =
       (fun sa ->
         forget_attrs m fh;
-        expect_ok m (Setattr (fh, sa)));
+        expect_ok m fh (Setattr (fh, sa)));
     lookup =
       (fun name ->
         match cached_name m fh name with
@@ -143,12 +191,12 @@ let rec make m fh : Vnode.t =
       (fun name ->
         forget_attrs m fh;
         Hashtbl.remove m.name_cache (fh, name);
-        expect_ok m (Remove (fh, name)));
+        expect_ok m fh (Remove (fh, name)));
     rmdir =
       (fun name ->
         forget_attrs m fh;
         Hashtbl.remove m.name_cache (fh, name);
-        expect_ok m (Rmdir (fh, name)));
+        expect_ok m fh (Rmdir (fh, name)));
     rename =
       (fun sname dst_dir dname ->
         let* dfh = sibling dst_dir in
@@ -156,19 +204,19 @@ let rec make m fh : Vnode.t =
         Hashtbl.remove m.name_cache (dfh, dname);
         forget_attrs m fh;
         forget_attrs m dfh;
-        expect_ok m (Rename (fh, sname, dfh, dname)));
+        expect_ok m fh (Rename (fh, sname, dfh, dname)));
     link =
       (fun target name ->
         let* tfh = sibling target in
         forget_attrs m fh;
         forget_attrs m tfh;
-        expect_ok m (Link (fh, tfh, name)));
+        expect_ok m fh (Link (fh, tfh, name)));
     readdir =
       (fun () ->
         let* resp = rpc m (Readdir fh) in
         match resp with
         | R_dirents entries -> Ok entries
-        | R_error e -> Error e
+        | R_error e -> on_error m fh e
         | _ -> Error Errno.EINVAL);
     read =
       (fun ~off ~len ->
@@ -180,13 +228,13 @@ let rec make m fh : Vnode.t =
            | R_data data ->
              cache_data m fh ~off ~len data;
              Ok data
-           | R_error e -> Error e
+           | R_error e -> on_error m fh e
            | _ -> Error Errno.EINVAL));
     write =
       (fun ~off data ->
         forget_attrs m fh;
         forget_data m fh;
-        expect_ok m (Write (fh, off, data)));
+        expect_ok m fh (Write (fh, off, data)));
     (* The stateless protocol has no open or close: both succeed locally
        and nothing reaches the server (paper §2.2). *)
     openv =
@@ -201,13 +249,16 @@ let rec make m fh : Vnode.t =
     inactive = (fun () -> Ok ());
   }
 
-let mount ?(attr_ttl = 30) ?(name_ttl = 30) ?(data_ttl = 0) net ~client ~server ~export =
+let mount ?(attr_ttl = 30) ?(name_ttl = 30) ?(data_ttl = 0) ?(max_retries = 3) net
+    ~client ~server ~export =
+  if max_retries < 0 then invalid_arg "Nfs_client.mount";
   let m =
     {
       net;
       client;
       server;
       export;
+      max_retries;
       attr_ttl;
       name_ttl;
       data_ttl;

@@ -21,6 +21,7 @@ val mount :
   ?attr_ttl:int ->
   ?name_ttl:int ->
   ?data_ttl:int ->
+  ?max_retries:int ->
   Sim_net.t ->
   client:Sim_net.host_id ->
   server:Sim_net.host_id ->
@@ -31,7 +32,15 @@ val mount :
     the file-block cache [data_ttl] defaults to 0 = disabled, so
     replication experiments see every read — enable it to study the
     §2.2 staleness).  Fails with [EUNREACHABLE] if the server cannot be
-    reached, [ENOENT] for an unknown export. *)
+    reached, [ENOENT] for an unknown export.
+
+    [max_retries] (default 3) bounds retransmissions of {e idempotent}
+    requests (reads, lookups, absolute-offset writes) after an
+    [EUNREACHABLE] RPC failure — the real client's timeout/retransmit
+    loop.  Namespace mutations (create, remove, rename…) are never
+    retransmitted.  On [ESTALE] or a still-unreachable server, every
+    cached attribute, name and data block for the file handle involved
+    is invalidated. *)
 
 val root : m -> Vnode.t
 
@@ -40,4 +49,6 @@ val flush_caches : m -> unit
 
 val counters : m -> Counters.t
 (** ["nfs.client.calls"], ["nfs.client.attr_hits"],
-    ["nfs.client.name_hits"], ["nfs.client.openclose_dropped"]. *)
+    ["nfs.client.name_hits"], ["nfs.client.openclose_dropped"],
+    ["nfs.client.retries"], ["nfs.client.backoff_ticks"] (modeled
+    retransmission waiting), ["nfs.client.stale"]. *)

@@ -73,12 +73,13 @@ let connector t h : Remote.connector =
 
 let connect_from t i = connector t t.hosts.(i)
 
-let create ?(seed = 11) ?(datagram_loss = 0.0) ?(disk_blocks = 4096) ?(block_size = 1024)
+let create ?(seed = 11) ?(datagram_loss = 0.0) ?(faults = Sim_net.no_faults)
+    ?(disk_blocks = 4096) ?(block_size = 1024)
     ?(cache_capacity = 256) ?(propagation_delay = 0) ?(reconcile_period = 100)
     ?(selection = Logical.Most_recent) ~nhosts () =
   if nhosts <= 0 then invalid_arg "Cluster.create";
   let clock = Clock.create () in
-  let net = Sim_net.create ~seed ~datagram_loss clock in
+  let net = Sim_net.create ~seed ~datagram_loss ~faults clock in
   let name_to_id = Hashtbl.create 8 in
   let name_to_index = Hashtbl.create 8 in
   let t =
@@ -258,6 +259,14 @@ let partition t groups =
   Sim_net.set_partition t.net (List.map (List.map (fun i -> t.hosts.(i).h_id)) groups)
 
 let heal t = Sim_net.heal t.net
+
+let set_faults t f = Sim_net.set_faults t.net f
+
+let sever t i j = Sim_net.sever t.net ~src:t.hosts.(i).h_id ~dst:t.hosts.(j).h_id
+
+let unsever t i j = Sim_net.unsever t.net ~src:t.hosts.(i).h_id ~dst:t.hosts.(j).h_id
+
+let set_flaky t i ~until = Sim_net.set_flaky t.net t.hosts.(i).h_id ~until
 
 let advance t n = Clock.advance t.clock n
 

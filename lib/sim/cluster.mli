@@ -15,6 +15,7 @@ type t
 val create :
   ?seed:int ->
   ?datagram_loss:float ->
+  ?faults:Sim_net.faults ->
   ?disk_blocks:int ->
   ?block_size:int ->
   ?cache_capacity:int ->
@@ -78,6 +79,23 @@ val partition : t -> int list list -> unit
 (** Partition by host index groups. *)
 
 val heal : t -> unit
+(** Rejoin every host, reconnect severed links, end flaky windows
+    ({!Sim_net.heal}).  Fault specs survive; see {!set_faults}. *)
+
+val set_faults : t -> Sim_net.faults -> unit
+(** Replace the network's global fault spec (loss, latency, duplication,
+    reordering, RPC failure injection); pass {!Sim_net.no_faults} to
+    quiesce.  Per-host/per-link specs are reachable via {!net}. *)
+
+val sever : t -> int -> int -> unit
+(** [sever t i j]: cut the one-way link host [i] → host [j] (asymmetric
+    partition), by host index. *)
+
+val unsever : t -> int -> int -> unit
+
+val set_flaky : t -> int -> until:int -> unit
+(** Make a host (by index) drop all traffic until the given clock tick. *)
+
 val advance : t -> int -> unit
 
 val reboot : t -> int -> (unit, Errno.t) result

@@ -797,6 +797,153 @@ let a4_trace_overhead () =
     (Printf.sprintf "UFS %d+%d I/Os, Ficus %d+%d (x%.2f)" ur uw fr fw ratio)
 
 (* ------------------------------------------------------------------ *)
+(* CHAOS: convergence under a randomized fault schedule (§1, §3.3)     *)
+
+(* Drive a 4-replica volume through epochs of injected faults — datagram
+   loss, latency, duplication, reordering, RPC failures, partitions,
+   asymmetric severed links, flaky hosts — while every host keeps
+   updating its own corner of the namespace.  The paper's bet is that
+   none of this threatens correctness: updates always succeed somewhere
+   (one-copy availability) and once the network heals, reconciliation
+   converges every replica to the same state.  Writes are disjoint by
+   host so the converged state is also conflict-free and the version
+   vectors must agree exactly. *)
+let chaos_convergence () =
+  let nhosts = 4 in
+  let epochs = 12 in
+  let cluster = Cluster.create ~seed:1009 ~nhosts ~reconcile_period:40 () in
+  let net = Cluster.net cluster in
+  let vref = get (Cluster.create_volume cluster ~on:(List.init nhosts Fun.id)) in
+  let roots = List.init nhosts (fun i -> get (Cluster.logical_root cluster i vref)) in
+  (* Quiet setup: one directory per host, fully propagated. *)
+  List.iteri (fun i root -> ignore (get (root.Vnode.mkdir (Printf.sprintf "h%d" i)))) roots;
+  let (_ : int) = Cluster.run_propagation cluster in
+  let (_ : int) = get (Cluster.converge cluster vref ()) in
+  (* Now the weather turns. *)
+  Cluster.set_faults cluster
+    {
+      Sim_net.loss = 0.25;
+      rpc_failure_prob = 0.2;
+      latency_min = 1;
+      latency_max = 3;
+      duplication_prob = 0.1;
+      reorder_prob = 0.2;
+    };
+  let rng = Random.State.make [| 0xFA17 |] in
+  let partitions = ref 0 and severs = ref 0 and flaky = ref 0 and heals = ref 0 in
+  let ok_writes = ref 0 and failed_writes = ref 0 in
+  let write i epoch =
+    let root = List.nth roots i in
+    let attempt =
+      let* d = root.Vnode.lookup (Printf.sprintf "h%d" i) in
+      let* f = d.Vnode.create (Printf.sprintf "e%d" epoch) in
+      let* () = Vnode.write_all f (Printf.sprintf "host %d epoch %d" i epoch) in
+      Ok ()
+    in
+    match attempt with Ok () -> incr ok_writes | Error _ -> incr failed_writes
+  in
+  for epoch = 1 to epochs do
+    (* Two forced events guarantee a full partition/heal cycle; the rest
+       of the schedule is drawn from the seeded PRNG. *)
+    (if epoch = 3 then begin
+       incr partitions;
+       Cluster.partition cluster [ [ 0; 1 ]; [ 2; 3 ] ]
+     end
+     else if epoch = 7 then begin
+       incr heals;
+       Cluster.heal cluster
+     end
+     else
+       match Random.State.int rng 5 with
+       | 0 ->
+         incr partitions;
+         let cut = 1 + Random.State.int rng (nhosts - 1) in
+         Cluster.partition cluster
+           [ List.init cut Fun.id; List.init (nhosts - cut) (fun i -> cut + i) ]
+       | 1 ->
+         incr severs;
+         let i = Random.State.int rng nhosts in
+         let j = (i + 1 + Random.State.int rng (nhosts - 1)) mod nhosts in
+         Cluster.sever cluster i j
+       | 2 ->
+         incr flaky;
+         let i = Random.State.int rng nhosts in
+         Cluster.set_flaky cluster i ~until:(Clock.now (Cluster.clock cluster) + 8)
+       | 3 ->
+         incr heals;
+         Cluster.heal cluster
+       | _ -> ());
+    List.iter (fun i -> write i epoch) (List.init nhosts Fun.id);
+    for _ = 1 to 4 do
+      ignore (Cluster.tick_daemons cluster 2)
+    done
+  done;
+  let injected = Counters.get (Sim_net.counters net) "net.rpc.injected" in
+  let dropped = Counters.get (Sim_net.counters net) "net.datagrams.dropped" in
+  (* Heal and quiesce: clear every fault, drain in-flight datagrams
+     (latency holds some in the future), then reconcile to a fixpoint. *)
+  Cluster.heal cluster;
+  Cluster.set_faults cluster Sim_net.no_faults;
+  let drained = ref 0 in
+  while Sim_net.pending net > 0 && !drained < 32 do
+    ignore (Cluster.tick_daemons cluster 1);
+    incr drained
+  done;
+  let (_ : int) = Cluster.run_propagation cluster in
+  let rounds = get (Cluster.converge cluster vref ~max_rounds:50 ()) in
+  (* Every replica must now present the identical namespace with
+     identical version vectors, recursively. *)
+  let snapshot i =
+    let phys = Option.get (Cluster.replica (Cluster.host cluster i) vref) in
+    let rec walk prefix path =
+      let fdir = get (Physical.fetch_dir phys path) in
+      List.concat_map
+        (fun (name, (e : Fdir.entry)) ->
+          let p = path @ [ e.Fdir.fid ] in
+          let vi = get (Physical.get_version phys p) in
+          let line =
+            Printf.sprintf "%s%s vv=%s stored=%b" prefix name
+              (Version_vector.to_string vi.Physical.vi_vv)
+              vi.Physical.vi_stored
+          in
+          match e.Fdir.kind with
+          | Aux_attrs.Fdir | Aux_attrs.Fgraft -> line :: walk (prefix ^ name ^ "/") p
+          | Aux_attrs.Freg -> [ line ])
+        (List.sort compare (Fdir.live fdir))
+    in
+    let root_vi = get (Physical.get_version phys []) in
+    Printf.sprintf "/ vv=%s" (Version_vector.to_string root_vi.Physical.vi_vv)
+    :: walk "" []
+  in
+  let snaps = List.init nhosts snapshot in
+  let s0 = List.hd snaps in
+  let all_equal = List.for_all (fun s -> s = s0) snaps in
+  let expected_lines = 1 + nhosts + (nhosts * epochs) in
+  let complete = List.length s0 = expected_lines in
+  Table.print ~title:"CHAOS: randomized fault schedule, then heal + quiesce (4 replicas)"
+    ~headers:[ "metric"; "value" ]
+    [
+      [ "epochs"; string_of_int epochs ];
+      [ "partitions / severs / flaky / heals";
+        Printf.sprintf "%d / %d / %d / %d" !partitions !severs !flaky !heals ];
+      [ "writes ok / failed"; Printf.sprintf "%d / %d" !ok_writes !failed_writes ];
+      [ "RPC failures injected"; string_of_int injected ];
+      [ "datagrams dropped"; string_of_int dropped ];
+      [ "reconciliation rounds to fixpoint"; string_of_int rounds ];
+      [ "replica states (files + version vectors)";
+        if all_equal then "identical" else "DIVERGED" ];
+      [ "namespace complete"; Printf.sprintf "%b (%d/%d entries)" complete
+          (List.length s0) expected_lines ];
+    ];
+  verdict "CHAOS"
+    "updates succeed under faults; heal + quiesce converges all replicas exactly"
+    (all_equal && complete && !failed_writes = 0 && !partitions >= 1 && !heals >= 1
+     && injected > 0 && dropped > 0)
+    (Printf.sprintf
+       "%d/%d writes ok, %d injected RPC failures, %d drops; %d rounds to identical VVs"
+       !ok_writes (!ok_writes + !failed_writes) injected dropped rounds)
+
+(* ------------------------------------------------------------------ *)
 
 let registry =
   [
@@ -815,6 +962,7 @@ let registry =
     ("a2", a2_tombstone_gc);
     ("a3", a3_selection_policy);
     ("a4", a4_trace_overhead);
+    ("chaos", chaos_convergence);
   ]
 
 let names = List.map fst registry

@@ -78,6 +78,14 @@ val a4_trace_overhead : unit -> verdict
     over plain UFS and over the full Ficus stack; steady-state disk I/O
     must stay within a small constant factor (§6). *)
 
+val chaos_convergence : unit -> verdict
+(** §1/§3.3 under duress: a 4-replica volume runs through a randomized
+    schedule of injected faults (datagram loss ≥ 0.2, latency,
+    duplication, reordering, RPC failure injection, partitions,
+    asymmetric severed links, flaky hosts) while every host keeps
+    writing; after heal + quiesce, all replicas must report equal
+    version vectors and identical directory contents. *)
+
 val all : unit -> verdict list
 (** Run every experiment in order, printing all tables. *)
 

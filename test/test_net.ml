@@ -111,6 +111,137 @@ let test_multiple_handlers_first_wins () =
   | Ok (Pong 200) -> ()
   | _ -> Alcotest.fail "second handler should catch the rest"
 
+(* ------------------------------------------------------------------ *)
+(* Fault injection.  Probabilities are pinned to 0.0/1.0 so every
+   assertion is deterministic regardless of the PRNG stream. *)
+
+let faults_with ?(loss = 0.0) ?(rpc = 0.0) ?(lat_min = 0) ?(lat_max = 0) ?(dup = 0.0)
+    ?(reorder = 0.0) () =
+  {
+    Sim_net.loss;
+    rpc_failure_prob = rpc;
+    latency_min = lat_min;
+    latency_max = lat_max;
+    duplication_prob = dup;
+    reorder_prob = reorder;
+  }
+
+let test_latency_delays_delivery () =
+  let clock, net, a, b, _ = setup () in
+  Sim_net.set_faults net (faults_with ~lat_min:2 ~lat_max:2 ());
+  let received = ref [] in
+  Sim_net.register_handler net b (fun ~src:_ payload ->
+      match payload with Ping n -> received := !received @ [ n ] | _ -> ());
+  Sim_net.send net ~src:a ~dst:b (Ping 1);
+  Alcotest.(check int) "not due yet" 0 (Sim_net.pump net);
+  Alcotest.(check int) "still queued" 1 (Sim_net.pending net);
+  Clock.advance clock 1;
+  Alcotest.(check int) "one tick short" 0 (Sim_net.pump net);
+  Clock.advance clock 1;
+  Alcotest.(check int) "due now" 1 (Sim_net.pump net);
+  Alcotest.(check (list int)) "delivered" [ 1 ] !received;
+  (* Delivery follows due ticks, not send order: a slow packet sent
+     first arrives after a fast packet sent second. *)
+  Sim_net.set_faults net (faults_with ~lat_min:3 ~lat_max:3 ());
+  Sim_net.send net ~src:a ~dst:b (Ping 2);
+  Sim_net.set_faults net (faults_with ~lat_min:1 ~lat_max:1 ());
+  Sim_net.send net ~src:a ~dst:b (Ping 3);
+  Clock.advance clock 3;
+  Alcotest.(check int) "both due" 2 (Sim_net.pump net);
+  Alcotest.(check (list int)) "due order, not send order" [ 1; 3; 2 ] !received
+
+let test_duplication () =
+  let _, net, a, b, _ = setup () in
+  Sim_net.set_faults net (faults_with ~dup:1.0 ());
+  let hits = ref 0 in
+  Sim_net.register_handler net b (fun ~src:_ _ -> incr hits);
+  Sim_net.send net ~src:a ~dst:b (Ping 7);
+  Alcotest.(check int) "original + duplicate queued" 2 (Sim_net.pending net);
+  Alcotest.(check int) "both delivered" 2 (Sim_net.pump net);
+  Alcotest.(check int) "handler saw two" 2 !hits;
+  Alcotest.(check int) "counted" 1
+    (Counters.get (Sim_net.counters net) "net.datagrams.duplicated")
+
+let test_reordering () =
+  let _, net, a, b, _ = setup () in
+  Sim_net.set_faults net (faults_with ~reorder:1.0 ());
+  let received = ref [] in
+  Sim_net.register_handler net b (fun ~src:_ payload ->
+      match payload with Ping n -> received := !received @ [ n ] | _ -> ());
+  Sim_net.send net ~src:a ~dst:b (Ping 1);
+  Sim_net.send net ~src:a ~dst:b (Ping 2);
+  Alcotest.(check int) "both delivered" 2 (Sim_net.pump net);
+  Alcotest.(check (list int)) "adjacent pair swapped" [ 2; 1 ] !received;
+  Alcotest.(check bool) "counted" true
+    (Counters.get (Sim_net.counters net) "net.datagrams.reordered" > 0)
+
+let test_rpc_failure_injection () =
+  let _, net, a, b, _ = setup () in
+  Sim_net.register_rpc net b (fun ~src:_ -> function Ping n -> Some (Pong n) | _ -> None);
+  Sim_net.set_faults net (faults_with ~rpc:1.0 ());
+  (match Sim_net.call net ~src:a ~dst:b (Ping 1) with
+   | Error Errno.EUNREACHABLE -> ()
+   | Ok _ | Error _ -> Alcotest.fail "expected injected EUNREACHABLE");
+  Alcotest.(check int) "injected counted" 1
+    (Counters.get (Sim_net.counters net) "net.rpc.injected");
+  Sim_net.clear_faults net;
+  match Sim_net.call net ~src:a ~dst:b (Ping 1) with
+  | Ok (Pong 1) -> ()
+  | _ -> Alcotest.fail "clear_faults should restore RPCs"
+
+let test_asymmetric_sever () =
+  let _, net, a, b, _ = setup () in
+  Sim_net.register_rpc net a (fun ~src:_ -> function Ping n -> Some (Pong n) | _ -> None);
+  let hits = ref 0 in
+  Sim_net.register_handler net b (fun ~src:_ _ -> incr hits);
+  Sim_net.sever net ~src:a ~dst:b;
+  Alcotest.(check bool) "a->b cut" false (Sim_net.reachable net a b);
+  Alcotest.(check bool) "b->a still flows" true (Sim_net.reachable net b a);
+  Sim_net.send net ~src:a ~dst:b (Ping 1);
+  Alcotest.(check int) "datagram dropped" 0 (Sim_net.pump net);
+  (match Sim_net.call net ~src:b ~dst:a (Ping 5) with
+   | Ok (Pong 5) -> ()
+   | _ -> Alcotest.fail "reverse direction must still work");
+  Sim_net.unsever net ~src:a ~dst:b;
+  Sim_net.send net ~src:a ~dst:b (Ping 2);
+  Alcotest.(check int) "restored" 1 (Sim_net.pump net)
+
+let test_flaky_host_window () =
+  let clock, net, a, b, c = setup () in
+  Sim_net.set_flaky net b ~until:5;
+  Alcotest.(check bool) "cut while flaky" false (Sim_net.reachable net a b);
+  Alcotest.(check bool) "both directions" false (Sim_net.reachable net b a);
+  Alcotest.(check bool) "others unaffected" true (Sim_net.reachable net a c);
+  (match Sim_net.call net ~src:a ~dst:b (Ping 1) with
+   | Error Errno.EUNREACHABLE -> ()
+   | _ -> Alcotest.fail "flaky host must not answer RPCs");
+  Clock.advance clock 5;
+  Alcotest.(check bool) "window over" true (Sim_net.reachable net a b);
+  (* heal ends a window early. *)
+  Sim_net.set_flaky net b ~until:1000;
+  Alcotest.(check bool) "flaky again" false (Sim_net.reachable net a b);
+  Sim_net.heal net;
+  Alcotest.(check bool) "healed early" true (Sim_net.reachable net a b)
+
+let test_isolate_robust_to_sparse_groups () =
+  (* Regression: isolate must pick a group no other host occupies, even
+     after set_partition left arbitrary group ids behind and across
+     repeated calls. *)
+  let _, net, a, b, c = setup () in
+  Sim_net.set_partition net [ [ b ]; [ a; c ] ];
+  Sim_net.isolate net a;
+  Alcotest.(check bool) "a cut from b" false (Sim_net.reachable net a b);
+  Alcotest.(check bool) "a cut from c" false (Sim_net.reachable net a c);
+  Sim_net.isolate net a;
+  Alcotest.(check bool) "still cut from b" false (Sim_net.reachable net a b);
+  Alcotest.(check bool) "still cut from c" false (Sim_net.reachable net a c);
+  Sim_net.isolate net c;
+  Alcotest.(check bool) "b-c cut" false (Sim_net.reachable net b c);
+  Alcotest.(check bool) "a-c cut" false (Sim_net.reachable net a c);
+  Sim_net.heal net;
+  Alcotest.(check bool) "all back" true
+    (Sim_net.reachable net a b && Sim_net.reachable net b c && Sim_net.reachable net a c)
+
 let suite =
   [
     case "clock" test_clock;
@@ -121,4 +252,11 @@ let suite =
     case "unlisted hosts become isolated" test_unlisted_hosts_become_isolated;
     case "rpc roundtrip and errors" test_rpc_roundtrip_and_errors;
     case "multiple rpc handlers" test_multiple_handlers_first_wins;
+    case "latency delays delivery" test_latency_delays_delivery;
+    case "duplication" test_duplication;
+    case "reordering" test_reordering;
+    case "rpc failure injection" test_rpc_failure_injection;
+    case "asymmetric sever" test_asymmetric_sever;
+    case "flaky host window" test_flaky_host_window;
+    case "isolate robust to sparse groups" test_isolate_robust_to_sparse_groups;
   ]

@@ -55,18 +55,91 @@ let test_retry_then_abandon () =
   let vref = ok (Cluster.create_volume cluster ~on:[ 0; 1 ]) in
   let root0 = ok (Cluster.logical_root cluster 0 vref) in
   create_file root0 "f" "x";
-  (* Deliver the notification, then cut the link before the pull. *)
+  (* Deliver the notification, then cut the link before the pull.
+     Retries now back off on the clock, so drive time forward. *)
   let (_ : int) = Cluster.pump cluster in
   Cluster.partition cluster [ [ 0 ]; [ 1 ] ];
   let prop1 = Cluster.propagation (Cluster.host cluster 1) in
-  for _ = 1 to 10 do
-    ignore (Propagation.run_once prop1)
+  for _ = 1 to 600 do
+    ignore (Propagation.run_once prop1);
+    Cluster.advance cluster 1
   done;
   Alcotest.(check bool) "retried" true
     (Counters.get (Propagation.counters prop1) "prop.retries" > 0);
   Alcotest.(check bool) "eventually abandoned" true
     (Counters.get (Propagation.counters prop1) "prop.abandoned" > 0);
   Alcotest.(check int) "queue drained" 0 (Propagation.pending prop1)
+
+let test_backoff_grows_and_reconciliation_converges () =
+  (* The gap between successive retry attempts of one entry must grow
+     (exponential backoff: each wait is in [b, 2b) with b doubling, so
+     gaps are strictly increasing even with jitter).  A single synthetic
+     entry against an always-unreachable origin isolates the schedule. *)
+  let _, fs = fresh_ufs () in
+  let clock = Clock.create () in
+  let vref = { Ids.alloc = 0; vol = 1 } in
+  let phys =
+    ok
+      (Physical.create ~container:(Ufs_vnode.root fs) ~clock ~host:"me" ~vref ~rid:2
+         ~peers:[ (1, "origin"); (2, "me") ])
+  in
+  let connect ~host:_ ~vref:_ ~rid:_ = Error Errno.EUNREACHABLE in
+  let prop =
+    Propagation.create ~clock ~host:"me" ~connect
+      ~local_replica:(fun v -> if Ids.vref_equal v vref then Some phys else None)
+      ()
+  in
+  let fid = { Ids.issuer = 9; uniq = 1 } in
+  Propagation.on_notify prop
+    {
+      Notify.vref;
+      fidpath = [ fid ];
+      fid;
+      kind = Aux_attrs.Freg;
+      origin_rid = 1;
+      origin_host = "origin";
+    };
+  let attempt_ticks = ref [] in
+  for tick = 0 to 599 do
+    if Propagation.run_once prop > 0 then attempt_ticks := tick :: !attempt_ticks;
+    Clock.advance clock 1
+  done;
+  let ticks = List.rev !attempt_ticks in
+  Alcotest.(check bool) "several attempts" true (List.length ticks >= 3);
+  let rec gaps = function
+    | a :: (b :: _ as rest) -> (b - a) :: gaps rest
+    | _ -> []
+  in
+  let rec increasing = function
+    | a :: (b :: _ as rest) -> a < b && increasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "gaps strictly grow" true (increasing (gaps ticks));
+  Alcotest.(check bool) "backoff ticks recorded" true
+    (Counters.get (Propagation.counters prop) "prop.backoff_ticks" > 0);
+  Alcotest.(check bool) "abandoned" true
+    (Counters.get (Propagation.counters prop) "prop.abandoned" > 0);
+  Alcotest.(check int) "queue drained" 0 (Propagation.pending prop);
+  (* And in a full cluster, an abandoned entry still converges via the
+     reconciliation backstop once the partition heals. *)
+  let cluster = Cluster.create ~nhosts:2 () in
+  let cvref = ok (Cluster.create_volume cluster ~on:[ 0; 1 ]) in
+  let root0 = ok (Cluster.logical_root cluster 0 cvref) in
+  create_file root0 "f" "survives";
+  let (_ : int) = Cluster.pump cluster in
+  Cluster.partition cluster [ [ 0 ]; [ 1 ] ];
+  let prop1 = Cluster.propagation (Cluster.host cluster 1) in
+  for _ = 1 to 600 do
+    ignore (Propagation.run_once prop1);
+    Cluster.advance cluster 1
+  done;
+  Alcotest.(check bool) "cluster entry abandoned" true
+    (Counters.get (Propagation.counters prop1) "prop.abandoned" > 0);
+  Cluster.heal cluster;
+  let (_ : int) = ok (Cluster.converge cluster cvref ()) in
+  let root1 = ok (Cluster.logical_root cluster 1 cvref) in
+  Alcotest.(check string) "converged via reconciliation" "survives"
+    (read_file root1 "f")
 
 let test_convergence_with_total_notification_loss () =
   (* Notifications are an optimization only: with every datagram lost,
@@ -122,6 +195,7 @@ let suite =
     case "notification drives propagation" test_notification_drives_propagation;
     case "burst collapses to one pull" test_burst_collapses_in_cache;
     case "retry then abandon" test_retry_then_abandon;
+    case "backoff grows, reconciliation backstops" test_backoff_grows_and_reconciliation_converges;
     case "reconciliation backstop under 100% loss"
       test_convergence_with_total_notification_loss;
     case "new directory trees propagate" test_propagation_of_new_directory_trees;
