@@ -134,7 +134,8 @@ let write_json path ~mode verdicts =
 (* The fast, deterministic subset for CI: no timing-sensitive
    experiments (E1 is wall-clock based), no parameter sweeps, no
    bechamel runs. *)
-let smoke_names = [ "e2"; "e3"; "e4"; "e6"; "e9"; "e10"; "f2"; "a1"; "a3"; "chaos" ]
+let smoke_names =
+  [ "e2"; "e3"; "e4"; "e6"; "e9"; "e10"; "f2"; "a1"; "a3"; "a5"; "chaos"; "wal" ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

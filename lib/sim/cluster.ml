@@ -76,7 +76,7 @@ let connect_from t i = connector t t.hosts.(i)
 let create ?(seed = 11) ?(datagram_loss = 0.0) ?(faults = Sim_net.no_faults)
     ?(disk_blocks = 4096) ?(block_size = 1024)
     ?(cache_capacity = 256) ?(propagation_delay = 0) ?(reconcile_period = 100)
-    ?(selection = Logical.Most_recent) ~nhosts () =
+    ?(selection = Logical.Most_recent) ?(journal_blocks = 0) ~nhosts () =
   if nhosts <= 0 then invalid_arg "Cluster.create";
   let clock = Clock.create () in
   let net = Sim_net.create ~seed ~datagram_loss ~faults clock in
@@ -100,7 +100,7 @@ let create ?(seed = 11) ?(datagram_loss = 0.0) ?(faults = Sim_net.no_faults)
     Hashtbl.replace name_to_index h_name i;
     let h_disk = Disk.create ~label:h_name ~nblocks:disk_blocks ~block_size () in
     let h_ufs =
-      match Ufs.mkfs ~cache_capacity ~now:(Clock.fn clock) h_disk with
+      match Ufs.mkfs ~cache_capacity ~journal_blocks ~now:(Clock.fn clock) h_disk with
       | Ok fs -> fs
       | Error e -> failwith ("Cluster: mkfs failed: " ^ Errno.to_string e)
     in
@@ -272,7 +272,15 @@ let advance t n = Clock.advance t.clock n
 
 let reboot t i =
   let h = t.hosts.(i) in
-  Block_cache.invalidate (Ufs.cache h.h_ufs);
+  (* Power failure: cold cache, volatile journal state lost, sealed
+     journal groups replayed from the device. *)
+  let* () = Ufs.crash_reboot h.h_ufs in
+  (* A reboot that surfaces a corrupt file system must never be papered
+     over by silently remounting: fail the simulation loudly. *)
+  (match Ufs.check h.h_ufs with
+   | Ok () -> ()
+   | Error msg ->
+     failwith (Printf.sprintf "Cluster.reboot: fsck on %s found corruption: %s" h.h_name msg));
   Nfs_server.restart h.h_server;
   Hashtbl.iter (fun _ m -> Nfs_client.flush_caches m) h.h_mounts;
   (* Other hosts' NFS mounts to this server now hold stale handles; model
@@ -335,6 +343,12 @@ let run_propagation t =
 let tick_daemons t ticks =
   Clock.advance t.clock ticks;
   let (_ : int) = pump t in
+  (* The journal flush daemon runs off the same cron as propagation and
+     reconciliation: age out any staged group commit.  (No-op on
+     unjournaled hosts; an EIO here surfaces on the next operation.) *)
+  Array.iter
+    (fun h -> match Ufs.journal_tick h.h_ufs with Ok () | Error _ -> ())
+    t.hosts;
   let pulls = Array.fold_left (fun acc h -> acc + Propagation.run_once h.h_prop) 0 t.hosts in
   let recon =
     Array.fold_left

@@ -22,9 +22,12 @@ val create :
   ?propagation_delay:int ->
   ?reconcile_period:int ->
   ?selection:Logical.selection ->
+  ?journal_blocks:int ->
   nhosts:int -> unit -> t
 (** Hosts are named ["host0"], ["host1"], ….  All parameters are shared
-    by every host. *)
+    by every host.  [journal_blocks] (default 0) formats each host's UFS
+    with a write-ahead journal of that size; the group-commit flush
+    daemon is then driven by {!tick_daemons}. *)
 
 val clock : t -> Clock.t
 val net : t -> Sim_net.t
@@ -99,10 +102,13 @@ val set_flaky : t -> int -> until:int -> unit
 val advance : t -> int -> unit
 
 val reboot : t -> int -> (unit, Errno.t) result
-(** Simulated host crash + restart: the buffer cache empties, the NFS
-    server forgets its file-handle table (old handles go stale), local
-    NFS mounts drop their caches, physical layers re-attach from disk and
-    discard shadow leftovers. *)
+(** Simulated host crash + restart: the buffer cache empties, volatile
+    journal state is lost and sealed journal groups are replayed
+    ({!Ufs.crash_reboot}), the NFS server forgets its file-handle table
+    (old handles go stale), local NFS mounts drop their caches, physical
+    layers re-attach from disk and discard shadow leftovers.  The
+    remounted file system is fsck'd ({!Ufs.check}); corruption raises
+    [Failure] rather than silently remounting. *)
 
 (** {1 Daemons} *)
 
@@ -111,10 +117,11 @@ val pump : t -> int
 
 val tick_daemons : t -> int -> int * Reconcile.stats
 (** Advance the clock by [ticks], then drive every host's daemons once:
-    pump datagrams, run propagation, and tick the periodic reconcilers
-    (which fire when their period elapses).  Returns (pulls, aggregated
-    reconciliation stats).  This is how a long-running deployment
-    converges without anyone calling {!converge} explicitly. *)
+    pump datagrams, tick the journal group-commit flush daemons, run
+    propagation, and tick the periodic reconcilers (which fire when
+    their period elapses).  Returns (pulls, aggregated reconciliation
+    stats).  This is how a long-running deployment converges without
+    anyone calling {!converge} explicitly. *)
 
 val run_propagation : t -> int
 (** Pump, then run every host's propagation daemon once; repeats until no

@@ -807,11 +807,16 @@ let a4_trace_overhead () =
    (one-copy availability) and once the network heals, reconciliation
    converges every replica to the same state.  Writes are disjoint by
    host so the converged state is also conflict-free and the version
-   vectors must agree exactly. *)
+   vectors must agree exactly.  Every host runs its UFS through the
+   write-ahead journal, so the storage layer below all this chaos is
+   group-committing; after the dust settles every disk must fsck
+   clean. *)
 let chaos_convergence () =
   let nhosts = 4 in
   let epochs = 12 in
-  let cluster = Cluster.create ~seed:1009 ~nhosts ~reconcile_period:40 () in
+  let cluster =
+    Cluster.create ~seed:1009 ~nhosts ~reconcile_period:40 ~journal_blocks:256 ()
+  in
   let net = Cluster.net cluster in
   let vref = get (Cluster.create_volume cluster ~on:(List.init nhosts Fun.id)) in
   let roots = List.init nhosts (fun i -> get (Cluster.logical_root cluster i vref)) in
@@ -920,6 +925,19 @@ let chaos_convergence () =
   let all_equal = List.for_all (fun s -> s = s0) snaps in
   let expected_lines = 1 + nhosts + (nhosts * epochs) in
   let complete = List.length s0 = expected_lines in
+  (* Storage-layer health: after the faults and the full reconciliation
+     workload, every host's journaled UFS must fsck clean.  Fail loudly —
+     a corrupt disk here means the journal let a torn write through. *)
+  let fsck_clean =
+    List.for_all
+      (fun i ->
+        match Ufs.check (Cluster.ufs (Cluster.host cluster i)) with
+        | Ok () -> true
+        | Error msg ->
+          Printf.printf "  !! CHAOS: fsck found corruption on host%d: %s\n%!" i msg;
+          false)
+      (List.init nhosts Fun.id)
+  in
   Table.print ~title:"CHAOS: randomized fault schedule, then heal + quiesce (4 replicas)"
     ~headers:[ "metric"; "value" ]
     [
@@ -934,14 +952,271 @@ let chaos_convergence () =
         if all_equal then "identical" else "DIVERGED" ];
       [ "namespace complete"; Printf.sprintf "%b (%d/%d entries)" complete
           (List.length s0) expected_lines ];
+      [ "journaled UFS fsck (all hosts)"; if fsck_clean then "clean" else "CORRUPT" ];
     ];
   verdict "CHAOS"
     "updates succeed under faults; heal + quiesce converges all replicas exactly"
-    (all_equal && complete && !failed_writes = 0 && !partitions >= 1 && !heals >= 1
-     && injected > 0 && dropped > 0)
+    (all_equal && complete && fsck_clean && !failed_writes = 0 && !partitions >= 1
+     && !heals >= 1 && injected > 0 && dropped > 0)
     (Printf.sprintf
        "%d/%d writes ok, %d injected RPC failures, %d drops; %d rounds to identical VVs"
        !ok_writes (!ok_writes + !failed_writes) injected dropped rounds)
+
+(* ------------------------------------------------------------------ *)
+(* A5: metadata I/O, journaled vs. unjournaled (DESIGN.md journal §)   *)
+
+(* The write-ahead journal's economic claim: a write-through UFS pays
+   one device write per metadata touch (the unit the paper's §6 numbers
+   are stated in), while group commit coalesces the many touches of a
+   create/delete burst — the same directory, bitmap, and inode blocks
+   written over and over — into one log image per flush plus one home
+   write per checkpoint.  Run the identical workload both ways on
+   identical disks and compare the device-write counters. *)
+let a5_journal_io () =
+  let run ~journal_blocks =
+    let disk = Disk.create ~nblocks:4096 ~block_size:1024 () in
+    let clock = ref 0 in
+    let now () = incr clock; !clock in
+    let fs = get (Ufs.mkfs ~journal_blocks ~now disk) in
+    Disk.reset_stats disk;
+    let root = Ufs.root fs in
+    for round = 0 to 7 do
+      let d = get (Ufs.mkdir fs ~dir:root (Printf.sprintf "d%d" round)) in
+      for i = 0 to 15 do
+        let f = get (Ufs.create fs ~dir:d (Printf.sprintf "f%d" i)) in
+        get (Ufs.write fs f ~off:0 (Printf.sprintf "round %d file %d" round i))
+      done;
+      for i = 0 to 11 do
+        get (Ufs.unlink fs ~dir:d (Printf.sprintf "f%d" i))
+      done;
+      get
+        (Ufs.rename fs ~sdir:d ~sname:"f12" ~ddir:root
+           ~dname:(Printf.sprintf "keep%d" round));
+      (* What tick_daemons does in the cluster: advance time, let the
+         group-commit daemon flush anything that has aged out. *)
+      clock := !clock + 4;
+      get (Ufs.journal_tick fs)
+    done;
+    get (Ufs.sync fs);
+    (match Ufs.check fs with
+    | Ok () -> ()
+    | Error m -> failwith ("A5: fsck after workload: " ^ m));
+    (Disk.writes disk, Disk.reads disk, Ufs.journal_stats fs)
+  in
+  let w_off, r_off, _ = run ~journal_blocks:0 in
+  let w_on, r_on, jstats = run ~journal_blocks:256 in
+  let stat name = try List.assoc name jstats with Not_found -> 0 in
+  Table.print ~title:"A5: metadata disk I/O, journal on vs. off (create/delete-heavy)"
+    ~headers:[ "configuration"; "device writes"; "device reads" ]
+    [
+      [ "journal off (write-through)"; string_of_int w_off; string_of_int r_off ];
+      [ "journal on (group commit)"; string_of_int w_on; string_of_int r_on ];
+      [ "journal txns / flushes / records";
+        Printf.sprintf "%d / %d / %d" (stat "txns") (stat "flushes") (stat "records") ];
+      [ "journal checkpoints"; string_of_int (stat "checkpoints") ];
+    ];
+  verdict "A5" "group commit amortizes write-through: journaled device writes are lower"
+    (w_on < w_off && stat "txns" > 0 && stat "flushes" > 0)
+    (Printf.sprintf "%d writes journaled vs %d write-through (%.1fx); %d txns in %d flushes"
+       w_on w_off
+       (float_of_int w_off /. float_of_int (max 1 w_on))
+       (stat "txns") (stat "flushes"))
+
+(* ------------------------------------------------------------------ *)
+(* WAL: crash sweep over every device-write point                      *)
+
+(* The journal's safety claim, tested exhaustively rather than by
+   spot-check: run a mixed metadata workload once without faults to
+   learn (a) the state after every operation prefix and (b) how many
+   device writes the run performs; then re-run it W+1 times, cutting
+   power (every write fails) after exactly k = 0, 1, …, W successful
+   writes.  After each crash the disk is remounted cold — journal
+   replay applies sealed groups, discards the torn tail — and must
+   fsck clean and present EXACTLY the state after some prefix of
+   operations: no torn op visible, no committed op half-applied.  The
+   workload includes a mid-point [sync]; any crash after the write that
+   made sync durable must recover every pre-sync operation. *)
+let wal_crash_sweep () =
+  let disk = Disk.create ~nblocks:1024 ~block_size:1024 () in
+  let base =
+    let c = ref 0 in
+    let (_ : Ufs.t) =
+      get (Ufs.mkfs ~ninodes:64 ~journal_blocks:64 ~now:(fun () -> incr c; !c) disk)
+    in
+    Disk.snapshot disk
+  in
+  let lookup fs names =
+    List.fold_left
+      (fun acc n -> let* d = acc in Ufs.dir_lookup fs d n)
+      (Ok (Ufs.root fs)) names
+  in
+  let big = String.make 3000 'j' in
+  let ops =
+    [
+      ("mkdir /a", fun fs -> let* _ = Ufs.mkdir fs ~dir:(Ufs.root fs) "a" in Ok ());
+      ("mkdir /b", fun fs -> let* _ = Ufs.mkdir fs ~dir:(Ufs.root fs) "b" in Ok ());
+      ( "create /a/x",
+        fun fs -> let* a = lookup fs [ "a" ] in
+          let* _ = Ufs.create fs ~dir:a "x" in Ok () );
+      ( "write /a/x",
+        fun fs -> let* x = lookup fs [ "a"; "x" ] in
+          Ufs.write fs x ~off:0 "version one of x" );
+      ( "create /a/y",
+        fun fs -> let* a = lookup fs [ "a" ] in
+          let* _ = Ufs.create fs ~dir:a "y" in Ok () );
+      ( "write /a/y (3 blocks)",
+        fun fs -> let* y = lookup fs [ "a"; "y" ] in Ufs.write fs y ~off:0 big );
+      ( "rename /a/y -> /b/y",
+        fun fs ->
+          let* a = lookup fs [ "a" ] in
+          let* b = lookup fs [ "b" ] in
+          Ufs.rename fs ~sdir:a ~sname:"y" ~ddir:b ~dname:"y" );
+      ("sync", fun fs -> Ufs.sync fs);
+      ( "create /b/tmp",
+        fun fs -> let* b = lookup fs [ "b" ] in
+          let* _ = Ufs.create fs ~dir:b "tmp" in Ok () );
+      ( "write /b/tmp",
+        fun fs -> let* t = lookup fs [ "b"; "tmp" ] in
+          Ufs.write fs t ~off:0 "shadow replacement for y" );
+      ( "rename /b/tmp -> /b/y (shadow install)",
+        fun fs -> let* b = lookup fs [ "b" ] in
+          Ufs.rename fs ~sdir:b ~sname:"tmp" ~ddir:b ~dname:"y" );
+      ( "truncate /a/x to 7",
+        fun fs -> let* x = lookup fs [ "a"; "x" ] in Ufs.truncate fs x 7 );
+      ( "link /b/y as /a/ylink",
+        fun fs ->
+          let* a = lookup fs [ "a" ] in
+          let* y = lookup fs [ "b"; "y" ] in
+          Ufs.link fs ~dir:a "ylink" y );
+      ( "unlink /a/x",
+        fun fs -> let* a = lookup fs [ "a" ] in Ufs.unlink fs ~dir:a "x" );
+      ("mkdir /c", fun fs -> let* _ = Ufs.mkdir fs ~dir:(Ufs.root fs) "c" in Ok ());
+      ( "create /c/z",
+        fun fs -> let* c = lookup fs [ "c" ] in
+          let* _ = Ufs.create fs ~dir:c "z" in Ok () );
+      ( "write /c/z",
+        fun fs -> let* z = lookup fs [ "c"; "z" ] in Ufs.write fs z ~off:0 "zz" );
+      ( "unlink /a/ylink",
+        fun fs -> let* a = lookup fs [ "a" ] in Ufs.unlink fs ~dir:a "ylink" );
+    ]
+  in
+  let sync_pos =
+    let rec idx i = function
+      | ("sync", _) :: _ -> i
+      | _ :: tl -> idx (i + 1) tl
+      | [] -> assert false
+    in
+    idx 1 ops
+  in
+  (* Canonical state dump, read through the mounted fs (and hence
+     through the journal overlay): structure, link counts, contents.
+     mtimes are excluded so the dump depends only on which operations
+     are present, not on clock positions of failed attempts. *)
+  let rec dump_tree fs ino prefix =
+    let entries = List.sort compare (get (Ufs.dir_entries fs ino)) in
+    List.concat_map
+      (fun (name, i, kind) ->
+        let a = get (Ufs.stat fs i) in
+        match kind with
+        | Ufs.Dir ->
+          Printf.sprintf "%s%s/ nlink=%d" prefix name a.Ufs.nlink
+          :: dump_tree fs i (prefix ^ name ^ "/")
+        | Ufs.Reg ->
+          let data = get (Ufs.read fs i ~off:0 ~len:a.Ufs.size) in
+          [ Printf.sprintf "%s%s nlink=%d %S" prefix name a.Ufs.nlink data ])
+      entries
+  in
+  let dump fs = String.concat "\n" (dump_tree fs (Ufs.root fs) "/") in
+  let tick fs clock =
+    clock := !clock + 2;
+    match Ufs.journal_tick fs with Ok () | Error _ -> ()
+  in
+  (* Reference run: no faults.  Record the state after every op prefix
+     and the device-write count at which the mid-workload sync returned. *)
+  Disk.restore disk base;
+  Disk.clear_failures disk;
+  let ref_clock = ref 100 in
+  let ref_fs = get (Ufs.mount ~now:(fun () -> incr ref_clock; !ref_clock) disk) in
+  let w0 = Disk.writes disk in
+  let dumps = ref [ dump ref_fs ] in
+  let writes_at_sync = ref 0 in
+  List.iteri
+    (fun i (name, op) ->
+      (match op ref_fs with
+      | Ok () -> ()
+      | Error e ->
+        failwith (Printf.sprintf "WAL reference op %s: %s" name (Errno.to_string e)));
+      if i + 1 = sync_pos then writes_at_sync := Disk.writes disk - w0;
+      tick ref_fs ref_clock;
+      dumps := dump ref_fs :: !dumps)
+    ops;
+  (match Ufs.sync ref_fs with
+  | Ok () -> ()
+  | Error e -> failwith ("WAL reference sync: " ^ Errno.to_string e));
+  let total_writes = Disk.writes disk - w0 in
+  let dumps = Array.of_list (List.rev !dumps) in
+  let nstates = Array.length dumps in
+  (* The sweep: crash after exactly k successful writes, for every k. *)
+  let fsck_bad = ref 0 and unmatched = ref 0 and sync_bad = ref 0 in
+  let min_state = ref max_int and max_state = ref (-1) in
+  for k = 0 to total_writes do
+    Disk.restore disk base;
+    Disk.clear_failures disk;
+    let clock = ref 100 in
+    let now () = incr clock; !clock in
+    let fs = get (Ufs.mount ~now disk) in
+    Disk.fail_writes_after disk k;
+    List.iter
+      (fun (_, op) ->
+        (match op fs with Ok () | Error _ -> ());
+        tick fs clock)
+      ops;
+    (match Ufs.sync fs with Ok () | Error _ -> ());
+    (* Power comes back: the device works again, but RAM is gone — a
+       cold mount replays the journal from the media alone. *)
+    Disk.clear_failures disk;
+    let fs2 = get (Ufs.mount ~now disk) in
+    (match Ufs.check fs2 with
+    | Error msg ->
+      incr fsck_bad;
+      Printf.printf "  !! WAL crash point %d: fsck: %s\n%!" k msg
+    | Ok () ->
+      let d = dump fs2 in
+      let matched = ref (-1) in
+      Array.iteri (fun j dj -> if dj = d then matched := j) dumps;
+      if !matched < 0 then begin
+        incr unmatched;
+        Printf.printf "  !! WAL crash point %d: recovered state is not an op prefix\n%!" k
+      end
+      else begin
+        if !matched < !min_state then min_state := !matched;
+        if !matched > !max_state then max_state := !matched;
+        if k >= !writes_at_sync && !matched < sync_pos - 1 then begin
+          incr sync_bad;
+          Printf.printf
+            "  !! WAL crash point %d: post-sync crash lost a pre-sync op (prefix %d < %d)\n%!"
+            k !matched (sync_pos - 1)
+        end
+      end)
+  done;
+  Table.print ~title:"WAL: crash sweep over every device-write point (journaled UFS)"
+    ~headers:[ "metric"; "value" ]
+    [
+      [ "operations in workload"; string_of_int (List.length ops) ];
+      [ "device-write crash points"; string_of_int (total_writes + 1) ];
+      [ "fsck failures after replay"; string_of_int !fsck_bad ];
+      [ "recovered states not an op prefix"; string_of_int !unmatched ];
+      [ "post-sync crashes losing pre-sync ops"; string_of_int !sync_bad ];
+      [ "recovered prefix range";
+        Printf.sprintf "%d .. %d of %d ops" !min_state !max_state (nstates - 1) ];
+    ];
+  verdict "WAL"
+    "a crash at any write point replays to an fsck-clean committed-op prefix; sync is durable"
+    (!fsck_bad = 0 && !unmatched = 0 && !sync_bad = 0 && total_writes > 0
+     && !max_state = nstates - 1)
+    (Printf.sprintf
+       "%d crash points: prefixes %d..%d recovered, %d fsck failures, %d non-prefix states, %d sync violations"
+       (total_writes + 1) !min_state !max_state !fsck_bad !unmatched !sync_bad)
 
 (* ------------------------------------------------------------------ *)
 
@@ -962,7 +1237,9 @@ let registry =
     ("a2", a2_tombstone_gc);
     ("a3", a3_selection_policy);
     ("a4", a4_trace_overhead);
+    ("a5", a5_journal_io);
     ("chaos", chaos_convergence);
+    ("wal", wal_crash_sweep);
   ]
 
 let names = List.map fst registry

@@ -78,13 +78,29 @@ val a4_trace_overhead : unit -> verdict
     over plain UFS and over the full Ficus stack; steady-state disk I/O
     must stay within a small constant factor (§6). *)
 
+val a5_journal_io : unit -> verdict
+(** Write-ahead journal economics: an identical create/delete-heavy
+    metadata workload run journal-off (write-through, one device write
+    per metadata touch) and journal-on (group commit + checkpoint);
+    journaled device writes must be strictly lower. *)
+
 val chaos_convergence : unit -> verdict
 (** §1/§3.3 under duress: a 4-replica volume runs through a randomized
     schedule of injected faults (datagram loss ≥ 0.2, latency,
     duplication, reordering, RPC failure injection, partitions,
     asymmetric severed links, flaky hosts) while every host keeps
     writing; after heal + quiesce, all replicas must report equal
-    version vectors and identical directory contents. *)
+    version vectors and identical directory contents.  Every host's UFS
+    runs journaled, and every disk must fsck clean at the end. *)
+
+val wal_crash_sweep : unit -> verdict
+(** Journal crash safety, exhaustively: learn the per-op-prefix states
+    and total device-write count W of a mixed metadata workload
+    (create, write, rename, shadow-style install, link, unlink,
+    truncate, a mid-point sync), then crash the device after exactly
+    k = 0..W successful writes.  Every cold remount must replay to an
+    fsck-clean state equal to some committed-op prefix, and any crash
+    past the sync's last write must retain every pre-sync op. *)
 
 val all : unit -> verdict list
 (** Run every experiment in order, printing all tables. *)

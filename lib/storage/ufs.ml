@@ -4,6 +4,7 @@
      bbitmap blocks     block allocation bitmap (metadata pre-marked)
      itable blocks      128-byte inode slots, inum 1.. (slot 0 unused)
      data blocks        file and directory contents
+     journal blocks     write-ahead journal region (optional, at the end)
    Inode slot: kind u8, pad, nlink u16, size u32, mtime u32, mode u16,
    uid u16, gen u32, 12 direct u32, 1 single-indirect u32.
    Freed slots keep their gen so reallocation can bump it (NFS staleness). *)
@@ -42,6 +43,8 @@ type superblock = {
   itable_start : int;
   itable_blocks : int;
   data_start : int;
+  journal_start : int;  (* = nblocks when there is no journal *)
+  journal_blocks : int;  (* 0 = unjournaled *)
 }
 
 type t = {
@@ -49,6 +52,7 @@ type t = {
   sb : superblock;
   bs : int;  (* block size *)
   now : unit -> int;
+  journal : Journal.t option;
 }
 
 type ino = {
@@ -79,6 +83,8 @@ let encode_sb bs sb =
   Codec.set_u32 b 32 sb.itable_blocks;
   Codec.set_u32 b 36 sb.data_start;
   Codec.set_u32 b 40 sb.inode_size;
+  Codec.set_u32 b 44 sb.journal_start;
+  Codec.set_u32 b 48 sb.journal_blocks;
   b
 
 let decode_sb b =
@@ -96,27 +102,74 @@ let decode_sb b =
         itable_blocks = Codec.get_u32 b 32;
         data_start = Codec.get_u32 b 36;
         inode_size = Codec.get_u32 b 40;
+        (* Pre-journal images have zeros here: no journal region. *)
+        journal_start =
+          (if Codec.get_u32 b 48 = 0 then Codec.get_u32 b 4 else Codec.get_u32 b 44);
+        journal_blocks = Codec.get_u32 b 48;
       }
+
+(* ------------------------------------------------------------------ *)
+(* Block I/O                                                           *)
+
+(* Every metadata and data access funnels through these three, so the
+   journal (when present) sees all of it: reads observe the transaction
+   dirty set and any committed-but-not-yet-checkpointed blocks; writes
+   buffer in the open transaction instead of hitting the device. *)
+
+let bread t blk =
+  match t.journal with
+  | Some j -> Journal.read j blk
+  | None -> Block_cache.read t.cache blk
+
+let bread_copy t blk =
+  match t.journal with
+  | Some j -> Journal.read_copy j blk
+  | None -> Block_cache.read_copy t.cache blk
+
+let bwrite t blk buf =
+  match t.journal with
+  | Some j -> Journal.write j blk buf
+  | None -> Block_cache.write t.cache blk buf
+
+(* Run [f] as one journaled transaction: its writes become durable
+   together (at the next group-commit flush) or not at all, and an error
+   rolls every one of them back.  Unjournaled: plain write-through. *)
+let with_txn t f =
+  match t.journal with
+  | None -> f ()
+  | Some j ->
+    Journal.begin_txn j;
+    (match f () with
+     | Ok _ as r ->
+       (match Journal.commit_txn j with
+        | Ok () -> r
+        | Error _ as e ->
+          (* The flush failed on the device; the staged writes stay in
+             memory for a later retry, but this caller sees the error. *)
+          e)
+     | Error _ as e ->
+       Journal.abort_txn j;
+       e)
 
 (* ------------------------------------------------------------------ *)
 (* Bitmaps                                                             *)
 
 let bit_test t ~start bit =
   let bits_per_block = t.bs * 8 in
-  let* b = Block_cache.read t.cache (start + (bit / bits_per_block)) in
+  let* b = bread t (start + (bit / bits_per_block)) in
   let byte = Codec.get_u8 b (bit mod bits_per_block / 8) in
   Ok (byte land (1 lsl (bit mod 8)) <> 0)
 
 let bit_update t ~start bit value =
   let bits_per_block = t.bs * 8 in
   let blk = start + (bit / bits_per_block) in
-  let* b = Block_cache.read_copy t.cache blk in
+  let* b = bread_copy t blk in
   let idx = bit mod bits_per_block / 8 in
   let mask = 1 lsl (bit mod 8) in
   let byte = Codec.get_u8 b idx in
   let byte = if value then byte lor mask else byte land lnot mask in
   Codec.set_u8 b idx byte;
-  Block_cache.write t.cache blk b
+  bwrite t blk b
 
 (* First clear bit below [limit], or ENOSPC-style [None]. *)
 let bit_find_clear t ~start ~nbitmap_blocks ~limit =
@@ -124,7 +177,7 @@ let bit_find_clear t ~start ~nbitmap_blocks ~limit =
   let rec scan_block bi =
     if bi >= nbitmap_blocks then Ok None
     else
-      let* b = Block_cache.read t.cache (start + bi) in
+      let* b = bread t (start + bi) in
       let base = bi * bits_per_block in
       let rec scan_byte i =
         if i >= t.bs then scan_block (bi + 1)
@@ -151,7 +204,7 @@ let count_clear_bits t ~start ~nbitmap_blocks ~limit =
   let rec go bi acc =
     if bi >= nbitmap_blocks then Ok acc
     else
-      let* b = Block_cache.read t.cache (start + bi) in
+      let* b = bread t (start + bi) in
       let base = bi * bits_per_block in
       let acc = ref acc in
       for i = 0 to t.bs - 1 do
@@ -205,7 +258,7 @@ let read_ino t inum =
   if not (valid_inum t inum) then Error Errno.EINVAL
   else
     let blk, off = inode_loc t inum in
-    let* b = Block_cache.read t.cache blk in
+    let* b = bread t blk in
     Ok (decode_ino b off)
 
 let read_live_ino t inum =
@@ -214,14 +267,14 @@ let read_live_ino t inum =
 
 let write_ino t inum ino =
   let blk, off = inode_loc t inum in
-  let* b = Block_cache.read_copy t.cache blk in
+  let* b = bread_copy t blk in
   encode_ino b off ino;
-  Block_cache.write t.cache blk b
+  bwrite t blk b
 
 (* ------------------------------------------------------------------ *)
 (* mkfs / mount                                                        *)
 
-let layout ~bs ~nblocks ~ninodes ~inode_size =
+let layout ~bs ~nblocks ~ninodes ~inode_size ~journal_blocks =
   let bits_per_block = bs * 8 in
   let ceil_div a b = (a + b - 1) / b in
   let ibitmap_blocks = ceil_div (ninodes + 1) bits_per_block in
@@ -242,6 +295,10 @@ let layout ~bs ~nblocks ~ninodes ~inode_size =
     itable_start;
     itable_blocks;
     data_start;
+    (* The journal takes the tail of the disk so the data region stays
+       contiguous; journal_start = nblocks means no journal. *)
+    journal_start = nblocks - journal_blocks;
+    journal_blocks;
   }
 
 let empty_ino = {
@@ -260,18 +317,39 @@ let root _t = 1
 let cache t = t.cache
 let disk t = Block_cache.disk t.cache
 
-let mkfs ?(cache_capacity = 256) ?ninodes ?(inode_size = default_inode_size) ~now disk =
+(* The journal talks to the world through closures: home blocks go
+   through the buffer cache (write-through, so checkpoint and replay
+   leave cache and media consistent); log-region blocks go straight to
+   the device so log traffic never pollutes the LRU. *)
+let make_journal ~cache ~sb ~bs ~flush_blocks ~flush_age ~now =
+  let disk = Block_cache.disk cache in
+  Journal.create
+    {
+      Journal.block_size = bs;
+      home_read = (fun blk -> Block_cache.read cache blk);
+      home_write = (fun blk buf -> Block_cache.write cache blk buf);
+      log_read = (fun blk -> Disk.read disk blk);
+      log_write = (fun blk buf -> Disk.write disk blk buf);
+    }
+    ~start:sb.journal_start ~blocks:sb.journal_blocks ~flush_blocks ~flush_age ~now ()
+
+let mkfs ?(cache_capacity = 256) ?ninodes ?(inode_size = default_inode_size)
+    ?(journal_blocks = 0) ?(journal_flush_blocks = 32) ?(journal_flush_age = 8) ~now disk =
   let bs = Disk.block_size disk in
-  if bs < 512 || inode_size < default_inode_size || bs mod inode_size <> 0 then
-    Error Errno.EINVAL
+  if bs < 512 || inode_size < default_inode_size || bs mod inode_size <> 0
+     || journal_blocks < 0
+     || (journal_blocks > 0 && journal_blocks < 4)
+  then Error Errno.EINVAL
   else
     let nblocks = Disk.nblocks disk in
     let ninodes = match ninodes with Some n -> n | None -> max 16 (nblocks / 4) in
-    let sb = layout ~bs ~nblocks ~ninodes ~inode_size in
-    if sb.data_start >= nblocks then Error Errno.ENOSPC
+    let sb = layout ~bs ~nblocks ~ninodes ~inode_size ~journal_blocks in
+    if sb.data_start >= sb.journal_start then Error Errno.ENOSPC
     else begin
       let cache = Block_cache.create ~capacity:cache_capacity disk in
-      let t = { cache; sb; bs; now } in
+      (* Format with direct write-through; the journal only starts
+         intercepting once the image is complete. *)
+      let t = { cache; sb; bs; now; journal = None } in
       let* () = Block_cache.write cache 0 (encode_sb bs sb) in
       (* Zero both bitmaps and the inode table. *)
       let zero = Bytes.make bs '\000' in
@@ -293,20 +371,47 @@ let mkfs ?(cache_capacity = 256) ?ninodes ?(inode_size = default_inode_size) ~no
           mark (blk + 1)
       in
       let* () = mark 0 in
+      (* Reserve the journal region so the allocator never hands it out. *)
+      let rec mark_journal blk =
+        if blk >= nblocks then Ok ()
+        else
+          let* () = bit_update t ~start:sb.bbitmap_start blk true in
+          mark_journal (blk + 1)
+      in
+      let* () = mark_journal sb.journal_start in
       (* Root directory: inode 1, empty. *)
       let* () = bit_update t ~start:sb.ibitmap_start 1 true in
       let root_ino = { empty_ino with i_kind = 2; i_nlink = 1; i_mtime = now (); i_mode = 0o755; i_gen = 1 } in
       let* () = write_ino t 1 root_ino in
-      Ok t
+      if journal_blocks = 0 then Ok t
+      else begin
+        let j =
+          make_journal ~cache ~sb ~bs ~flush_blocks:journal_flush_blocks
+            ~flush_age:journal_flush_age ~now
+        in
+        let* () = Journal.format j in
+        Ok { t with journal = Some j }
+      end
     end
 
-let mount ?(cache_capacity = 256) ~now disk =
+let mount ?(cache_capacity = 256) ?(journal_flush_blocks = 32) ?(journal_flush_age = 8)
+    ~now disk =
   let bs = Disk.block_size disk in
   let cache = Block_cache.create ~capacity:cache_capacity disk in
   let* b = Block_cache.read cache 0 in
   let* sb = decode_sb b in
   if sb.nblocks <> Disk.nblocks disk then Error Errno.EINVAL
-  else Ok { cache; sb; bs; now }
+  else if sb.journal_blocks = 0 then Ok { cache; sb; bs; now; journal = None }
+  else begin
+    let j =
+      make_journal ~cache ~sb ~bs ~flush_blocks:journal_flush_blocks
+        ~flush_age:journal_flush_age ~now
+    in
+    (* Crash recovery: re-apply every sealed record group, discard any
+       torn tail, and start with an empty log. *)
+    let* (_applied : int) = Journal.recover j in
+    Ok { cache; sb; bs; now; journal = Some j }
+  end
 
 let nfree_blocks t =
   count_clear_bits t ~start:t.sb.bbitmap_start ~nbitmap_blocks:t.sb.bbitmap_blocks
@@ -370,7 +475,7 @@ let bmap t ino n =
   else if n >= max_file_blocks t then Error Errno.EFBIG
   else if ino.i_indirect = 0 then Ok 0
   else
-    let* b = Block_cache.read t.cache ino.i_indirect in
+    let* b = bread t ino.i_indirect in
     Ok (Codec.get_u32 b (4 * (n - ndirect)))
 
 (* Ensure file block [n] is mapped, allocating as needed.  Returns the
@@ -389,17 +494,17 @@ let bmap_alloc t ino n =
       if ino.i_indirect <> 0 then Ok (ino.i_indirect, ino)
       else
         let* blk = alloc_block t in
-        let* () = Block_cache.write t.cache blk (Bytes.make t.bs '\000') in
+        let* () = bwrite t blk (Bytes.make t.bs '\000') in
         Ok (blk, { ino with i_indirect = blk })
     in
-    let* b = Block_cache.read_copy t.cache indirect in
+    let* b = bread_copy t indirect in
     let slot = 4 * (n - ndirect) in
     let existing = Codec.get_u32 b slot in
     if existing <> 0 then Ok (existing, ino)
     else
       let* blk = alloc_block t in
       Codec.set_u32 b slot blk;
-      let* () = Block_cache.write t.cache indirect b in
+      let* () = bwrite t indirect b in
       Ok (blk, ino)
 
 (* ------------------------------------------------------------------ *)
@@ -423,7 +528,7 @@ let read_at t ino ~off ~len =
           let* () =
             if phys = 0 then Ok () (* sparse: zeros *)
             else
-              let* b = Block_cache.read t.cache phys in
+              let* b = bread t phys in
               Bytes.blit b boff out pos chunk;
               Ok ()
           in
@@ -448,10 +553,10 @@ let write_at t inum ino ~off data =
         let* phys, ino = bmap_alloc t ino fblk in
         let* buf =
           if chunk = t.bs || was_mapped = 0 then Ok (Bytes.make t.bs '\000')
-          else Block_cache.read_copy t.cache phys
+          else bread_copy t phys
         in
         Bytes.blit_string data pos buf boff chunk;
-        let* () = Block_cache.write t.cache phys buf in
+        let* () = bwrite t phys buf in
         store ino (pos + chunk)
     in
     let* ino = store ino 0 in
@@ -473,7 +578,7 @@ let free_blocks_from t ino ~keep =
   let* direct = free_direct 0 (Array.copy ino.i_direct) in
   if ino.i_indirect = 0 then Ok { ino with i_direct = direct }
   else
-    let* b = Block_cache.read_copy t.cache ino.i_indirect in
+    let* b = bread_copy t ino.i_indirect in
     let nptrs = ptrs_per_block t in
     let rec free_ind i any_kept =
       if i >= nptrs then Ok any_kept
@@ -488,7 +593,7 @@ let free_blocks_from t ino ~keep =
     in
     let* any_kept = free_ind 0 false in
     if any_kept then
-      let* () = Block_cache.write t.cache ino.i_indirect b in
+      let* () = bwrite t ino.i_indirect b in
       Ok { ino with i_direct = direct }
     else
       let* () = free_block t ino.i_indirect in
@@ -510,9 +615,9 @@ let truncate_ino t inum ino len =
         let* phys = bmap t ino (len / t.bs) in
         if phys = 0 then Ok ()
         else
-          let* b = Block_cache.read_copy t.cache phys in
+          let* b = bread_copy t phys in
           Bytes.fill b (len mod t.bs) (t.bs - (len mod t.bs)) '\000';
-          Block_cache.write t.cache phys b
+          bwrite t phys b
     in
     write_ino t inum { ino with i_size = len; i_mtime = t.now () }
   end
@@ -626,14 +731,17 @@ let stat t inum =
     }
 
 let set_mode t inum mode =
+  with_txn t @@ fun () ->
   let* ino = read_live_ino t inum in
   write_ino t inum { ino with i_mode = mode land 0xffff }
 
 let set_uid t inum uid =
+  with_txn t @@ fun () ->
   let* ino = read_live_ino t inum in
   write_ino t inum { ino with i_uid = uid land 0xffff }
 
 let set_mtime t inum mtime =
+  with_txn t @@ fun () ->
   let* ino = read_live_ino t inum in
   write_ino t inum { ino with i_mtime = mtime }
 
@@ -642,10 +750,12 @@ let read t inum ~off ~len =
   if ino.i_kind = 2 then Error Errno.EISDIR else read_at t ino ~off ~len
 
 let write t inum ~off data =
+  with_txn t @@ fun () ->
   let* ino = read_live_ino t inum in
   if ino.i_kind = 2 then Error Errno.EISDIR else write_at t inum ino ~off data
 
 let truncate t inum len =
+  with_txn t @@ fun () ->
   let* ino = read_live_ino t inum in
   if ino.i_kind = 2 then Error Errno.EISDIR else truncate_ino t inum ino len
 
@@ -661,6 +771,7 @@ let add_entry t dir name child kind =
     else store_dir t dir ino (entries @ [ (name, child, kind) ])
 
 let create t ~dir name =
+  with_txn t @@ fun () ->
   let* _ = load_dir t dir in
   let* exists = match dir_lookup t dir name with
     | Ok _ -> Ok true
@@ -674,6 +785,7 @@ let create t ~dir name =
     Ok inum
 
 let mkdir t ~dir name =
+  with_txn t @@ fun () ->
   let* _ = load_dir t dir in
   let* exists = match dir_lookup t dir name with
     | Ok _ -> Ok true
@@ -687,6 +799,7 @@ let mkdir t ~dir name =
     Ok inum
 
 let link t ~dir name target =
+  with_txn t @@ fun () ->
   let* ino = read_live_ino t target in
   if ino.i_nlink >= 0xffff then Error Errno.EMLINK
   else
@@ -709,6 +822,7 @@ let drop_link t inum =
   else write_ino t inum { ino with i_nlink = nlink }
 
 let unlink t ~dir name =
+  with_txn t @@ fun () ->
   let* child = dir_lookup t dir name in
   let* ino = read_live_ino t child in
   if ino.i_kind = 2 then Error Errno.EISDIR
@@ -717,6 +831,7 @@ let unlink t ~dir name =
     drop_link t child
 
 let rmdir t ~dir name =
+  with_txn t @@ fun () ->
   let* child = dir_lookup t dir name in
   let* ino = read_live_ino t child in
   if ino.i_kind <> 2 then Error Errno.ENOTDIR
@@ -740,7 +855,13 @@ let check_replaceable t ~src_is_dir d =
     if dst_ino.i_nlink <= 1 && entries <> [] then Error Errno.ENOTEMPTY else Ok ()
   | false, false -> Ok ()
 
+(* Journaled, the whole rename — including the shadow-file commit point
+   below — is one transaction: the directory rewrite and the dropped
+   link become durable together, closing the crash window that
+   write-through ordering could only shrink (the "leaks the old inode"
+   case in the same-directory-replace arm). *)
 let rename t ~sdir ~sname ~ddir ~dname =
+  with_txn t @@ fun () ->
   if not (valid_name dname) then Error Errno.EINVAL
   else
     let* src = dir_lookup t sdir sname in
@@ -786,7 +907,37 @@ let rename t ~sdir ~sname ~ddir ~dname =
       let* _ = remove_entry t sdir sname in
       add_entry t ddir dname src src_kind
 
-let sync _t = Ok ()
+(* ------------------------------------------------------------------ *)
+(* Maintenance                                                         *)
+
+let journaled t = t.journal <> None
+
+let sync t =
+  match t.journal with
+  | None -> Ok () (* write-through: every completed op is already on disk *)
+  | Some j ->
+    (* Force the group commit (every committed transaction becomes
+       durable) and checkpoint (logged blocks go home, log empties). *)
+    Journal.checkpoint j
+
+let journal_tick t =
+  match t.journal with None -> Ok () | Some j -> Journal.tick j
+
+let journal_stats t =
+  match t.journal with None -> [] | Some j -> Journal.stats j
+
+let crash_reboot t =
+  (* Power-failure semantics: the buffer cache and every journal
+     structure that lives in memory are lost; whatever reached the
+     device survives.  Replay then restores the last sealed group
+     commit, exactly as a fresh [mount] would. *)
+  Block_cache.invalidate t.cache;
+  match t.journal with
+  | None -> Ok ()
+  | Some j ->
+    Journal.crash j;
+    let* (_applied : int) = Journal.recover j in
+    Ok ()
 
 (* ------------------------------------------------------------------ *)
 (* fsck                                                                *)
@@ -804,7 +955,7 @@ let check t =
     Array.iter (fun b -> if b <> 0 then Hashtbl.replace reachable_blocks b ()) ino.i_direct;
     if ino.i_indirect <> 0 then begin
       Hashtbl.replace reachable_blocks ino.i_indirect ();
-      match Block_cache.read t.cache ino.i_indirect with
+      match bread t ino.i_indirect with
       | Error _ -> complain "unreadable indirect block %d" ino.i_indirect
       | Ok b ->
         for i = 0 to ptrs_per_block t - 1 do
@@ -854,8 +1005,9 @@ let check t =
       if used && not reachable then complain "inode %d allocated but unreachable" inum
       else if (not used) && reachable then complain "inode %d reachable but free" inum
   done;
-  (* Block bitmap vs. reachability (metadata blocks are always used). *)
-  for blk = t.sb.data_start to t.sb.nblocks - 1 do
+  (* Block bitmap vs. reachability (metadata blocks are always used,
+     and so is the journal region at the tail of the disk). *)
+  for blk = t.sb.data_start to t.sb.journal_start - 1 do
     match bit_test t ~start:t.sb.bbitmap_start blk with
     | Error _ -> complain "unreadable block bitmap for %d" blk
     | Ok used ->

@@ -10,8 +10,16 @@
 
     Differences from a production UFS, chosen for the simulation:
     ["."]/[".."] entries are implicit; [link] may target directories
-    (Ficus directories form a DAG — paper §2.5); all metadata writes are
-    synchronous write-through. *)
+    (Ficus directories form a DAG — paper §2.5); by default all metadata
+    writes are synchronous write-through.
+
+    Formatting with [~journal_blocks] reserves a write-ahead journal
+    region at the tail of the disk and turns every mutating operation
+    into a transaction: its block writes buffer in memory, group commit
+    seals batches of transactions into the log (amortizing the paper's
+    one-I/O-per-metadata-touch cost), a checkpoint later writes them
+    home, and {!mount} replays sealed batches after a crash.  See
+    {!Journal} for the protocol and DESIGN.md for the on-disk format. *)
 
 type t
 
@@ -33,19 +41,34 @@ type attrs = {
 type 'a io = ('a, Errno.t) result
 
 val mkfs :
-  ?cache_capacity:int -> ?ninodes:int -> ?inode_size:int -> now:(unit -> int) ->
-  Disk.t -> t io
+  ?cache_capacity:int -> ?ninodes:int -> ?inode_size:int ->
+  ?journal_blocks:int -> ?journal_flush_blocks:int -> ?journal_flush_age:int ->
+  now:(unit -> int) -> Disk.t -> t io
 (** Format the disk and mount the fresh file system.  [now] supplies
     mtime stamps (typically the simulated clock).  Default [ninodes] is
     one per four data blocks.  [inode_size] (default 128, min 128, must
     divide the block size) controls how many inodes share a block: the
     I/O-accounting experiments set it to the block size so each inode
     fetch is one I/O, as on a cylinder-group UFS where distinct files'
-    inodes rarely share a cached block. *)
+    inodes rarely share a cached block.
 
-val mount : ?cache_capacity:int -> now:(unit -> int) -> Disk.t -> t io
+    [journal_blocks] (default 0 = unjournaled, else at least 4) reserves
+    that many blocks at the tail of the disk for the write-ahead
+    journal.  [journal_flush_blocks] (default 32) and
+    [journal_flush_age] (default 8 clock units) are the group-commit
+    thresholds: staged transactions flush to the log when that many
+    distinct blocks are dirty, or when {!journal_tick} finds the oldest
+    commit has waited that long. *)
+
+val mount :
+  ?cache_capacity:int -> ?journal_flush_blocks:int -> ?journal_flush_age:int ->
+  now:(unit -> int) -> Disk.t -> t io
 (** Mount an existing file system (e.g. after a simulated crash: the
-    buffer cache starts cold).  Fails with [EINVAL] on a bad superblock. *)
+    buffer cache starts cold).  If the superblock names a journal
+    region, sealed record groups are replayed and torn tails discarded
+    before the mount returns — the recovered state is always the state
+    after some prefix of committed transactions.  Fails with [EINVAL] on
+    a bad superblock. *)
 
 val root : t -> inum
 val cache : t -> Block_cache.t
@@ -97,9 +120,42 @@ val rename : t -> sdir:inum -> sname:string -> ddir:inum -> dname:string -> unit
 
 (** {1 Maintenance} *)
 
+val journaled : t -> bool
+(** Whether this file system was formatted with a write-ahead journal. *)
+
 val sync : t -> unit io
-(** No-op (write-through cache); present for interface completeness. *)
+(** Make every completed operation durable.  Journaled: force the group
+    commit (staged transactions are sealed into the log) and checkpoint
+    (logged blocks are written home and the log empties) — after [sync]
+    returns [Ok], a crash at any later point loses nothing done before
+    it.  Unjournaled: a no-op, because the write-through cache already
+    put every completed operation on the device. *)
+
+val journal_tick : t -> unit io
+(** The clock-driven half of group commit: flush the staged
+    transactions iff the oldest has waited at least the flush age.
+    Driven alongside the propagation/reconciliation daemons (see
+    [Cluster.tick_daemons]); a no-op when unjournaled. *)
+
+val journal_stats : t -> (string * int) list
+(** Journal lifetime counters ({!Journal.stats}); [[]] when unjournaled. *)
+
+val crash_reboot : t -> unit io
+(** Simulate a power failure and reboot in place: drop the buffer cache
+    and every volatile journal structure (staged commits are lost
+    atomically), then replay the journal from the device exactly as a
+    fresh {!mount} would.  Unjournaled: just the cold cache. *)
 
 val check : t -> (unit, string) result
 (** Cheap fsck: bitmap vs. reachable blocks/inodes, link counts.  Used by
-    property tests. *)
+    property tests, {!val-crash_reboot} sweeps, and [Cluster.reboot]. *)
+
+(** {1 Wire formats}
+
+    Exposed for property tests: the packed directory encoding (u32 inum,
+    u8 kind, u8 namelen, name bytes per entry, zero-inum terminator).
+    [parse_dir] tolerates a torn suffix — a record cut off mid-append
+    parses as exactly the preceding complete entries. *)
+
+val serialize_dir : (string * inum * kind) list -> string
+val parse_dir : string -> (string * inum * kind) list

@@ -1,0 +1,148 @@
+(* The write-ahead metadata journal: group commit, sync durability,
+   crash/replay semantics, and the journaled cluster.  The exhaustive
+   every-write-point crash sweep lives in Experiments.wal_crash_sweep
+   (run from test_experiments.ml); these are the targeted unit cases. *)
+
+open Util
+
+(* A journaled UFS whose clock the test controls.  The huge default
+   flush thresholds mean nothing reaches the device unless the test
+   forces it (sync / tick / threshold), so each case can pin down
+   exactly which state is durable at the crash. *)
+let fresh_journaled ?(blocks = 2048) ?(cache = 128) ?(journal_blocks = 64)
+    ?(flush_blocks = 10_000) ?(flush_age = 10_000) () =
+  let disk = Disk.create ~nblocks:blocks ~block_size:1024 () in
+  let clock = ref 0 in
+  let now () = incr clock; !clock in
+  let fs =
+    ok ~msg:"mkfs"
+      (Ufs.mkfs ~cache_capacity:cache ~journal_blocks
+         ~journal_flush_blocks:flush_blocks ~journal_flush_age:flush_age ~now disk)
+  in
+  (disk, clock, fs)
+
+let fsck fs =
+  match Ufs.check fs with Ok () -> () | Error m -> Alcotest.failf "fsck: %s" m
+
+let test_sync_then_crash_loses_nothing () =
+  let _disk, _clock, fs = fresh_journaled () in
+  let root = Ufs.root fs in
+  let d = ok (Ufs.mkdir fs ~dir:root "d") in
+  let f = ok (Ufs.create fs ~dir:d "f") in
+  ok (Ufs.write fs f ~off:0 "must survive the crash");
+  ok (Ufs.sync fs);
+  ok (Ufs.crash_reboot fs);
+  fsck fs;
+  let d' = ok (Ufs.dir_lookup fs root "d") in
+  let f' = ok (Ufs.dir_lookup fs d' "f") in
+  Alcotest.(check string)
+    "content survives" "must survive the crash"
+    (ok (Ufs.read fs f' ~off:0 ~len:1024))
+
+let test_unsynced_ops_lost_atomically () =
+  let _disk, _clock, fs = fresh_journaled () in
+  let root = Ufs.root fs in
+  let d = ok (Ufs.mkdir fs ~dir:root "d") in
+  let f = ok (Ufs.create fs ~dir:d "f") in
+  ok (Ufs.write fs f ~off:0 "synced");
+  ok (Ufs.sync fs);
+  (* Committed but never flushed: staged only, gone at power loss. *)
+  let g = ok (Ufs.create fs ~dir:d "g") in
+  ok (Ufs.write fs g ~off:0 "staged only");
+  ok (Ufs.crash_reboot fs);
+  fsck fs;
+  let d' = ok (Ufs.dir_lookup fs root "d") in
+  let f' = ok (Ufs.dir_lookup fs d' "f") in
+  Alcotest.(check string) "synced op intact" "synced" (ok (Ufs.read fs f' ~off:0 ~len:64));
+  expect_err Errno.ENOENT (Ufs.dir_lookup fs d' "g")
+
+let test_replay_is_idempotent () =
+  (* flush_blocks = 1: every commit goes straight to the log, so the
+     crash leaves sealed-but-not-checkpointed groups for replay. *)
+  let _disk, _clock, fs = fresh_journaled ~flush_blocks:1 () in
+  let root = Ufs.root fs in
+  let d = ok (Ufs.mkdir fs ~dir:root "dir") in
+  for i = 0 to 5 do
+    let f = ok (Ufs.create fs ~dir:d (Printf.sprintf "f%d" i)) in
+    ok (Ufs.write fs f ~off:0 (Printf.sprintf "payload %d" i))
+  done;
+  ok (Ufs.unlink fs ~dir:d "f0");
+  let dump fs =
+    let d = ok (Ufs.dir_lookup fs (Ufs.root fs) "dir") in
+    List.map
+      (fun (name, i, _) -> (name, ok (Ufs.read fs i ~off:0 ~len:64)))
+      (List.sort compare (ok (Ufs.dir_entries fs d)))
+  in
+  ok (Ufs.crash_reboot fs);
+  fsck fs;
+  let first = dump fs in
+  Alcotest.(check bool) "replay applied something" true
+    (List.assoc "replayed" (Ufs.journal_stats fs) > 0);
+  (* A second crash immediately after: replaying the same log again
+     must land in the identical state. *)
+  ok (Ufs.crash_reboot fs);
+  fsck fs;
+  Alcotest.(check (list (pair string string))) "second replay identical" first (dump fs);
+  Alcotest.(check int) "five files live" 5 (List.length first)
+
+let test_staged_state_visible_before_flush () =
+  (* A tiny cache forces evictions, so reads must come from the
+     journal's staged table, not from cache luck. *)
+  let disk, _clock, fs = fresh_journaled ~cache:2 () in
+  let w0 = Disk.writes disk in
+  let root = Ufs.root fs in
+  let d = ok (Ufs.mkdir fs ~dir:root "d") in
+  let f = ok (Ufs.create fs ~dir:d "f") in
+  ok (Ufs.write fs f ~off:0 (String.make 2500 'x'));
+  Alcotest.(check int) "no device writes before flush" w0 (Disk.writes disk);
+  let f' = ok (Ufs.dir_lookup fs (ok (Ufs.dir_lookup fs root "d")) "f") in
+  Alcotest.(check string)
+    "staged contents readable" (String.make 2500 'x')
+    (ok (Ufs.read fs f' ~off:0 ~len:2500));
+  fsck fs
+
+let test_tick_flushes_by_age () =
+  let disk, clock, fs = fresh_journaled ~flush_age:4 () in
+  let root = Ufs.root fs in
+  let f = ok (Ufs.create fs ~dir:root "aged") in
+  ok (Ufs.write fs f ~off:0 "flushed by the daemon");
+  let w0 = Disk.writes disk in
+  (* Too young: the tick must not flush yet. *)
+  ok (Ufs.journal_tick fs);
+  Alcotest.(check int) "young commit stays staged" w0 (Disk.writes disk);
+  (* Age it past the threshold: the tick seals it into the log. *)
+  clock := !clock + 10;
+  ok (Ufs.journal_tick fs);
+  Alcotest.(check bool) "aged commit flushed" true (Disk.writes disk > w0);
+  (* Flushed-but-not-checkpointed survives the crash via replay. *)
+  ok (Ufs.crash_reboot fs);
+  fsck fs;
+  let f' = ok (Ufs.dir_lookup fs root "aged") in
+  Alcotest.(check string)
+    "daemon-flushed op durable" "flushed by the daemon"
+    (ok (Ufs.read fs f' ~off:0 ~len:64))
+
+let test_journaled_cluster_reboot () =
+  let cluster = Cluster.create ~nhosts:2 ~journal_blocks:64 () in
+  let vref = ok (Cluster.create_volume cluster ~on:[ 0; 1 ]) in
+  let root0 = ok (Cluster.logical_root cluster 0 vref) in
+  let f = ok (root0.Vnode.create "hello") in
+  ok (Vnode.write_all f "journaled cluster");
+  let (_ : int) = Cluster.run_propagation cluster in
+  ok (Ufs.sync (Cluster.ufs (Cluster.host cluster 0)));
+  (* reboot replays the journal and fscks; corruption would raise. *)
+  ok (Cluster.reboot cluster 0);
+  let root0 = ok (Cluster.logical_root cluster 0 vref) in
+  let f = ok (root0.Vnode.lookup "hello") in
+  Alcotest.(check string) "file survives host reboot" "journaled cluster"
+    (ok (Vnode.read_all f))
+
+let suite =
+  [
+    case "sync then crash loses nothing" test_sync_then_crash_loses_nothing;
+    case "unsynced ops are lost atomically, fsck clean" test_unsynced_ops_lost_atomically;
+    case "journal replay is idempotent" test_replay_is_idempotent;
+    case "staged state visible before any flush" test_staged_state_visible_before_flush;
+    case "journal_tick flushes by age" test_tick_flushes_by_age;
+    case "journaled cluster survives reboot" test_journaled_cluster_reboot;
+  ]

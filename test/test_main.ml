@@ -7,6 +7,7 @@ let () =
       ("fdir", Test_fdir.suite);
       ("storage", Test_storage.suite);
       ("ufs", Test_ufs.suite);
+      ("journal", Test_journal.suite);
       ("vnode", Test_vnode.suite);
       ("net", Test_net.suite);
       ("nfs", Test_nfs.suite);

@@ -482,6 +482,59 @@ let cluster_props =
           end);
   ]
 
+(* ------------------------------------------------------------------ *)
+(* UFS packed directory encoding: round-trip and torn-suffix safety    *)
+
+(* The on-disk directory format (u32 inum, u8 kind, u8 namelen, name
+   bytes per entry) is what a mid-append crash tears.  parse_dir's
+   contract: any byte-level truncation of a serialized directory parses
+   as exactly the preceding complete entries — never a partial entry,
+   never a lost earlier one. *)
+
+let dirent_gen =
+  QCheck.Gen.(
+    let letter = map (fun i -> Char.chr (Char.code 'a' + i)) (int_bound 25) in
+    let name =
+      map (fun cs -> String.init (List.length cs) (List.nth cs))
+        (list_size (int_range 1 8) letter)
+    in
+    map
+      (fun (name, inum, dir) -> (name, inum + 1, if dir then Ufs.Dir else Ufs.Reg))
+      (triple name (int_bound 60000) bool))
+
+let arb_dirents =
+  let print_dirent (n, i, k) =
+    Printf.sprintf "(%S, %d, %s)" n i (match k with Ufs.Dir -> "Dir" | Ufs.Reg -> "Reg")
+  in
+  QCheck.make
+    ~print:(fun l -> "[" ^ String.concat "; " (List.map print_dirent l) ^ "]")
+    QCheck.Gen.(list_size (int_bound 12) dirent_gen)
+
+let dir_codec_props =
+  [
+    prop "dir encoding round-trips" arb_dirents (fun entries ->
+        Ufs.parse_dir (Ufs.serialize_dir entries) = entries);
+    prop "dir decoding stops at the zero terminator" arb_dirents (fun entries ->
+        Ufs.parse_dir (Ufs.serialize_dir entries ^ String.make 6 '\000') = entries);
+    prop "torn dir suffix: every byte cut keeps exactly the complete prefix"
+      ~count:100 arb_dirents
+      (fun entries ->
+        let s = Ufs.serialize_dir entries in
+        let expect cut =
+          let rec go acc off = function
+            | ((name, _, _) as e) :: tl when off + 6 + String.length name <= cut ->
+              go (e :: acc) (off + 6 + String.length name) tl
+            | _ -> List.rev acc
+          in
+          go [] 0 entries
+        in
+        let ok = ref true in
+        for cut = 0 to String.length s do
+          if Ufs.parse_dir (String.sub s 0 cut) <> expect cut then ok := false
+        done;
+        !ok);
+  ]
+
 let suite =
   List.map QCheck_alcotest.to_alcotest
-    (vv_props @ fdir_props @ ufs_props @ cluster_props)
+    (vv_props @ fdir_props @ ufs_props @ dir_codec_props @ cluster_props)
