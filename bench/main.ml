@@ -127,7 +127,25 @@ let write_json path ~mode verdicts =
         (json_escape v.Experiments.claim)
         (json_escape v.Experiments.detail))
     verdicts;
-  Printf.fprintf oc "\n  ]\n}\n";
+  Printf.fprintf oc "\n  ]";
+  (match !Experiments.last_lag_metrics with
+   | Some m ->
+     Printf.fprintf oc ",\n  \"metrics\": {\n";
+     Printf.fprintf oc "    \"spans\": %d,\n" m.Experiments.lm_spans;
+     Printf.fprintf oc "    \"lag_p50\": %d,\n    \"lag_p95\": %d,\n    \"lag_p99\": %d,\n"
+       m.Experiments.lm_lag_p50 m.Experiments.lm_lag_p95 m.Experiments.lm_lag_p99;
+     Printf.fprintf oc "    \"per_replica\": {";
+     List.iteri
+       (fun i (host, (p50, p95, p99)) ->
+         Printf.fprintf oc "%s\n      \"%s\": { \"lag_p50\": %d, \"lag_p95\": %d, \"lag_p99\": %d }"
+           (if i = 0 then "" else ",")
+           (json_escape host) p50 p95 p99)
+       m.Experiments.lm_per_replica;
+     Printf.fprintf oc "\n    },\n";
+     Printf.fprintf oc "    \"journal_flushes\": %d,\n    \"journal_txns\": %d\n  }"
+       m.Experiments.lm_journal_flushes m.Experiments.lm_journal_txns
+   | None -> ());
+  Printf.fprintf oc "\n}\n";
   close_out oc;
   Printf.printf "\nWrote %s\n%!" path
 
@@ -135,7 +153,8 @@ let write_json path ~mode verdicts =
    experiments (E1 is wall-clock based), no parameter sweeps, no
    bechamel runs. *)
 let smoke_names =
-  [ "e2"; "e3"; "e4"; "e6"; "e9"; "e10"; "f2"; "a1"; "a3"; "a5"; "chaos"; "wal" ]
+  [ "e2"; "e3"; "e4"; "e6"; "e9"; "e10"; "f2"; "a1"; "a3"; "a5"; "chaos"; "wal";
+    "obslag" ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

@@ -24,7 +24,7 @@ let () =
   let container = Crypt_layer.wrap ~key:"at-rest-key" plain_container in
   let vref = { Ids.alloc = 0; vol = 1 } in
   let phys =
-    get (Physical.create ~container ~clock ~host:"h0" ~vref ~rid:1 ~peers:[ (1, "h0") ])
+    get (Physical.create ~container ~clock ~host:"h0" ~vref ~rid:1 ~peers:[ (1, "h0") ] ())
   in
 
   (* Logical layer over the (single-replica) volume. *)
@@ -34,8 +34,8 @@ let () =
   let lroot = get (Logical.root logical vref) in
 
   (* Monitoring, then an access-control credential, then syscalls. *)
-  let counters = Counters.create () in
-  let monitored = Measure_layer.wrap ~clock ~counters lroot in
+  let metrics = Metrics.create () in
+  let monitored = Measure_layer.wrap ~clock ~metrics lroot in
 
   (* The administrator prepares alice's home directory... *)
   let su = Syscall.create ~root:(Access_layer.wrap ~uid:0 monitored) in
@@ -57,7 +57,7 @@ let () =
   print_endline "per-operation counts observed by the monitoring layer:";
   List.iter
     (fun (op, calls, errors) -> Printf.printf "  %-8s calls=%-3d errors=%d\n" op calls errors)
-    (Measure_layer.report counters);
+    (Measure_layer.report metrics);
 
   (* ...and the bytes on the UFS are ciphertext. *)
   let hexroot = get (plain_container.Vnode.lookup (Ids.fid_to_hex Ids.root_fid)) in

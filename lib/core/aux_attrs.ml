@@ -6,9 +6,11 @@ type t = {
   uid : int;
   conflict : bool;
   graft_target : Ids.volume_ref option;
+  span : int;
 }
 
-let make kind = { kind; vv = Version_vector.empty; uid = 0; conflict = false; graft_target = None }
+let make kind =
+  { kind; vv = Version_vector.empty; uid = 0; conflict = false; graft_target = None; span = 0 }
 
 let kind_to_string = function Freg -> "reg" | Fdir -> "dir" | Fgraft -> "graft"
 
@@ -34,6 +36,7 @@ let encode t =
     @ (match t.graft_target with
        | None -> []
        | Some { Ids.alloc; vol } -> [ Printf.sprintf "graft=%d.%d" alloc vol ])
+    @ (if t.span = 0 then [] else [ Printf.sprintf "span=%d" t.span ])
   in
   String.concat "\n" lines ^ "\n"
 
@@ -62,7 +65,12 @@ let decode s =
                | _, _ -> None)
             | _ -> None)
        in
-       Some { kind; vv; uid; conflict = conflict = "1"; graft_target }
+       let span =
+         match find "span" with
+         | None -> 0
+         | Some s -> Option.value ~default:0 (int_of_string_opt s)
+       in
+       Some { kind; vv; uid; conflict = conflict = "1"; graft_target; span }
      | _, _, _ -> None)
   | _, _, _, _ -> None
 

@@ -15,6 +15,11 @@ type t = {
   uid : int;                   (** owner, for conflict reporting *)
   conflict : bool;             (** an unresolved concurrent update was detected *)
   graft_target : Ids.volume_ref option;  (** for [Fgraft] entries only *)
+  span : int;
+      (** trace span of the last update applied to this replica (0 =
+          untraced; absent in old encodings and decoded as 0).  Lets
+          reconciliation attribute a pulled version to the update's
+          original timeline. *)
 }
 
 val make : fkind -> t

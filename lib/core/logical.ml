@@ -25,9 +25,10 @@ type t = {
   grafts : (int * int, graft) Hashtbl.t;
   locks : (int * int * int * int, lock) Hashtbl.t;  (* alloc, vol, fid issuer, fid uniq *)
   counters : Counters.t;
+  obs : Obs.t;
 }
 
-let create ?(selection = Most_recent) ~host ~clock ~connect () =
+let create ?(selection = Most_recent) ?(obs = Obs.default) ~host ~clock ~connect () =
   {
     host;
     clock;
@@ -36,10 +37,25 @@ let create ?(selection = Most_recent) ~host ~clock ~connect () =
     grafts = Hashtbl.create 8;
     locks = Hashtbl.create 16;
     counters = Counters.create ();
+    obs;
   }
 
 let host t = t.host
 let counters t = t.counters
+let obs t = t.obs
+
+(* Every mutating operation is stamped with a fresh causal span here, at
+   the top of the stack: the span id rides the ambient context down
+   through any interposed NFS, the physical layer, and the journal, and
+   is multicast onward with the update notification. *)
+let traced t label f =
+  let spans = t.obs.Obs.spans in
+  let id = Span.start spans ~host:t.host ~tick:(Clock.now t.clock) label in
+  Metrics.incr t.obs.Obs.metrics "logical.updates";
+  let ctx =
+    Span.make_ctx ~spans ~id ~host:t.host ~now:(fun () -> Clock.now t.clock)
+  in
+  Span.with_ctx ctx f
 
 let vkey (v : Ids.volume_ref) = (v.Ids.alloc, v.Ids.vol)
 
@@ -236,6 +252,7 @@ let rec make t ln : Vnode.t =
             v.Vnode.getattr ()));
     setattr =
       (fun sa ->
+        traced t "update:setattr" @@ fun () ->
         with_replica t ln.ln_vref ln.ln_path (fun root ->
             let* v = walk_self root in
             v.Vnode.setattr sa));
@@ -243,6 +260,7 @@ let rec make t ln : Vnode.t =
     create =
       (fun name ->
         let* fid =
+          traced t "update:create" @@ fun () ->
           with_replica t ln.ln_vref ln.ln_path (fun root ->
               let* dir = walk_self root in
               let* _new_vnode = dir.Vnode.create name in
@@ -260,6 +278,7 @@ let rec make t ln : Vnode.t =
     mkdir =
       (fun name ->
         let* fid =
+          traced t "update:mkdir" @@ fun () ->
           with_replica t ln.ln_vref ln.ln_path (fun root ->
               let* dir = walk_self root in
               let* _new_vnode = dir.Vnode.mkdir name in
@@ -276,11 +295,13 @@ let rec make t ln : Vnode.t =
              }));
     remove =
       (fun name ->
+        traced t "update:remove" @@ fun () ->
         with_replica t ln.ln_vref ln.ln_path (fun root ->
             let* dir = walk_self root in
             dir.Vnode.remove name));
     rmdir =
       (fun name ->
+        traced t "update:rmdir" @@ fun () ->
         with_replica t ln.ln_vref ln.ln_path (fun root ->
             let* dir = walk_self root in
             dir.Vnode.rmdir name));
@@ -289,6 +310,7 @@ let rec make t ln : Vnode.t =
         match dst.Vnode.data with
         | Log_vnode (t', dst_ln)
           when t' == t && Ids.vref_equal dst_ln.ln_vref ln.ln_vref ->
+          traced t "update:rename" @@ fun () ->
           with_replica t ln.ln_vref ln.ln_path (fun root ->
               let* src_dir = walk_self root in
               let* dst_dir = Remote.walk root dst_ln.ln_path in
@@ -299,6 +321,7 @@ let rec make t ln : Vnode.t =
         match target.Vnode.data with
         | Log_vnode (t', target_ln)
           when t' == t && Ids.vref_equal target_ln.ln_vref ln.ln_vref ->
+          traced t "update:link" @@ fun () ->
           with_replica t ln.ln_vref ln.ln_path (fun root ->
               let* dir = walk_self root in
               let* target_v = Remote.walk root target_ln.ln_path in
@@ -316,6 +339,7 @@ let rec make t ln : Vnode.t =
             v.Vnode.read ~off ~len));
     write =
       (fun ~off data ->
+        traced t "update:write" @@ fun () ->
         with_replica t ln.ln_vref ln.ln_path (fun root ->
             let* v = walk_self root in
             v.Vnode.write ~off data));
@@ -360,6 +384,14 @@ let rec make t ln : Vnode.t =
   }
 
 and logical_lookup t ln name =
+  if Ctl_name.is_ctl name then
+    (* Control names are not directory entries: pass them through to the
+       physical layer (possibly across an interposed NFS), which decodes
+       the operation and answers with a synthetic vnode. *)
+    with_replica t ln.ln_vref ln.ln_path (fun root ->
+        let* dir = Remote.walk root ln.ln_path in
+        dir.Vnode.lookup name)
+  else
   let* fid, kind =
     with_replica t ln.ln_vref ln.ln_path (fun root ->
         let* dir = Remote.walk root ln.ln_path in

@@ -28,12 +28,16 @@ type selection =
 
 val create :
   ?selection:selection ->
+  ?obs:Obs.t ->
   host:string -> clock:Clock.t -> connect:Remote.connector -> unit -> t
 (** [host] is this logical layer's host name, used to recognize local
     replicas; [connect] supplies physical-root vnodes (direct or via
-    NFS).  Default selection is [Most_recent]. *)
+    NFS).  Default selection is [Most_recent].  [obs] (default
+    {!Obs.default}) receives metrics and the causal span that every
+    mutating operation originates here, at the top of the stack. *)
 
 val host : t -> string
+val obs : t -> Obs.t
 val counters : t -> Counters.t
 (** ["logical.ops"], ["logical.fallback"] (ops served by a non-preferred
     replica), ["logical.autograft"], ["logical.lock_denied"],

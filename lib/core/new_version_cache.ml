@@ -5,6 +5,7 @@ type entry = {
   kind : Aux_attrs.fkind;
   origin_rid : Ids.replica_id;
   origin_host : string;
+  span : int;
   queued_at : int;
   mutable attempts : int;
   mutable not_before : int;  (* backoff: ignore until the clock reaches this *)
@@ -31,6 +32,7 @@ let note t (e : Notify.event) ~now =
         origin_rid = e.Notify.origin_rid;
         origin_host = e.Notify.origin_host;
         kind = e.Notify.kind;
+        span = (if e.Notify.span <> 0 then e.Notify.span else pending.span);
       }
   | None ->
     Hashtbl.replace t.table key
@@ -41,6 +43,7 @@ let note t (e : Notify.event) ~now =
         kind = e.Notify.kind;
         origin_rid = e.Notify.origin_rid;
         origin_host = e.Notify.origin_host;
+        span = e.Notify.span;
         queued_at = now;
         attempts = 0;
         not_before = 0;

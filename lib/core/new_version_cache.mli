@@ -18,6 +18,7 @@ type entry = {
   kind : Aux_attrs.fkind;
   origin_rid : Ids.replica_id;
   origin_host : string;
+  span : int;            (** trace span of the newest absorbed update *)
   queued_at : int;       (** simulated time of first pending notification *)
   mutable attempts : int;
   mutable not_before : int;

@@ -5,6 +5,7 @@ type event = {
   kind : Aux_attrs.fkind;
   origin_rid : Ids.replica_id;
   origin_host : string;
+  span : int;
 }
 
 type Sim_net.payload += Ficus_notify of event

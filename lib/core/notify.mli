@@ -20,6 +20,11 @@ type event = {
   kind : Aux_attrs.fkind;
   origin_rid : Ids.replica_id;   (** replica holding the new version *)
   origin_host : string;          (** where to pull it from *)
+  span : int;
+      (** causal trace span of the originating update ({!Span.none} when
+          the update was not traced); receivers thread it through the
+          new-version cache into the propagation pull so the whole
+          cross-host flow lands on one timeline *)
 }
 
 type Sim_net.payload += Ficus_notify of event

@@ -4,6 +4,11 @@ let log_src = Logs.Src.create "ficus.physical" ~doc:"Ficus physical layer"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
+(* Tag every message with the host so the shared {!Obs.reporter} can
+   attribute interleaved multi-host logs. *)
+let log_tags host = Logs.Tag.add Obs.host_tag host Logs.Tag.empty
+
+
 type fidpath = Ids.file_id list
 
 type t = {
@@ -17,6 +22,7 @@ type t = {
   mutable notifier : (Notify.event -> unit) option;
   conflicts : Conflict_log.t;
   counters : Counters.t;
+  obs : Obs.t;
   mutable open_count : int;
 }
 
@@ -26,6 +32,7 @@ type version_info = {
   vi_size : int;
   vi_uid : int;
   vi_stored : bool;
+  vi_span : int;
 }
 
 type install_outcome = Installed | Up_to_date | Conflict of Vv.t
@@ -41,6 +48,8 @@ let rid t = t.rid
 let host t = t.host
 let peers t = t.peers
 let counters t = t.counters
+let obs t = t.obs
+let clock t = t.clock
 let conflicts t = t.conflicts
 let open_files t = t.open_count
 let set_notifier t f = t.notifier <- Some f
@@ -187,7 +196,21 @@ let emit t ~fidpath ~fid ~kind =
   match t.notifier with
   | None -> ()
   | Some f ->
-    f { Notify.vref = t.vref; fidpath; fid; kind; origin_rid = t.rid; origin_host = t.host }
+    let span = Span.ambient_id () in
+    if span <> Span.none then begin
+      Span.emit "notify:send";
+      Metrics.incr t.obs.Obs.metrics "notify.sent"
+    end;
+    f
+      {
+        Notify.vref = t.vref;
+        fidpath;
+        fid;
+        kind;
+        origin_rid = t.rid;
+        origin_host = t.host;
+        span;
+      }
 
 let dir_event t path =
   let fid = match List.rev path with [] -> Ids.root_fid | fid :: _ -> fid in
@@ -217,6 +240,7 @@ let dir_version_info t path =
       vi_size = List.length (Fdir.live fdir);
       vi_uid = uid;
       vi_stored = true;
+      vi_span = 0;
     }
 
 let reg_version_info t path =
@@ -249,6 +273,7 @@ let reg_version_info t path =
       vi_size = size;
       vi_uid = aux.Aux_attrs.uid;
       vi_stored = stored;
+      vi_span = aux.Aux_attrs.span;
     }
 
 let get_version t path =
@@ -601,7 +626,13 @@ and data_vnode t path =
 
 and bump_file_version t parent_ufs fid =
   let* aux = Aux_attrs.load ~dir:parent_ufs fid in
-  let aux = { aux with Aux_attrs.vv = Vv.bump aux.Aux_attrs.vv t.rid } in
+  (* Persist the ambient trace span alongside the version bump: a
+     reconciling replica that later fetches this version learns which
+     update timeline it belongs to. *)
+  let span =
+    match Span.ambient_id () with 0 -> aux.Aux_attrs.span | s -> s
+  in
+  let aux = { aux with Aux_attrs.vv = Vv.bump aux.Aux_attrs.vv t.rid; span } in
   Aux_attrs.store ~dir:parent_ufs fid aux
 
 and reg_getattr t path =
@@ -623,6 +654,7 @@ and reg_setattr t path sa =
   if sa.Vnode.set_size <> None then begin
     let* () = bump_file_version t parent_ufs fid in
     Counters.incr t.counters "phys.update";
+    Span.emit "phys:update";
     (match split_file_path path with
      | Ok (_, fid) -> file_event t path fid
      | Error _ -> ());
@@ -639,6 +671,7 @@ and reg_write t path ~off payload =
   let* () = data.Vnode.write ~off payload in
   let* () = bump_file_version t parent_ufs fid in
   Counters.incr t.counters "phys.update";
+  Span.emit "phys:update";
   file_event t path fid;
   Ok ()
 
@@ -671,10 +704,29 @@ and ctl_target t path who =
     Ok (child, vi)
 
 and encode_version_info vi =
-  Printf.sprintf "kind=%s\nvv=%s\nsize=%d\nuid=%d\nstored=%d\n"
+  Printf.sprintf "kind=%s\nvv=%s\nsize=%d\nuid=%d\nstored=%d\nspan=%d\n"
     (Aux_attrs.kind_to_string vi.vi_kind)
     (Vv.encode vi.vi_vv) vi.vi_size vi.vi_uid
     (if vi.vi_stored then 1 else 0)
+    vi.vi_span
+
+(* The `.#ficus#stats` body: the whole observability snapshot in the
+   same line-oriented style as the other ctl responses — metrics first,
+   then every span timeline as [span <id> <tick> <host> <label>]. *)
+and stats_body t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Metrics.render (Metrics.snapshot t.obs.Obs.metrics));
+  let spans = t.obs.Obs.spans in
+  List.iter
+    (fun id ->
+      List.iter
+        (fun e ->
+          Buffer.add_string buf
+            (Printf.sprintf "span %d %d %s %s\n" id e.Span.e_tick e.Span.e_host
+               e.Span.e_label))
+        (Span.timeline spans id))
+    (Span.ids spans);
+  Buffer.contents buf
 
 and ctl_lookup t path name =
   Counters.incr t.counters "phys.ctl";
@@ -705,6 +757,10 @@ and ctl_lookup t path name =
        else
          let* fdir = fetch_dir t target in
          Ok (ctl_vnode (Fdir.encode fdir))
+     | "stats", _ ->
+       Counters.incr t.counters "phys.ctl.stats";
+       Metrics.incr t.obs.Obs.metrics "phys.ctl.stats";
+       Ok (ctl_vnode (stats_body t))
      | "peers", _ ->
        let body =
          t.peers
@@ -733,7 +789,7 @@ let root t = dir_vnode t [] Aux_attrs.Fdir
 (* ------------------------------------------------------------------ *)
 (* Installation (pull side of propagation and reconciliation)          *)
 
-let install_file t path ~vv ~uid ~data ~origin_rid =
+let install_file ?(span = 0) ?(via = "prop") t path ~vv ~uid ~data ~origin_rid =
   let* parent, fid = split_file_path path in
   let* parent_ufs = resolve_dir t parent in
   let* local =
@@ -744,21 +800,31 @@ let install_file t path ~vv ~uid ~data ~origin_rid =
   in
   let adopt () =
     let* () = Shadow.install ~dir:parent_ufs fid ~data in
+    let now = Clock.now t.clock in
+    Span.event t.obs.Obs.spans span ~host:t.host ~tick:now "shadow:swap";
     let merged_vv =
       match local with
       | None -> vv
       | Some aux -> Vv.merge aux.Aux_attrs.vv vv
     in
     let aux =
-      { (Aux_attrs.make Aux_attrs.Freg) with Aux_attrs.vv = merged_vv; uid }
+      { (Aux_attrs.make Aux_attrs.Freg) with Aux_attrs.vv = merged_vv; uid; span }
     in
     let* () = Aux_attrs.store ~dir:parent_ufs fid aux in
+    Span.event t.obs.Obs.spans span ~host:t.host ~tick:now ("install:" ^ via);
+    (* The convergence measurement: ticks from the originating write
+       (the span's first event) to this replica holding the version. *)
+    (match Span.start_tick t.obs.Obs.spans span with
+    | Some t0 ->
+      Metrics.observe t.obs.Obs.metrics "prop.lag" (now - t0);
+      Metrics.observe t.obs.Obs.metrics ("prop.lag." ^ t.host) (now - t0)
+    | None -> ());
     (* A dominating version supersedes any conflict reported here: the
        owner (or another replica) has already resolved it. *)
     let superseded = Conflict_log.resolve_matching t.conflicts ~fidpath:path in
     if superseded > 0 then
       Log.info (fun m ->
-          m "r%d: conflict on %s superseded by a dominating remote version" t.rid
+          m ~tags:(log_tags t.host) "r%d: conflict on %s superseded by a dominating remote version" t.rid
             (Ids.fidpath_to_string path));
     Counters.incr t.counters "phys.install";
     Counters.add t.counters "phys.install.bytes" (String.length data);
@@ -795,7 +861,7 @@ let install_file t path ~vv ~uid ~data ~origin_rid =
                   })
            in
            Log.warn (fun m ->
-               m "r%d: concurrent update conflict on %s (local %a, remote r%d %a)" t.rid
+               m ~tags:(log_tags t.host) "r%d: concurrent update conflict on %s (local %a, remote r%d %a)" t.rid
                  (Ids.fidpath_to_string path) Vv.pp aux.Aux_attrs.vv origin_rid Vv.pp vv);
            Counters.incr t.counters "phys.conflict.file"
          end;
@@ -864,7 +930,7 @@ let apply_action t path ufs_dir merged action =
                    { orphaned_to = orphans_dirname ^ "/" ^ orphan_name })
             in
             Log.warn (fun m ->
-                m "r%d: directory %s removed remotely while updated here; contents preserved in %s"
+                m ~tags:(log_tags t.host) "r%d: directory %s removed remotely while updated here; contents preserved in %s"
                   t.rid hex orphan_name);
             Counters.incr t.counters "phys.conflict.orphan";
             Ok ()
@@ -896,7 +962,7 @@ let merge_dir t path ~remote_rid remote =
           (Conflict_log.Name_collision { name = colliding_name; births })
       in
       Log.info (fun m ->
-          m "r%d: name collision on %S in %s repaired deterministically" t.rid colliding_name
+          m ~tags:(log_tags t.host) "r%d: name collision on %S in %s repaired deterministically" t.rid colliding_name
             (Ids.fidpath_to_string path));
       Counters.incr t.counters "phys.conflict.name")
     result.Fdir.new_collisions;
@@ -989,7 +1055,7 @@ let add_graft_replica t path r h =
 (* ------------------------------------------------------------------ *)
 (* Lifecycle                                                           *)
 
-let create ~container ~clock ~host ~vref ~rid ~peers =
+let create ?(obs = Obs.default) ~container ~clock ~host ~vref ~rid ~peers () =
   let t =
     {
       container;
@@ -1002,6 +1068,7 @@ let create ~container ~clock ~host ~vref ~rid ~peers =
       notifier = None;
       conflicts = Conflict_log.create ();
       counters = Counters.create ();
+      obs;
       open_count = 0;
     }
   in
@@ -1036,7 +1103,7 @@ let recover t =
   let* root_ufs = t.container.Vnode.lookup (Ids.fid_to_hex Ids.root_fid) in
   sweep_shadows root_ufs
 
-let attach ~container ~clock ~host =
+let attach ?(obs = Obs.default) ~container ~clock ~host () =
   let t =
     {
       container;
@@ -1049,6 +1116,7 @@ let attach ~container ~clock ~host =
       notifier = None;
       conflicts = Conflict_log.create ();
       counters = Counters.create ();
+      obs;
       open_count = 0;
     }
   in

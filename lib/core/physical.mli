@@ -32,14 +32,17 @@ type fidpath = Ids.file_id list
 (** {1 Lifecycle} *)
 
 val create :
+  ?obs:Obs.t ->
   container:Vnode.t -> clock:Clock.t -> host:string ->
   vref:Ids.volume_ref -> rid:Ids.replica_id ->
-  peers:(Ids.replica_id * string) list -> (t, Errno.t) result
+  peers:(Ids.replica_id * string) list -> unit -> (t, Errno.t) result
 (** Initialize a fresh volume replica in [container] (an empty UFS
     directory).  [peers] must list every replica of the volume including
-    this one with its host name. *)
+    this one with its host name.  [obs] is the observability bundle the
+    layer reports into (defaults to the process-wide {!Obs.default}). *)
 
-val attach : container:Vnode.t -> clock:Clock.t -> host:string -> (t, Errno.t) result
+val attach :
+  ?obs:Obs.t -> container:Vnode.t -> clock:Clock.t -> host:string -> unit -> (t, Errno.t) result
 (** Mount an existing volume replica (e.g. after a simulated reboot);
     reads ["META"] and discards leftover shadow files. *)
 
@@ -51,6 +54,8 @@ val peers : t -> (Ids.replica_id * string) list
 
 val set_peers : t -> (Ids.replica_id * string) list -> (unit, Errno.t) result
 val counters : t -> Counters.t
+val obs : t -> Obs.t
+val clock : t -> Clock.t
 val conflicts : t -> Conflict_log.t
 val open_files : t -> int
 (** Current opens minus closes seen by this layer (via [openv] or the
@@ -72,6 +77,10 @@ type version_info = {
   vi_size : int;
   vi_uid : int;
   vi_stored : bool;  (** false: entry known but contents not stored here *)
+  vi_span : int;
+      (** trace span of the last update applied to the replica (0 when
+          untraced); lets a reconciling peer continue the update's
+          timeline *)
 }
 
 val get_version : t -> fidpath -> (version_info, Errno.t) result
@@ -86,11 +95,15 @@ type install_outcome =
           the local version vector *)
 
 val install_file :
+  ?span:int -> ?via:string ->
   t -> fidpath -> vv:Version_vector.t -> uid:int -> data:string ->
   origin_rid:Ids.replica_id -> (install_outcome, Errno.t) result
 (** Adopt a newer remote version of a regular file via shadow-file atomic
     commit.  A concurrent history is never overwritten: it is reported
-    ([Conflict]) with the remote version preserved in the log. *)
+    ([Conflict]) with the remote version preserved in the log.  [span]
+    attributes the install to the originating update's trace (recording
+    shadow-swap and install events and the propagation-lag observation);
+    [via] labels the install path (["prop"] or ["recon"]). *)
 
 val force_install :
   t -> fidpath -> vv:Version_vector.t -> uid:int -> data:string ->

@@ -2,6 +2,11 @@ let log_src = Logs.Src.create "ficus.propagation" ~doc:"Ficus update propagation
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
+(* Tag every message with the host so the shared {!Obs.reporter} can
+   attribute interleaved multi-host logs. *)
+let log_tags host = Logs.Tag.add Obs.host_tag host Logs.Tag.empty
+
+
 type t = {
   nvc : New_version_cache.t;
   clock : Clock.t;
@@ -15,10 +20,11 @@ type t = {
   deadline : int;
   rng : Random.State.t;
   counters : Counters.t;
+  obs : Obs.t;
 }
 
 let create ?(delay = 0) ?(max_attempts = 5) ?(backoff_base = 2) ?(backoff_max = 64)
-    ?(deadline = 500) ?seed ~clock ~host ~connect ~local_replica () =
+    ?(deadline = 500) ?seed ?(obs = Obs.default) ~clock ~host ~connect ~local_replica () =
   if backoff_base < 0 || backoff_max < 0 || deadline < 0 then
     invalid_arg "Propagation.create";
   let seed = match seed with Some s -> s | None -> Hashtbl.hash host in
@@ -35,6 +41,7 @@ let create ?(delay = 0) ?(max_attempts = 5) ?(backoff_base = 2) ?(backoff_max = 
     deadline;
     rng = Random.State.make [| seed |];
     counters = Counters.create ();
+    obs;
   }
 
 (* Exponential backoff with jitter: after the [n]th failure wait
@@ -52,8 +59,12 @@ let on_notify t (e : Notify.event) =
   | None -> ()
   | Some phys ->
     (* Our own updates come back via the multicast; ignore them. *)
-    if e.Notify.origin_rid <> Physical.rid phys then
-      New_version_cache.note t.nvc e ~now:(Clock.now t.clock)
+    if e.Notify.origin_rid <> Physical.rid phys then begin
+      let now = Clock.now t.clock in
+      Span.event t.obs.Obs.spans e.Notify.span ~host:t.host ~tick:now "nvc:note";
+      Metrics.incr t.obs.Obs.metrics "notify.received";
+      New_version_cache.note t.nvc e ~now
+    end
 
 let ( let* ) = Result.bind
 
@@ -65,9 +76,22 @@ let pull t phys (e : New_version_cache.entry) =
   match e.New_version_cache.kind with
   | Aux_attrs.Freg ->
     let* vi, data = Remote.fetch_file remote_root e.New_version_cache.fidpath in
+    (* Prefer the span carried by the notification; fall back to the one
+       stored in the origin's aux attributes (a reconciled hint). *)
+    let span =
+      if e.New_version_cache.span <> 0 then e.New_version_cache.span
+      else vi.Physical.vi_span
+    in
+    Span.event t.obs.Obs.spans span ~host:t.host ~tick:(Clock.now t.clock) "prop:pull";
+    let ctx =
+      Span.make_ctx ~spans:t.obs.Obs.spans ~id:span ~host:t.host
+        ~now:(fun () -> Clock.now t.clock)
+    in
     let* outcome =
-      Physical.install_file phys e.New_version_cache.fidpath ~vv:vi.Physical.vi_vv
-        ~uid:vi.Physical.vi_uid ~data ~origin_rid:e.New_version_cache.origin_rid
+      Span.with_ctx ctx @@ fun () ->
+      Physical.install_file ~span ~via:"prop" phys e.New_version_cache.fidpath
+        ~vv:vi.Physical.vi_vv ~uid:vi.Physical.vi_uid ~data
+        ~origin_rid:e.New_version_cache.origin_rid
     in
     Counters.incr t.counters "prop.pull.file";
     Counters.add t.counters "prop.bytes" (String.length data);
@@ -96,6 +120,7 @@ let pull t phys (e : New_version_cache.entry) =
                 kind = entry.Fdir.kind;
                 origin_rid = e.New_version_cache.origin_rid;
                 origin_host = e.New_version_cache.origin_host;
+                span = e.New_version_cache.span;
               }
           | Fdir.Unmaterialize _ | Fdir.Expire _ -> None)
         result.Fdir.actions
@@ -114,7 +139,7 @@ let run_once t =
       (match pull t phys e with
        | Ok followups ->
          Log.debug (fun m ->
-             m "%s pulled %s from %s" t.host
+             m ~tags:(log_tags t.host) "%s pulled %s from %s" t.host
                (Ids.fidpath_to_string e.New_version_cache.fidpath)
                e.New_version_cache.origin_host);
          List.iter (fun ev -> New_version_cache.note t.nvc ev ~now) followups
@@ -141,7 +166,7 @@ let run_once t =
          else begin
            (* Give up; the reconciliation protocol will converge it. *)
            Log.info (fun m ->
-               m "%s abandoning pull of %s from %s after %d attempts (%s%s)" t.host
+               m ~tags:(log_tags t.host) "%s abandoning pull of %s from %s after %d attempts (%s%s)" t.host
                  (Ids.fidpath_to_string e.New_version_cache.fidpath)
                  e.New_version_cache.origin_host e.New_version_cache.attempts
                  (Errno.to_string err)

@@ -25,6 +25,7 @@ val create :
   ?backoff_max:int ->
   ?deadline:int ->
   ?seed:int ->
+  ?obs:Obs.t ->
   clock:Clock.t ->
   host:string ->
   connect:Remote.connector ->

@@ -1,3 +1,12 @@
+let log_src = Logs.Src.create "ficus.reconcile" ~doc:"Ficus reconciliation protocol"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+(* Tag every message with the host so the shared {!Obs.reporter} can
+   attribute interleaved multi-host logs. *)
+let log_tags host = Logs.Tag.add Obs.host_tag host Logs.Tag.empty
+
+
 type stats = {
   dirs_merged : int;
   files_pulled : int;
@@ -84,12 +93,22 @@ let reconcile_file ~local ~remote_root ~remote_rid path =
       if not needs_pull then Ok empty_stats
       else
         let* vi, data = Remote.fetch_file remote_root path in
+        let span = vi.Physical.vi_span in
+        let obs = Physical.obs local in
+        Span.event obs.Obs.spans span
+          ~host:(Physical.host local)
+          ~tick:(Clock.now (Physical.clock local))
+          "recon:pull";
         let* outcome =
-          Physical.install_file local path ~vv:vi.Physical.vi_vv ~uid:vi.Physical.vi_uid
-            ~data ~origin_rid:remote_rid
+          Physical.install_file ~span ~via:"recon" local path ~vv:vi.Physical.vi_vv
+            ~uid:vi.Physical.vi_uid ~data ~origin_rid:remote_rid
         in
         (match outcome with
-         | Physical.Installed -> Ok { empty_stats with files_pulled = 1 }
+         | Physical.Installed ->
+           Log.debug (fun m ->
+               m ~tags:(log_tags (Physical.host local)) "%s pulled %s during reconciliation with r%d" (Physical.host local)
+                 (Ids.fidpath_to_string path) remote_rid);
+           Ok { empty_stats with files_pulled = 1 }
          | Physical.Up_to_date -> Ok empty_stats
          | Physical.Conflict _ -> Ok { empty_stats with files_conflicted = 1 })
 
@@ -127,7 +146,13 @@ let rec reconcile_subtree ~local ~remote_root ~remote_rid path =
   Ok (List.fold_left visit stats children)
 
 let reconcile_volume ~local ~remote_root ~remote_rid =
-  reconcile_subtree ~local ~remote_root ~remote_rid []
+  let result = reconcile_subtree ~local ~remote_root ~remote_rid [] in
+  (match result with
+  | Ok s when s.dirs_merged + s.files_pulled + s.files_conflicted > 0 ->
+    Log.info (fun m ->
+        m ~tags:(log_tags (Physical.host local)) "%s reconciled with r%d: %a" (Physical.host local) remote_rid pp_stats s)
+  | Ok _ | Error _ -> ());
+  result
 
 let resolve_file_conflict ~local (entry : Conflict_log.entry) ~keep =
   match entry.Conflict_log.detail with

@@ -58,6 +58,12 @@ let parse_version_info s =
        int_of_string_opt uid
      with
      | Some vi_kind, Some vv, Some size, Some uid ->
+       (* "span" is absent in responses from pre-tracing servers. *)
+       let vi_span =
+         match find "span" with
+         | None -> 0
+         | Some s -> Option.value ~default:0 (int_of_string_opt s)
+       in
        Ok
          {
            Physical.vi_kind;
@@ -65,6 +71,7 @@ let parse_version_info s =
            vi_size = size;
            vi_uid = uid;
            vi_stored = stored = "1";
+           vi_span;
          }
      | _, _, _, _ -> Error Errno.EIO)
   | _, _, _, _, _ -> Error Errno.EIO
@@ -136,6 +143,8 @@ let meta root =
         | _, _ -> Error Errno.EIO)
      | _, _ -> Error Errno.EIO)
   | _, _ -> Error Errno.EIO
+
+let stats root = ctl root ~op:"stats" ~args:[]
 
 let flag_to_string = function
   | Vnode.Read_only -> "ro"

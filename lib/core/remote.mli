@@ -31,6 +31,11 @@ val resolve :
 val peers : Vnode.t -> ((Ids.replica_id * string) list, Errno.t) result
 val meta : Vnode.t -> (Ids.volume_ref * Ids.replica_id, Errno.t) result
 
+val stats : Vnode.t -> (string, Errno.t) result
+(** Fetch the observability snapshot (metrics + span timelines) through
+    the [".#ficus#stats"] ctl-name — the paper's encoded-lookup trick
+    carrying a service the vnode interface never anticipated. *)
+
 val send_open : Vnode.t -> Ids.file_id option -> Vnode.open_flag -> (unit, Errno.t) result
 (** Deliver an open to the physical layer through the encoded-lookup
     channel, surviving NFS's open/close suppression (paper §2.3). *)

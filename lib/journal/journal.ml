@@ -13,6 +13,10 @@ type 'a io = ('a, Errno.t) result
 
 let ( let* ) = Result.bind
 
+let log_src = Logs.Src.create "ficus.journal" ~doc:"Ficus write-ahead metadata journal"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
 type device = {
   block_size : int;
   home_read : int -> bytes io;
@@ -38,6 +42,7 @@ type t = {
   mutable used : int;  (* live log slots *)
   mutable next_seq : int;
   mutable oldest_commit : int option;  (* clock time of oldest staged commit *)
+  mutable pending_spans : Span.ctx list;  (* traces awaiting the group seal *)
   (* Lifetime counters. *)
   mutable n_txns : int;
   mutable n_durable : int;
@@ -81,6 +86,7 @@ let create dev ~start ~blocks ?(flush_blocks = 32) ?(flush_age = 8) ~now () =
     used = 0;
     next_seq = 1;
     oldest_commit = None;
+    pending_spans = [];
     n_txns = 0;
     n_durable = 0;
     n_flushes = 0;
@@ -241,6 +247,11 @@ let flush t =
     t.oldest_commit <- None;
     t.n_durable <- t.n_txns;
     t.n_flushes <- t.n_flushes + 1;
+    Log.debug (fun m ->
+        m "flush: %d block(s) in %d record(s)%s" total nrecords
+          (if bypass then " (bypass)" else ""));
+    List.iter (fun ctx -> Span.emit_in ctx "journal:commit") (List.rev t.pending_spans);
+    t.pending_spans <- [];
     Ok ()
   end
 
@@ -263,6 +274,12 @@ let stage_txn t =
     Hashtbl.iter (fun blk data -> Hashtbl.replace t.staged blk data) t.txn;
     Hashtbl.reset t.txn;
     t.n_txns <- t.n_txns + 1;
+    (* Group commit defers durability past the caller's return: remember
+       the caller's trace context so the eventual seal can be charged to
+       the update that staged the blocks. *)
+    (match Span.capture () with
+     | Some ctx -> t.pending_spans <- ctx :: t.pending_spans
+     | None -> ());
     if t.oldest_commit = None then t.oldest_commit <- Some (t.now ())
   end
 
@@ -319,7 +336,8 @@ let crash t =
   abort_txn t;
   Hashtbl.reset t.staged;
   Hashtbl.reset t.logged;
-  t.oldest_commit <- None
+  t.oldest_commit <- None;
+  t.pending_spans <- []
 
 let recover t =
   let bs = t.dev.block_size in
@@ -395,6 +413,8 @@ let recover t =
     t.next_seq <- !committed_seq;
     t.used <- 0;
     t.n_replayed <- t.n_replayed + !applied;
+    if !applied > 0 then
+      Log.info (fun m -> m "recovery replayed %d record(s)" !applied);
     Ok !applied
   end
 

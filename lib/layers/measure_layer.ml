@@ -1,9 +1,9 @@
-let wrap ?clock ~counters lower =
+let wrap ?clock ~metrics lower =
   let observe op result =
-    Counters.incr counters ("measure." ^ op ^ ".calls");
+    Metrics.incr metrics ("measure." ^ op ^ ".calls");
     (match result with
      | Ok _ -> ()
-     | Error _ -> Counters.incr counters ("measure." ^ op ^ ".errors"));
+     | Error _ -> Metrics.incr metrics ("measure." ^ op ^ ".errors"));
     result
   in
   let timed op f =
@@ -12,7 +12,7 @@ let wrap ?clock ~counters lower =
     | Some clock ->
       let t0 = Clock.now clock in
       let result = f () in
-      Counters.add counters ("measure." ^ op ^ ".ticks") (Clock.now clock - t0);
+      Metrics.observe metrics ("measure." ^ op ^ ".ticks") (Clock.now clock - t0);
       observe op result
   in
   let rec make (lower : Vnode.t) : Vnode.t =
@@ -51,19 +51,23 @@ let suffix_is s suffix =
   String.length s > String.length suffix
   && String.sub s (String.length s - String.length suffix) (String.length suffix) = suffix
 
-let sum counters suffix =
-  Counters.snapshot counters
+let sum metrics suffix =
+  (Metrics.snapshot metrics).Metrics.snap_counters
   |> List.filter (fun (name, _) ->
          String.length name > String.length prefix
          && String.sub name 0 (String.length prefix) = prefix
          && suffix_is name suffix)
   |> List.fold_left (fun acc (_, n) -> acc + n) 0
 
-let ops_total counters = sum counters ".calls"
-let errors_total counters = sum counters ".errors"
+let ops_total metrics = sum metrics ".calls"
+let errors_total metrics = sum metrics ".errors"
 
-let report counters =
-  let snapshot = Counters.snapshot counters in
+let ticks_total metrics op = Metrics.hist_sum metrics (prefix ^ op ^ ".ticks")
+
+let percentiles metrics op = Metrics.percentiles metrics (prefix ^ op ^ ".ticks")
+
+let report metrics =
+  let snapshot = (Metrics.snapshot metrics).Metrics.snap_counters in
   let calls =
     List.filter_map
       (fun (name, n) ->

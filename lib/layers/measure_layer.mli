@@ -7,16 +7,25 @@
     simulated time it consumed — without the layers above or below
     changing in any way.
 
-    Counter names are [measure.<op>.calls], [measure.<op>.errors] and
-    [measure.<op>.ticks] (simulated-clock time observed below this
-    layer, when a clock is supplied). *)
+    Reports into a {!Metrics} registry: counters
+    [measure.<op>.calls] and [measure.<op>.errors], and a latency
+    histogram [measure.<op>.ticks] per operation (simulated-clock time
+    observed below this layer, when a clock is supplied) from which
+    percentiles are available. *)
 
-val wrap : ?clock:Clock.t -> counters:Counters.t -> Vnode.t -> Vnode.t
+val wrap : ?clock:Clock.t -> metrics:Metrics.t -> Vnode.t -> Vnode.t
 
-val ops_total : Counters.t -> int
+val ops_total : Metrics.t -> int
 (** Sum of all [measure.*.calls]. *)
 
-val errors_total : Counters.t -> int
+val errors_total : Metrics.t -> int
 
-val report : Counters.t -> (string * int * int) list
+val ticks_total : Metrics.t -> string -> int
+(** Total ticks observed below the layer for one op (histogram sum). *)
+
+val percentiles : Metrics.t -> string -> (int * int * int) option
+(** [(p50, p95, p99)] of an op's latency histogram, or [None] when it
+    was never timed. *)
+
+val report : Metrics.t -> (string * int * int) list
 (** [(op, calls, errors)] rows, sorted by op name — a ready-made table. *)

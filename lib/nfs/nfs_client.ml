@@ -25,11 +25,21 @@ let now m = Clock.now (Sim_net.clock m.net)
    and full-state writes (Setattr, Write at an absolute offset) replay
    harmlessly; namespace mutations do not (a replayed Create after a
    lost reply would see EEXIST, a replayed Remove ENOENT). *)
-let idempotent = function
+let rec idempotent = function
   | Root _ | Getattr _ | Lookup _ | Readdir _ | Read _ | Setattr _ | Write _ -> true
   | Create _ | Mkdir _ | Remove _ | Rmdir _ | Rename _ | Link _ -> false
+  | Traced (_, req) -> idempotent req
 
 let rpc m req =
+  (* When an ambient trace is active, stamp its span id into the wire
+     request so the server continues the same timeline. *)
+  let req =
+    match Span.ambient_id () with
+    | 0 -> req
+    | span ->
+      if is_update req then Span.emit "nfs:rpc";
+      Traced (span, req)
+  in
   (* Bounded retry with exponential backoff on idempotent requests.  The
      shared clock is owned by the simulation driver, so the backoff is
      not spent on the clock; each retry stands for one timed-out

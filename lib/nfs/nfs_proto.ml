@@ -14,6 +14,10 @@ type request =
   | Readdir of fh
   | Read of fh * int * int
   | Write of fh * int * string
+  | Traced of int * request
+      (* A request stamped with a causal trace span id.  NFS itself is
+         stateless, so the only way a trace crosses the wire is inside
+         the request — the same smuggling trick as the ctl-names. *)
 
 type response =
   | R_ok
@@ -27,7 +31,14 @@ type Sim_net.payload +=
   | Nfs_request of request
   | Nfs_response of response
 
-let pp_request ppf = function
+(* Requests that mutate server state; the interesting ones to trace. *)
+let rec is_update = function
+  | Setattr _ | Create _ | Mkdir _ | Remove _ | Rmdir _ | Rename _ | Link _ | Write _ ->
+    true
+  | Root _ | Getattr _ | Lookup _ | Readdir _ | Read _ -> false
+  | Traced (_, req) -> is_update req
+
+let rec pp_request ppf = function
   | Root e -> Fmt.pf ppf "ROOT %s" e
   | Getattr fh -> Fmt.pf ppf "GETATTR %s" fh
   | Setattr (fh, _) -> Fmt.pf ppf "SETATTR %s" fh
@@ -41,3 +52,4 @@ let pp_request ppf = function
   | Readdir fh -> Fmt.pf ppf "READDIR %s" fh
   | Read (fh, off, len) -> Fmt.pf ppf "READ %s off=%d len=%d" fh off len
   | Write (fh, off, data) -> Fmt.pf ppf "WRITE %s off=%d len=%d" fh off (String.length data)
+  | Traced (span, req) -> Fmt.pf ppf "TRACED %d %a" span pp_request req

@@ -24,6 +24,9 @@ type request =
   | Readdir of fh
   | Read of fh * int * int               (** fh, offset, length *)
   | Write of fh * int * string           (** fh, offset, data *)
+  | Traced of int * request
+      (** a request carrying the causal trace span id of the update it
+          belongs to; the stateless protocol has nowhere else to put it *)
 
 type response =
   | R_ok
@@ -36,5 +39,8 @@ type response =
 type Sim_net.payload +=
   | Nfs_request of request
   | Nfs_response of response
+
+val is_update : request -> bool
+(** The request mutates server state (unwraps {!Traced}). *)
 
 val pp_request : Format.formatter -> request -> unit

@@ -7,6 +7,7 @@ type t = {
   table : (int, Vnode.t) Hashtbl.t;  (* slot -> vnode *)
   mutable next_slot : int;
   mutable epoch : int;
+  obs : Obs.t;
 }
 
 let host t = t.host
@@ -41,9 +42,21 @@ let node_response t v =
   let* attrs = v.Vnode.getattr () in
   Ok (R_node (issue t v, attrs))
 
-let handle t req : response =
+let rec handle t req : response =
   let result =
     match req with
+    | Traced (span, req) ->
+      (* Re-establish the caller's trace context for the layers below
+         this server (physical layer, journal): the span id arrived on
+         the wire because NFS has no other channel for it. *)
+      let ctx =
+        Span.make_ctx ~spans:t.obs.Obs.spans ~id:span
+          ~host:(Sim_net.host_name t.net t.host)
+          ~now:(fun () -> Clock.now (Sim_net.clock t.net))
+      in
+      Span.with_ctx ctx (fun () ->
+          if is_update req then Span.emit "nfs:serve";
+          Ok (handle t req))
     | Root name ->
       (match Hashtbl.find_opt t.exports name with
        | None -> Error Errno.ENOENT
@@ -101,7 +114,7 @@ let handle t req : response =
   in
   match result with Ok resp -> resp | Error e -> R_error e
 
-let create net ~host =
+let create ?(obs = Obs.default) net ~host =
   let t =
     {
       net;
@@ -110,6 +123,7 @@ let create net ~host =
       table = Hashtbl.create 64;
       next_slot = 0;
       epoch = 0;
+      obs;
     }
   in
   let rpc ~src:_ payload =

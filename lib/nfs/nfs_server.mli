@@ -9,8 +9,11 @@
 
 type t
 
-val create : Sim_net.t -> host:Sim_net.host_id -> t
-(** Create the server and register its RPC handler on [host]. *)
+val create : ?obs:Obs.t -> Sim_net.t -> host:Sim_net.host_id -> t
+(** Create the server and register its RPC handler on [host].  [obs]
+    (default {!Obs.default}) receives the trace events of
+    {!Nfs_proto.Traced} requests; the server re-establishes the caller's
+    span context around the layers below it. *)
 
 val host : t -> Sim_net.host_id
 

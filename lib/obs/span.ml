@@ -1,0 +1,109 @@
+(* Causal trace spans.
+
+   An update is stamped with a span id where it enters the system (the
+   logical layer, or the NFS client on a remote mount) and every later
+   stage of its life — NFS transport, physical-layer version bump,
+   journal group commit, notify multicast, new-version-cache admission,
+   propagation pull, shadow swap, reconciliation install — appends a
+   timestamped event to the same span.  The result is a per-update
+   timeline across hosts, ordered by the simulated clock.
+
+   Span ids travel two ways:
+   - explicitly, as an [int] field on wire messages and stored aux
+     attributes (0 = "no span", so old encodings decode fine);
+   - implicitly, through a process-global *ambient context*, so deep
+     layers (the UFS journal, the shadow installer) can emit events
+     without threading an argument through every signature.  The
+     ambient form mirrors how a kernel would hang a trace id off the
+     current thread. *)
+
+type event = { e_tick : int; e_host : string; e_label : string; e_seq : int }
+
+type span = {
+  sp_id : int;
+  sp_label : string;
+  sp_origin : string;
+  sp_start : int;
+  mutable sp_events : event list; (* newest first *)
+}
+
+type t = {
+  mutable next_id : int;
+  mutable next_seq : int; (* total order for same-tick events *)
+  spans : (int, span) Hashtbl.t;
+}
+
+let none = 0
+let create () = { next_id = 1; next_seq = 0; spans = Hashtbl.create 64 }
+
+let push t sp ~host ~tick label =
+  let e = { e_tick = tick; e_host = host; e_label = label; e_seq = t.next_seq } in
+  t.next_seq <- t.next_seq + 1;
+  sp.sp_events <- e :: sp.sp_events
+
+let start t ~host ~tick label =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let sp = { sp_id = id; sp_label = label; sp_origin = host; sp_start = tick; sp_events = [] } in
+  Hashtbl.replace t.spans id sp;
+  push t sp ~host ~tick label;
+  id
+
+let event t id ~host ~tick label =
+  if id <> none then
+    match Hashtbl.find_opt t.spans id with
+    | None -> () (* span minted on another registry; drop, don't invent *)
+    | Some sp -> push t sp ~host ~tick label
+
+let timeline t id =
+  match Hashtbl.find_opt t.spans id with
+  | None -> []
+  | Some sp ->
+    List.sort
+      (fun a b ->
+        match compare a.e_tick b.e_tick with 0 -> compare a.e_seq b.e_seq | c -> c)
+      sp.sp_events
+
+let start_tick t id =
+  match Hashtbl.find_opt t.spans id with None -> None | Some sp -> Some sp.sp_start
+
+let origin t id =
+  match Hashtbl.find_opt t.spans id with None -> None | Some sp -> Some sp.sp_origin
+
+let label t id =
+  match Hashtbl.find_opt t.spans id with None -> None | Some sp -> Some sp.sp_label
+
+let ids t = List.sort compare (Hashtbl.fold (fun id _ acc -> id :: acc) t.spans [])
+
+let pp_timeline ppf events =
+  List.iter
+    (fun e -> Format.fprintf ppf "[%6d] %-8s %s@." e.e_tick e.e_host e.e_label)
+    events
+
+(* ------------------------------------------------------------------ *)
+(* Ambient context                                                     *)
+
+type ctx = { c_spans : t; c_id : int; c_host : string; c_now : unit -> int }
+
+let current : ctx option ref = ref None
+
+let make_ctx ~spans ~id ~host ~now = { c_spans = spans; c_id = id; c_host = host; c_now = now }
+
+let capture () = !current
+let ambient_id () = match !current with None -> none | Some c -> c.c_id
+
+let emit_in c ?host label =
+  let host = Option.value ~default:c.c_host host in
+  event c.c_spans c.c_id ~host ~tick:(c.c_now ()) label
+
+let emit ?host label = match !current with None -> () | Some c -> emit_in c ?host label
+
+let with_ctx c f =
+  let saved = !current in
+  current := Some c;
+  Fun.protect ~finally:(fun () -> current := saved) f
+
+let without_ctx f =
+  let saved = !current in
+  current := None;
+  Fun.protect ~finally:(fun () -> current := saved) f

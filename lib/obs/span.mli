@@ -1,0 +1,50 @@
+(** Causal trace spans: per-update timelines across hosts, ordered by
+    the simulated clock. *)
+
+type t
+
+type event = { e_tick : int; e_host : string; e_label : string; e_seq : int }
+
+val none : int
+(** The null span id (0): [event] on it is a no-op, and it is what old
+    on-disk/wire encodings without a span field decode to. *)
+
+val create : unit -> t
+
+val start : t -> host:string -> tick:int -> string -> int
+(** Mint a fresh span id and record its first event. *)
+
+val event : t -> int -> host:string -> tick:int -> string -> unit
+(** Append an event to an existing span.  No-op for [none] or unknown
+    ids. *)
+
+val timeline : t -> int -> event list
+(** All events of a span, sorted by (tick, admission order). *)
+
+val start_tick : t -> int -> int option
+val origin : t -> int -> string option
+val label : t -> int -> string option
+val ids : t -> int list
+val pp_timeline : Format.formatter -> event list -> unit
+
+(** {2 Ambient context}
+
+    A process-global "current span" so layers deep in the stack (the
+    journal's group commit, the shadow installer) can attribute events
+    without an explicit argument in every signature. *)
+
+type ctx
+
+val make_ctx : spans:t -> id:int -> host:string -> now:(unit -> int) -> ctx
+val with_ctx : ctx -> (unit -> 'a) -> 'a
+val without_ctx : (unit -> 'a) -> 'a
+val capture : unit -> ctx option
+(** Grab the ambient context for deferred attribution (e.g. a group
+    commit that seals later than the write it covers). *)
+
+val ambient_id : unit -> int
+val emit : ?host:string -> string -> unit
+(** Record an event on the ambient span; silently does nothing when no
+    context is installed. *)
+
+val emit_in : ctx -> ?host:string -> string -> unit

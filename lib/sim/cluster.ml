@@ -15,6 +15,7 @@ type host = {
 type t = {
   clock : Clock.t;
   net : Sim_net.t;
+  obs : Obs.t;
   hosts : host array;
   name_to_id : (string, Sim_net.host_id) Hashtbl.t;
   name_to_index : (string, int) Hashtbl.t;
@@ -24,6 +25,7 @@ type t = {
 
 let clock t = t.clock
 let net t = t.net
+let obs t = t.obs
 let nhosts t = Array.length t.hosts
 let host t i = t.hosts.(i)
 let host_name h = h.h_name
@@ -76,16 +78,21 @@ let connect_from t i = connector t t.hosts.(i)
 let create ?(seed = 11) ?(datagram_loss = 0.0) ?(faults = Sim_net.no_faults)
     ?(disk_blocks = 4096) ?(block_size = 1024)
     ?(cache_capacity = 256) ?(propagation_delay = 0) ?(reconcile_period = 100)
-    ?(selection = Logical.Most_recent) ?(journal_blocks = 0) ~nhosts () =
+    ?(selection = Logical.Most_recent) ?(journal_blocks = 0) ?log_level ~nhosts () =
   if nhosts <= 0 then invalid_arg "Cluster.create";
   let clock = Clock.create () in
   let net = Sim_net.create ~seed ~datagram_loss ~faults clock in
+  let obs = Obs.create () in
+  (match log_level with
+   | None -> ()
+   | Some level -> Obs.install_reporter ~level ~now:(Clock.fn clock) ());
   let name_to_id = Hashtbl.create 8 in
   let name_to_index = Hashtbl.create 8 in
   let t =
     {
       clock;
       net;
+      obs;
       hosts = [||];
       name_to_id;
       name_to_index;
@@ -104,16 +111,16 @@ let create ?(seed = 11) ?(datagram_loss = 0.0) ?(faults = Sim_net.no_faults)
       | Ok fs -> fs
       | Error e -> failwith ("Cluster: mkfs failed: " ^ Errno.to_string e)
     in
-    let h_server = Nfs_server.create net ~host:h_id in
+    let h_server = Nfs_server.create ~obs net ~host:h_id in
     let rec h =
       lazy
         ((* Defer forcing until the closures are actually called: the
             host record and its layers refer to each other. *)
          let connect ~host ~vref ~rid = connector t (Lazy.force h) ~host ~vref ~rid in
          let local_replica vref = replica (Lazy.force h) vref in
-         let h_logical = Logical.create ~selection ~host:h_name ~clock ~connect () in
+         let h_logical = Logical.create ~selection ~obs ~host:h_name ~clock ~connect () in
          let h_prop =
-           Propagation.create ~delay:propagation_delay ~clock ~host:h_name ~connect
+           Propagation.create ~delay:propagation_delay ~obs ~clock ~host:h_name ~connect
              ~local_replica ()
          in
          let h_recon =
@@ -171,7 +178,8 @@ let create_volume t ~on =
         let h = t.hosts.(i) in
         let* container = Namei.mkdir_p ~root:(Ufs_vnode.root h.h_ufs) (container_path vref rid) in
         let* phys =
-          Physical.create ~container ~clock:t.clock ~host:h.h_name ~vref ~rid ~peers
+          Physical.create ~obs:t.obs ~container ~clock:t.clock ~host:h.h_name ~vref ~rid
+            ~peers ()
         in
         wire_notifier t h phys;
         Nfs_server.add_export h.h_server ~name:(export_name vref rid) (Physical.root phys);
@@ -211,7 +219,10 @@ let add_replica t ~host:i vref =
     let* container =
       Namei.mkdir_p ~root:(Ufs_vnode.root h.h_ufs) (container_path vref rid)
     in
-    let* phys = Physical.create ~container ~clock:t.clock ~host:h.h_name ~vref ~rid ~peers in
+    let* phys =
+      Physical.create ~obs:t.obs ~container ~clock:t.clock ~host:h.h_name ~vref ~rid
+        ~peers ()
+    in
     Nfs_server.add_export h.h_server ~name:(export_name vref rid) (Physical.root phys);
     h.h_replicas <- (vref, phys) :: h.h_replicas;
     refresh_peers t vref peers;
@@ -308,7 +319,7 @@ let reboot t i =
       let* container =
         Namei.walk ~root:(Ufs_vnode.root h.h_ufs) (container_path vref rid)
       in
-      let* fresh = Physical.attach ~container ~clock:t.clock ~host:h.h_name in
+      let* fresh = Physical.attach ~obs:t.obs ~container ~clock:t.clock ~host:h.h_name () in
       wire_notifier t h fresh;
       Nfs_server.add_export h.h_server ~name:(export_name vref rid) (Physical.root fresh);
       reattach ((vref, fresh) :: acc) rest
@@ -442,3 +453,33 @@ let converge t vref ?(max_rounds = 10) () =
       if quiet stats then Ok round else go (round + 1)
   in
   go 1
+
+(* ------------------------------------------------------------------ *)
+(* Observability                                                       *)
+
+type metrics_snapshot = {
+  ms_metrics : Metrics.snapshot;
+  ms_spans : (int * Span.event list) list;
+}
+
+let metrics_snapshot t =
+  (* Journal counters live inside each host's UFS; fold them into the
+     registry as cluster-wide gauges so one snapshot carries everything
+     (gauges, not counters — re-snapshotting must not double-count). *)
+  let totals = Hashtbl.create 16 in
+  Array.iter
+    (fun h ->
+      List.iter
+        (fun (k, v) ->
+          let prev = Option.value ~default:0 (Hashtbl.find_opt totals k) in
+          Hashtbl.replace totals k (prev + v))
+        (Ufs.journal_stats h.h_ufs))
+    t.hosts;
+  Hashtbl.iter
+    (fun k v -> Metrics.gauge_set t.obs.Obs.metrics ("journal." ^ k) v)
+    totals;
+  let spans = t.obs.Obs.spans in
+  {
+    ms_metrics = Metrics.snapshot t.obs.Obs.metrics;
+    ms_spans = List.map (fun id -> (id, Span.timeline spans id)) (Span.ids spans);
+  }

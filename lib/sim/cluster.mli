@@ -23,14 +23,21 @@ val create :
   ?reconcile_period:int ->
   ?selection:Logical.selection ->
   ?journal_blocks:int ->
+  ?log_level:Logs.level ->
   nhosts:int -> unit -> t
 (** Hosts are named ["host0"], ["host1"], ….  All parameters are shared
     by every host.  [journal_blocks] (default 0) formats each host's UFS
     with a write-ahead journal of that size; the group-commit flush
-    daemon is then driven by {!tick_daemons}. *)
+    daemon is then driven by {!tick_daemons}.  [log_level] installs the
+    shared {!Obs.reporter} (host-tagged, simulated-time-stamped) at that
+    level; by default logging is left alone. *)
 
 val clock : t -> Clock.t
 val net : t -> Sim_net.t
+val obs : t -> Obs.t
+(** The cluster-wide observability bundle every layer of every host
+    reports into. *)
+
 val nhosts : t -> int
 
 val host : t -> int -> host
@@ -144,3 +151,16 @@ val converge : t -> Ids.volume_ref -> ?max_rounds:int -> unit -> (int, Errno.t) 
 (** Run reconciliation rounds until a full quiet round (nothing pulled,
     merged-in, or expired); returns rounds used, or [EAGAIN] if
     [max_rounds] (default 10) was hit. *)
+
+(** {1 Observability} *)
+
+type metrics_snapshot = {
+  ms_metrics : Metrics.snapshot;
+  ms_spans : (int * Span.event list) list;  (** every span's full timeline *)
+}
+
+val metrics_snapshot : t -> metrics_snapshot
+(** One consistent view of the whole cluster: every counter, gauge and
+    histogram (journal statistics folded in as [journal.*] gauges), plus
+    the complete per-update span timelines — enough to reconstruct an
+    update's write → notify → pull → install path across hosts. *)

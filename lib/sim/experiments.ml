@@ -84,7 +84,7 @@ let open_cost_setup () =
   let phys =
     get
       (Physical.create ~container:(Ufs_vnode.root fufs) ~clock ~host:"h0"
-         ~vref:{ Ids.alloc = 0; vol = 1 } ~rid:1 ~peers:[ (1, "h0") ])
+         ~vref:{ Ids.alloc = 0; vol = 1 } ~rid:1 ~peers:[ (1, "h0") ] ())
   in
   let p_root = Physical.root phys in
   let p_d = get (p_root.Vnode.mkdir "d") in
@@ -768,7 +768,7 @@ let a4_trace_overhead () =
   let phys =
     get
       (Physical.create ~container:(Ufs_vnode.root ficus_fs) ~clock ~host:"h"
-         ~vref:{ Ids.alloc = 0; vol = 1 } ~rid:1 ~peers:[ (1, "h") ])
+         ~vref:{ Ids.alloc = 0; vol = 1 } ~rid:1 ~peers:[ (1, "h") ] ())
   in
   let results =
     [
@@ -1219,6 +1219,135 @@ let wal_crash_sweep () =
        (total_writes + 1) !min_state !max_state !fsck_bad !unmatched !sync_bad)
 
 (* ------------------------------------------------------------------ *)
+(* OBSLAG: cluster-wide propagation lag from causal span data          *)
+
+type lag_metrics = {
+  lm_spans : int;
+  lm_lag_p50 : int;
+  lm_lag_p95 : int;
+  lm_lag_p99 : int;
+  lm_per_replica : (string * (int * int * int)) list;
+  lm_journal_flushes : int;
+  lm_journal_txns : int;
+}
+
+let last_lag_metrics : lag_metrics option ref = ref None
+
+let obslag_propagation_lag () =
+  let cluster =
+    Cluster.create ~selection:Logical.Prefer_local ~journal_blocks:256
+      ~nhosts:3 ()
+  in
+  let vref = get (Cluster.create_volume cluster ~on:[ 0; 1; 2 ]) in
+  let root0 = get (Cluster.logical_root cluster 0 vref) in
+  (* host2 disconnects; host0 keeps writing.  host1 converges through
+     the notify/pull path within ticks; host2 can only catch up at
+     reconciliation after the heal — so its measured lag includes the
+     whole disconnection. *)
+  Cluster.partition cluster [ [ 0; 1 ]; [ 2 ] ];
+  let files = 8 in
+  for i = 1 to files do
+    let f = get (root0.Vnode.create (Printf.sprintf "f%d" i)) in
+    get (Vnode.write_all f (Printf.sprintf "update %d payload" i));
+    ignore (Cluster.tick_daemons cluster 3)
+  done;
+  ignore (Cluster.tick_daemons cluster 10);
+  Cluster.heal cluster;
+  let rounds = get (Cluster.converge cluster vref ~max_rounds:20 ()) in
+  (* Age out the final group commits so every seal is attributed. *)
+  for _ = 1 to 10 do
+    ignore (Cluster.tick_daemons cluster 1)
+  done;
+  let snap = Cluster.metrics_snapshot cluster in
+  let metrics = snap.Cluster.ms_metrics in
+  let hist name =
+    List.find_opt (fun h -> h.Metrics.hs_name = name) metrics.Metrics.snap_hists
+  in
+  let gauge name =
+    match List.assoc_opt name metrics.Metrics.snap_gauges with Some v -> v | None -> 0
+  in
+  let replica_rows =
+    List.filter_map
+      (fun host ->
+        match hist ("prop.lag." ^ host) with
+        | Some h ->
+          Some
+            [
+              host;
+              string_of_int h.Metrics.hs_count;
+              string_of_int h.Metrics.hs_p50;
+              string_of_int h.Metrics.hs_p95;
+              string_of_int h.Metrics.hs_p99;
+            ]
+        | None -> None)
+      [ "host1"; "host2" ]
+  in
+  Table.print
+    ~title:
+      "OBSLAG: per-replica propagation lag (ticks from originating write to install)"
+    ~headers:[ "replica"; "installs"; "p50"; "p95"; "p99" ]
+    replica_rows;
+  (* One update's complete life, reconstructed from one snapshot: the
+     same span must carry the write, the multicast, host1's pull-path
+     install, host2's reconciliation-path install, and the journal's
+     group-commit seal. *)
+  let rec is_subseq expected labels =
+    match (expected, labels) with
+    | [], _ -> true
+    | _, [] -> false
+    | e :: etl, l :: ltl -> if e = l then is_subseq etl ltl else is_subseq expected ltl
+  in
+  let full_timeline =
+    List.exists
+      (fun (_, tl) ->
+        let labels = List.map (fun e -> e.Span.e_label) tl in
+        is_subseq
+          [ "update:write"; "phys:update"; "notify:send"; "prop:pull"; "shadow:swap";
+            "install:prop" ]
+          labels
+        && List.mem "recon:pull" labels
+        && List.mem "install:recon" labels
+        && List.mem "journal:commit" labels)
+      snap.Cluster.ms_spans
+  in
+  let lag1 = hist "prop.lag.host1" and lag2 = hist "prop.lag.host2" in
+  let p50 h = match h with Some h -> h.Metrics.hs_p50 | None -> 0 in
+  (match hist "prop.lag" with
+   | Some h ->
+     last_lag_metrics :=
+       Some
+         {
+           lm_spans = List.length snap.Cluster.ms_spans;
+           lm_lag_p50 = h.Metrics.hs_p50;
+           lm_lag_p95 = h.Metrics.hs_p95;
+           lm_lag_p99 = h.Metrics.hs_p99;
+           lm_per_replica =
+             List.filter_map
+               (fun host ->
+                 Option.map
+                   (fun h -> (host, (h.Metrics.hs_p50, h.Metrics.hs_p95, h.Metrics.hs_p99)))
+                   (hist ("prop.lag." ^ host)))
+               [ "host1"; "host2" ];
+           lm_journal_flushes = gauge "journal.flushes";
+           lm_journal_txns = gauge "journal.txns";
+         }
+   | None -> last_lag_metrics := None);
+  let holds =
+    replica_rows <> [] && lag1 <> None && lag2 <> None
+    && p50 lag2 > p50 lag1 (* the partitioned replica's lag spans the outage *)
+    && full_timeline
+    && gauge "journal.flushes" >= 1
+  in
+  verdict "OBSLAG"
+    "span data yields per-replica propagation lag; one snapshot reconstructs an update's full timeline"
+    holds
+    (Printf.sprintf
+       "%d rounds to converge; lag p50 host1=%d host2=%d ticks; %d spans; journal flushes=%d"
+       rounds (p50 lag1) (p50 lag2)
+       (List.length snap.Cluster.ms_spans)
+       (gauge "journal.flushes"))
+
+(* ------------------------------------------------------------------ *)
 
 let registry =
   [
@@ -1240,6 +1369,7 @@ let registry =
     ("a5", a5_journal_io);
     ("chaos", chaos_convergence);
     ("wal", wal_crash_sweep);
+    ("obslag", obslag_propagation_lag);
   ]
 
 let names = List.map fst registry

@@ -102,6 +102,32 @@ val wal_crash_sweep : unit -> verdict
     fsck-clean state equal to some committed-op prefix, and any crash
     past the sync's last write must retain every pre-sync op. *)
 
+type lag_metrics = {
+  lm_spans : int;  (** distinct causal spans in the snapshot *)
+  lm_lag_p50 : int;
+  lm_lag_p95 : int;
+  lm_lag_p99 : int;  (** cluster-wide propagation lag, in ticks *)
+  lm_per_replica : (string * (int * int * int)) list;
+      (** host -> (p50, p95, p99) install lag *)
+  lm_journal_flushes : int;
+  lm_journal_txns : int;
+}
+(** Machine-readable summary of the observability experiment, consumed
+    by [bench --json]. *)
+
+val last_lag_metrics : lag_metrics option ref
+(** Filled by {!obslag_propagation_lag}; [None] until it has run. *)
+
+val obslag_propagation_lag : unit -> verdict
+(** Cluster-wide observability: three replicas, one partitioned away
+    while the origin keeps writing.  Every update's span must yield a
+    complete write → notify → pull → shadow-swap → install timeline from
+    a single {!Cluster.metrics_snapshot}; per-replica propagation-lag
+    percentiles come from the ["prop.lag.<host>"] histograms, and the
+    partitioned replica's median lag (paid at reconciliation after the
+    heal) must exceed the connected replica's (paid on the notify/pull
+    path).  Journal group commits must be attributed to the same spans. *)
+
 val all : unit -> verdict list
 (** Run every experiment in order, printing all tables. *)
 

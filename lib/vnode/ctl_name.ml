@@ -17,6 +17,14 @@ let escape s =
     s;
   Buffer.contents buf
 
+(* Strict hex-digit parsing: [int_of_string_opt "0x.."] would also
+   accept underscores ("%_f"), silently decoding malformed sequences. *)
+let hex_digit = function
+  | '0' .. '9' as c -> Some (Char.code c - Char.code '0')
+  | 'a' .. 'f' as c -> Some (Char.code c - Char.code 'a' + 10)
+  | 'A' .. 'F' as c -> Some (Char.code c - Char.code 'A' + 10)
+  | _ -> None
+
 let unescape s =
   let buf = Buffer.create (String.length s) in
   let n = String.length s in
@@ -27,11 +35,11 @@ let unescape s =
       | '%' ->
         if i + 2 >= n then None
         else
-          (match int_of_string_opt ("0x" ^ String.sub s (i + 1) 2) with
-           | None -> None
-           | Some code ->
-             Buffer.add_char buf (Char.chr code);
-             go (i + 3))
+          (match (hex_digit s.[i + 1], hex_digit s.[i + 2]) with
+           | Some hi, Some lo ->
+             Buffer.add_char buf (Char.chr ((hi * 16) + lo));
+             go (i + 3)
+           | _ -> None)
       | c ->
         Buffer.add_char buf c;
         go (i + 1)

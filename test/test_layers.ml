@@ -11,25 +11,25 @@ let ufs_root () =
 (* ---------------- measurement ---------------- *)
 
 let test_measure_counts_ops () =
-  let counters = Counters.create () in
-  let root = Measure_layer.wrap ~counters (ufs_root ()) in
+  let metrics = Metrics.create () in
+  let root = Measure_layer.wrap ~metrics (ufs_root ()) in
   let f = ok (root.Vnode.create "f") in
   ok (f.Vnode.write ~off:0 "x");
   let _ = ok (Vnode.read_all f) in
   let _ = root.Vnode.lookup "missing" in
-  Alcotest.(check int) "creates" 1 (Counters.get counters "measure.create.calls");
-  Alcotest.(check int) "writes" 1 (Counters.get counters "measure.write.calls");
+  Alcotest.(check int) "creates" 1 (Metrics.counter metrics "measure.create.calls");
+  Alcotest.(check int) "writes" 1 (Metrics.counter metrics "measure.write.calls");
   (* read_all = getattr + read *)
-  Alcotest.(check int) "reads" 1 (Counters.get counters "measure.read.calls");
-  Alcotest.(check int) "lookup errors" 1 (Counters.get counters "measure.lookup.errors");
-  Alcotest.(check bool) "totals" true (Measure_layer.ops_total counters >= 4);
-  Alcotest.(check int) "errors total" 1 (Measure_layer.errors_total counters);
-  let report = Measure_layer.report counters in
+  Alcotest.(check int) "reads" 1 (Metrics.counter metrics "measure.read.calls");
+  Alcotest.(check int) "lookup errors" 1 (Metrics.counter metrics "measure.lookup.errors");
+  Alcotest.(check bool) "totals" true (Measure_layer.ops_total metrics >= 4);
+  Alcotest.(check int) "errors total" 1 (Measure_layer.errors_total metrics);
+  let report = Measure_layer.report metrics in
   Alcotest.(check bool) "report row" true (List.mem ("lookup", 1, 1) report)
 
 let test_measure_timing () =
   let clock = Clock.create () in
-  let counters = Counters.create () in
+  let metrics = Metrics.create () in
   let base = ufs_root () in
   let file = ok (base.Vnode.create "f") in
   ok (file.Vnode.write ~off:0 "abc");
@@ -42,21 +42,24 @@ let test_measure_timing () =
           file.Vnode.read ~off ~len);
     }
   in
-  let measured = Measure_layer.wrap ~clock ~counters slow in
+  let measured = Measure_layer.wrap ~clock ~metrics slow in
   let _ = ok (measured.Vnode.read ~off:0 ~len:3) in
   let _ = ok (measured.Vnode.read ~off:0 ~len:3) in
-  Alcotest.(check int) "ticks attributed" 10 (Counters.get counters "measure.read.ticks")
+  Alcotest.(check int) "ticks attributed" 10 (Measure_layer.ticks_total metrics "read");
+  Alcotest.(check (option (triple int int int)))
+    "read latency percentiles" (Some (5, 5, 5))
+    (Measure_layer.percentiles metrics "read")
 
 let test_measure_transparent_rename () =
-  let counters = Counters.create () in
-  let root = Measure_layer.wrap ~counters (ufs_root ()) in
+  let metrics = Metrics.create () in
+  let root = Measure_layer.wrap ~metrics (ufs_root ()) in
   let d1 = ok (root.Vnode.mkdir "d1") in
   let d2 = ok (root.Vnode.mkdir "d2") in
   let _ = ok (d1.Vnode.create "f") in
   (* The destination directory is a measured vnode; the layer below must
      still recognize it. *)
   ok (d1.Vnode.rename "f" d2 "g");
-  Alcotest.(check int) "renames" 1 (Counters.get counters "measure.rename.calls")
+  Alcotest.(check int) "renames" 1 (Metrics.counter metrics "measure.rename.calls")
 
 (* ---------------- encryption ---------------- *)
 
@@ -101,7 +104,7 @@ let test_ficus_physical_over_crypt () =
   let phys =
     ok
       (Physical.create ~container ~clock ~host:"h" ~vref:{ Ids.alloc = 0; vol = 1 } ~rid:1
-         ~peers:[ (1, "h") ])
+         ~peers:[ (1, "h") ] ())
   in
   let root = Physical.root phys in
   let d = ok (root.Vnode.mkdir "docs") in
@@ -179,16 +182,16 @@ let test_chmod_own_file_without_write_bit () =
 
 let test_stacked_all_three () =
   (* monitoring over access control over encryption over UFS. *)
-  let counters = Counters.create () in
+  let metrics = Metrics.create () in
   let base = ufs_root () in
   let stack =
-    Measure_layer.wrap ~counters
+    Measure_layer.wrap ~metrics
       (Access_layer.wrap ~uid:0 (Crypt_layer.wrap ~key:"k" base))
   in
   let f = ok (stack.Vnode.create "f") in
   ok (Vnode.write_all f "through three layers");
   Alcotest.(check string) "roundtrip" "through three layers" (ok (Vnode.read_all f));
-  Alcotest.(check bool) "measured" true (Measure_layer.ops_total counters > 0);
+  Alcotest.(check bool) "measured" true (Measure_layer.ops_total metrics > 0);
   let raw = ok (Vnode.read_all (ok (base.Vnode.lookup "f"))) in
   Alcotest.(check bool) "still encrypted below" true (raw <> "through three layers")
 

@@ -26,6 +26,7 @@ let () =
       ("syscall", Test_syscall.suite);
       ("cluster", Test_cluster.suite);
       ("layers", Test_layers.suite);
+      ("obs", Test_obs.suite);
       ("properties", Test_props.suite);
       ("experiments", Test_experiments.suite);
     ]

@@ -82,6 +82,7 @@ let event ?(fid = 7) ?(rid = 2) ?(host = "hostB") () =
     kind = Aux_attrs.Freg;
     origin_rid = rid;
     origin_host = host;
+    span = 0;
   }
 
 let test_nvc_dedupes_per_object () =

@@ -10,7 +10,7 @@ let fresh_phys ?(rid = 1) ?(peers = [ (1, "hostA"); (2, "hostB") ]) () =
   let clock = Clock.create () in
   let container = ok (Namei.mkdir_p ~root:(Ufs_vnode.root fs) "vol") in
   let vref = { Ids.alloc = 0; vol = 1 } in
-  let phys = ok (Physical.create ~container ~clock ~host:"hostA" ~vref ~rid ~peers) in
+  let phys = ok (Physical.create ~container ~clock ~host:"hostA" ~vref ~rid ~peers ()) in
   (fs, clock, container, phys)
 
 let test_create_layout () =
@@ -242,7 +242,7 @@ let test_attach_after_restart () =
   let f = ok (root.Vnode.create "keep") in
   ok (f.Vnode.write ~off:0 "persisted");
   ignore fs;
-  let phys2 = ok (Physical.attach ~container ~clock ~host:"hostA") in
+  let phys2 = ok (Physical.attach ~container ~clock ~host:"hostA" ()) in
   Alcotest.(check int) "rid recovered" 1 (Physical.rid phys2);
   Alcotest.(check int) "peers recovered" 2 (List.length (Physical.peers phys2));
   let root2 = Physical.root phys2 in

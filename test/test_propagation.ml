@@ -81,7 +81,7 @@ let test_backoff_grows_and_reconciliation_converges () =
   let phys =
     ok
       (Physical.create ~container:(Ufs_vnode.root fs) ~clock ~host:"me" ~vref ~rid:2
-         ~peers:[ (1, "origin"); (2, "me") ])
+         ~peers:[ (1, "origin"); (2, "me") ] ())
   in
   let connect ~host:_ ~vref:_ ~rid:_ = Error Errno.EUNREACHABLE in
   let prop =
@@ -98,6 +98,7 @@ let test_backoff_grows_and_reconciliation_converges () =
       kind = Aux_attrs.Freg;
       origin_rid = 1;
       origin_host = "origin";
+      span = 0;
     };
   let attempt_ticks = ref [] in
   for tick = 0 to 599 do

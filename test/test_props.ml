@@ -535,6 +535,42 @@ let dir_codec_props =
         !ok);
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Ctl-name escaping                                                   *)
+
+let arb_bytes =
+  QCheck.make
+    ~print:(Printf.sprintf "%S")
+    QCheck.Gen.(string_size ~gen:char (int_bound 60))
+
+let is_hex_digit = function '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> true | _ -> false
+
+let ctl_name_props =
+  [
+    prop "ctl-name escape round-trips on arbitrary bytes" ~count:500 arb_bytes
+      (fun s -> Ctl_name.unescape (Ctl_name.escape s) = Some s);
+    prop "ctl-name escape output never contains '#'" ~count:500 arb_bytes
+      (fun s -> not (String.contains (Ctl_name.escape s) '#'));
+    prop "ctl-name unescape rejects malformed %-sequences" ~count:500
+      (QCheck.pair arb_bytes (QCheck.pair QCheck.char QCheck.char))
+      (fun (s, (a, b)) ->
+        (* Splice a literal '%' followed by two arbitrary characters into
+           otherwise-clean text: unescape must accept it exactly when
+           both are hex digits. *)
+        let clean = Ctl_name.escape s in
+        let spliced = Printf.sprintf "%s%%%c%c%s" clean a b clean in
+        let well_formed = is_hex_digit a && is_hex_digit b in
+        (Ctl_name.unescape spliced <> None) = well_formed);
+    prop "ctl-name encode/decode round-trips args" ~count:300
+      (QCheck.pair arb_bytes arb_bytes)
+      (fun (a1, a2) ->
+        match Ctl_name.encode ~op:"test" ~args:[ a1; a2 ] with
+        | Error Errno.ENAMETOOLONG -> true (* oversized: correctly refused *)
+        | Error _ -> false
+        | Ok name -> Ctl_name.decode name = Some ("test", [ a1; a2 ]));
+  ]
+
 let suite =
   List.map QCheck_alcotest.to_alcotest
-    (vv_props @ fdir_props @ ufs_props @ dir_codec_props @ cluster_props)
+    (vv_props @ fdir_props @ ufs_props @ dir_codec_props @ ctl_name_props
+   @ cluster_props)

@@ -49,7 +49,7 @@ let test_ficus_logical_over_nfs_relay () =
   let phys =
     ok
       (Physical.create ~container ~clock ~host:"h" ~vref:{ Ids.alloc = 0; vol = 1 } ~rid:1
-         ~peers:[ (1, "h") ])
+         ~peers:[ (1, "h") ] ())
   in
   let root = Physical.root phys in
   let f = ok (root.Vnode.create "x") in
