@@ -145,6 +145,13 @@ let write_json path ~mode verdicts =
      Printf.fprintf oc "    \"journal_flushes\": %d,\n    \"journal_txns\": %d\n  }"
        m.Experiments.lm_journal_flushes m.Experiments.lm_journal_txns
    | None -> ());
+  (match !Experiments.last_recon_metrics with
+   | Some m ->
+     Printf.fprintf oc ",\n  \"reconciliation\": {\n";
+     Printf.fprintf oc "    \"recon.full_rpcs\": %d,\n" m.Experiments.rm_full_rpcs;
+     Printf.fprintf oc "    \"recon.rpcs\": %d,\n" m.Experiments.rm_incr_rpcs;
+     Printf.fprintf oc "    \"recon.pruned_subtrees\": %d\n  }" m.Experiments.rm_pruned
+   | None -> ());
   Printf.fprintf oc "\n}\n";
   close_out oc;
   Printf.printf "\nWrote %s\n%!" path
@@ -154,7 +161,7 @@ let write_json path ~mode verdicts =
    bechamel runs. *)
 let smoke_names =
   [ "e2"; "e3"; "e4"; "e6"; "e9"; "e10"; "f2"; "a1"; "a3"; "a5"; "chaos"; "wal";
-    "obslag" ]
+    "obslag"; "reconscale" ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

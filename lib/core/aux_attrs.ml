@@ -7,10 +7,19 @@ type t = {
   conflict : bool;
   graft_target : Ids.volume_ref option;
   span : int;
+  summary : Version_vector.t option;
 }
 
 let make kind =
-  { kind; vv = Version_vector.empty; uid = 0; conflict = false; graft_target = None; span = 0 }
+  {
+    kind;
+    vv = Version_vector.empty;
+    uid = 0;
+    conflict = false;
+    graft_target = None;
+    span = 0;
+    summary = None;
+  }
 
 let kind_to_string = function Freg -> "reg" | Fdir -> "dir" | Fgraft -> "graft"
 
@@ -37,6 +46,9 @@ let encode t =
        | None -> []
        | Some { Ids.alloc; vol } -> [ Printf.sprintf "graft=%d.%d" alloc vol ])
     @ (if t.span = 0 then [] else [ Printf.sprintf "span=%d" t.span ])
+    @ (match t.summary with
+       | None -> []
+       | Some s -> [ "summary=" ^ Version_vector.encode s ])
   in
   String.concat "\n" lines ^ "\n"
 
@@ -70,7 +82,10 @@ let decode s =
          | None -> 0
          | Some s -> Option.value ~default:0 (int_of_string_opt s)
        in
-       Some { kind; vv; uid; conflict = conflict = "1"; graft_target; span }
+       let summary =
+         match find "summary" with None -> None | Some s -> Version_vector.decode s
+       in
+       Some { kind; vv; uid; conflict = conflict = "1"; graft_target; span; summary }
      | _, _, _ -> None)
   | _, _, _, _ -> None
 

@@ -20,6 +20,12 @@ type t = {
           untraced; absent in old encodings and decoded as 0).  Lets
           reconciliation attribute a pulled version to the update's
           original timeline. *)
+  summary : Version_vector.t option;
+      (** subtree summary vector, directories only: a lower bound on the
+          update events this replica has incorporated anywhere in the
+          subtree rooted here, keyed by originating replica.  [None] in
+          pre-summary encodings (recomputed at attach time) and for
+          regular files. *)
 }
 
 val make : fkind -> t

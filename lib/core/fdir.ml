@@ -72,6 +72,20 @@ let find_live t name =
 let find_by_fid t fid =
   List.find_opt (fun e -> is_live e && Ids.fid_equal e.fid fid) t.entries
 
+(* Live entries deduplicated by fid (a hard-linked file appears once),
+   in effective-name order.  The unit of work for reconciliation. *)
+let live_fids t =
+  let seen = Hashtbl.create 16 in
+  List.filter_map
+    (fun (_, e) ->
+      let k = Ids.fid_to_hex e.fid in
+      if Hashtbl.mem seen k then None
+      else begin
+        Hashtbl.replace seen k ();
+        Some e
+      end)
+    (live t)
+
 let find_birth t birth = List.find_opt (fun e -> birth_equal e.birth birth) t.entries
 
 (* ------------------------------------------------------------------ *)

@@ -70,6 +70,10 @@ val find_live : t -> string -> entry option
 val find_by_fid : t -> Ids.file_id -> entry option
 (** First live entry for the file, if any (a file may have several names). *)
 
+val live_fids : t -> entry list
+(** Live entries deduplicated by fid, in effective-name order — the unit
+    of per-child work during reconciliation. *)
+
 val find_birth : t -> birth -> entry option
 
 (** {1 Local updates}

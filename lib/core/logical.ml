@@ -159,8 +159,9 @@ let with_replica t vref path f =
   Counters.incr t.counters "logical.ops";
   let* g = find_graft t vref in
   g.g_last_used <- Clock.now t.clock;
-  let rec attempt first = function
-    | [] -> Error Errno.EUNREACHABLE
+  let saw_unreachable = ref false in
+  let rec attempt first enoent = function
+    | [] -> Error (if enoent then Errno.ENOENT else Errno.EUNREACHABLE)
     | (rc, root) :: rest ->
       (match f root with
        | Ok v ->
@@ -168,11 +169,31 @@ let with_replica t vref path f =
          Ok v
        | Error (Errno.EUNREACHABLE | Errno.EAGAIN | Errno.ESTALE) ->
          (* Drop a dead connection so a later retry reconnects. *)
+         saw_unreachable := true;
          rc.rc_root <- None;
-         attempt false rest
+         attempt false enoent rest
+       | Error Errno.ENOENT ->
+         (* This replica may simply be behind (unable to resolve the fid
+            path yet); another may hold the object.  A genuinely missing
+            object returns ENOENT once every candidate agrees. *)
+         attempt false true rest
        | Error _ as e -> e)
   in
-  attempt true (candidates t g path)
+  let pass () =
+    saw_unreachable := false;
+    let cands = candidates t g path in
+    if List.length cands < List.length g.g_replicas then saw_unreachable := true;
+    attempt true false cands
+  in
+  match pass () with
+  | Error (Errno.EUNREACHABLE | Errno.ENOENT) when !saw_unreachable ->
+    (* Some replica could not be consulted — the object may live exactly
+       there, and transient RPC failures are per-call.  One fresh pass
+       (reconnects included) stands for the client's timeout-and-retry;
+       a genuine miss (every replica answered) never re-polls. *)
+    Counters.incr t.counters "logical.retry_pass";
+    pass ()
+  | r -> r
 
 (* ------------------------------------------------------------------ *)
 (* Concurrency control (paper §2.5: "the logical layer performs

@@ -24,6 +24,10 @@ type t = {
   counters : Counters.t;
   obs : Obs.t;
   mutable open_count : int;
+  (* Subtree-summary bumps not yet written to the aux files: path key ->
+     (path, pending vector).  Purely an I/O batching device — losing it
+     in a crash only under-claims, which is always safe. *)
+  pending_summaries : (string, fidpath * Vv.t ref) Hashtbl.t;
 }
 
 type version_info = {
@@ -33,6 +37,7 @@ type version_info = {
   vi_uid : int;
   vi_stored : bool;
   vi_span : int;
+  vi_summary : Vv.t option;
 }
 
 type install_outcome = Installed | Up_to_date | Conflict of Vv.t
@@ -168,6 +173,127 @@ let make_dir_storage t parent_ufs fid aux =
   let* () = Aux_attrs.store ~dir:parent_ufs fid aux in
   Ok child
 
+(* ------------------------------------------------------------------ *)
+(* Subtree summary vectors (incremental reconciliation)
+
+   Each directory's aux file carries a summary vector: a lower bound, per
+   originating replica, on the update *events* whose effects this replica
+   has incorporated anywhere in the subtree rooted at that directory.
+   Events are numbered from the same monotone counter as fids
+   ([next_uniq]), so a claim "r:n" means "every local event numbered <= n
+   is reflected here".  Reconciliation can then skip a whole subtree
+   whose local summary dominates the remote one.
+
+   Bumps are accumulated in memory and flushed lazily (serving a
+   [getdirvvs] request flushes first), so local mutators pay no extra
+   I/O.  Losing pending bumps in a crash merely under-claims: the next
+   reconciliation pass walks more than strictly necessary, never less
+   than required. *)
+
+let summary_key path = String.concat "/" (List.map Ids.fid_to_hex path)
+
+let pending_summary t path =
+  match Hashtbl.find_opt t.pending_summaries (summary_key path) with
+  | Some (_, r) -> !r
+  | None -> Vv.empty
+
+(* Record one local update event touching the directory at [dirpath]:
+   merge a fresh event number into the pending summary of that directory
+   and of every ancestor up to the volume root. *)
+let note_summary_event t dirpath =
+  let seq = t.next_uniq in
+  t.next_uniq <- seq + 1;
+  let s = Vv.singleton t.rid seq in
+  let note p =
+    let k = summary_key p in
+    match Hashtbl.find_opt t.pending_summaries k with
+    | Some (_, r) -> r := Vv.merge !r s
+    | None -> Hashtbl.replace t.pending_summaries k (p, ref s)
+  in
+  let rec go prefix_rev rest =
+    note (List.rev prefix_rev);
+    match rest with [] -> () | fid :: tl -> go (fid :: prefix_rev) tl
+  in
+  go [] dirpath
+
+(* Where the aux file of the directory at [path] lives: the volume
+   container for the root, the parent's UFS directory otherwise. *)
+let dir_aux_location t path =
+  match path with
+  | [] -> Ok (t.container, Ids.root_fid)
+  | _ ->
+    let* parent, fid = split_file_path path in
+    let* parent_ufs = resolve_dir t parent in
+    Ok (parent_ufs, fid)
+
+(* Write all pending summary bumps to the aux files.  The uniq watermark
+   is persisted first: a durable claim must never reference an event
+   number that a reboot could reissue. *)
+let flush_summaries t =
+  if Hashtbl.length t.pending_summaries = 0 then Ok 0
+  else begin
+    let* () = store_meta t in
+    let entries =
+      Hashtbl.fold (fun _ (p, r) acc -> (p, !r) :: acc) t.pending_summaries []
+    in
+    Hashtbl.reset t.pending_summaries;
+    let flush_one (path, pend) =
+      match dir_aux_location t path with
+      | Error Errno.ENOENT -> Ok false (* directory removed; ancestors carry the claim *)
+      | Error _ as e -> e
+      | Ok (dir, fid) ->
+        (match Aux_attrs.load ~dir fid with
+         | Error Errno.ENOENT -> Ok false
+         | Error _ as e -> e
+         | Ok aux ->
+           let cur = Option.value ~default:Vv.empty aux.Aux_attrs.summary in
+           let merged = Vv.merge cur pend in
+           let unchanged =
+             match aux.Aux_attrs.summary with Some s -> Vv.equal s merged | None -> false
+           in
+           if unchanged then Ok false
+           else
+             let* () =
+               Aux_attrs.store ~dir fid { aux with Aux_attrs.summary = Some merged }
+             in
+             Ok true)
+    in
+    let rec go n = function
+      | [] -> Ok n
+      | e :: rest ->
+        let* wrote = flush_one e in
+        go (if wrote then n + 1 else n) rest
+    in
+    let* n = go 0 entries in
+    Counters.add t.counters "phys.summary.flush" n;
+    Ok n
+  end
+
+(* Fold a remote peer's summary into ours after reconciliation has fully
+   incorporated that peer's subtree.  Never allocates an event: joins
+   must reach a fixpoint for quiescent pruning to kick in. *)
+let join_summary t path remote_summary =
+  let k = summary_key path in
+  let pend =
+    match Hashtbl.find_opt t.pending_summaries k with Some (_, r) -> Some !r | None -> None
+  in
+  let* () = match pend with Some _ -> store_meta t | None -> Ok () in
+  let* dir, fid = dir_aux_location t path in
+  let* aux = Aux_attrs.load ~dir fid in
+  let cur = Option.value ~default:Vv.empty aux.Aux_attrs.summary in
+  let merged =
+    Vv.merge (Vv.merge cur (Option.value ~default:Vv.empty pend)) remote_summary
+  in
+  let unchanged =
+    match aux.Aux_attrs.summary with Some s -> Vv.equal s merged | None -> false
+  in
+  let* () =
+    if unchanged then Ok ()
+    else Aux_attrs.store ~dir fid { aux with Aux_attrs.summary = Some merged }
+  in
+  Hashtbl.remove t.pending_summaries k;
+  Ok ()
+
 (* Recursively delete a UFS subtree under [name] in [dir]. *)
 let rec rm_tree dir name =
   let* child = dir.Vnode.lookup name in
@@ -224,14 +350,21 @@ let file_event t path fid = emit t ~fidpath:path ~fid ~kind:Aux_attrs.Freg
 let dir_version_info t path =
   let* ufs_dir = resolve_dir t path in
   let* fdir = load_fdir t ufs_dir in
-  let* kind, uid =
+  let* kind, uid, stored_summary =
     match path with
-    | [] -> Ok (Aux_attrs.Fdir, 0)
+    | [] ->
+      (match Aux_attrs.load ~dir:t.container Ids.root_fid with
+       | Ok aux -> Ok (aux.Aux_attrs.kind, aux.Aux_attrs.uid, aux.Aux_attrs.summary)
+       | Error Errno.ENOENT -> Ok (Aux_attrs.Fdir, 0, None)
+       | Error _ as e -> e)
     | _ ->
       let* parent, fid = split_file_path path in
       let* parent_ufs = resolve_dir t parent in
       let* aux = Aux_attrs.load ~dir:parent_ufs fid in
-      Ok (aux.Aux_attrs.kind, aux.Aux_attrs.uid)
+      Ok (aux.Aux_attrs.kind, aux.Aux_attrs.uid, aux.Aux_attrs.summary)
+  in
+  let summary =
+    Vv.merge (Option.value ~default:Vv.empty stored_summary) (pending_summary t path)
   in
   Ok
     {
@@ -241,6 +374,7 @@ let dir_version_info t path =
       vi_uid = uid;
       vi_stored = true;
       vi_span = 0;
+      vi_summary = Some summary;
     }
 
 let reg_version_info t path =
@@ -274,6 +408,7 @@ let reg_version_info t path =
       vi_uid = aux.Aux_attrs.uid;
       vi_stored = stored;
       vi_span = aux.Aux_attrs.span;
+      vi_summary = None;
     }
 
 let get_version t path =
@@ -303,6 +438,57 @@ let fetch_file t path =
 let fetch_dir t path =
   let* ufs_dir = resolve_dir t path in
   load_fdir t ufs_dir
+
+(* Version info for child entry [e] of the directory at [path] whose UFS
+   directory is [ufs_dir] — the per-child body of the batched [getdirvvs]
+   response, avoiding a root-relative re-resolution per child. *)
+let child_version_info t ufs_dir path e =
+  let fid = e.Fdir.fid in
+  match e.Fdir.kind with
+  | Aux_attrs.Freg ->
+    let* aux =
+      match Aux_attrs.load ~dir:ufs_dir fid with
+      | Ok aux -> Ok aux
+      | Error Errno.ENOENT -> Ok (Aux_attrs.make Aux_attrs.Freg)
+      | Error _ as err -> err
+    in
+    let* size, stored =
+      match ufs_dir.Vnode.lookup (Ids.fid_to_hex fid) with
+      | Ok data ->
+        let* attrs = data.Vnode.getattr () in
+        Ok (attrs.Vnode.size, true)
+      | Error Errno.ENOENT -> Ok (0, false)
+      | Error _ as err -> err
+    in
+    Ok
+      {
+        vi_kind = aux.Aux_attrs.kind;
+        vi_vv = aux.Aux_attrs.vv;
+        vi_size = size;
+        vi_uid = aux.Aux_attrs.uid;
+        vi_stored = stored;
+        vi_span = aux.Aux_attrs.span;
+        vi_summary = None;
+      }
+  | Aux_attrs.Fdir | Aux_attrs.Fgraft ->
+    let* aux = Aux_attrs.load ~dir:ufs_dir fid in
+    let* child_ufs = ufs_dir.Vnode.lookup (Ids.fid_to_hex fid) in
+    let* child_fdir = load_fdir t child_ufs in
+    let summary =
+      Vv.merge
+        (Option.value ~default:Vv.empty aux.Aux_attrs.summary)
+        (pending_summary t (path @ [ fid ]))
+    in
+    Ok
+      {
+        vi_kind = aux.Aux_attrs.kind;
+        vi_vv = child_fdir.Fdir.vv;
+        vi_size = List.length (Fdir.live child_fdir);
+        vi_uid = aux.Aux_attrs.uid;
+        vi_stored = true;
+        vi_span = 0;
+        vi_summary = Some summary;
+      }
 
 (* ------------------------------------------------------------------ *)
 (* The vnode layer                                                     *)
@@ -443,6 +629,7 @@ and dir_create t path name =
   in
   let* () = Aux_attrs.store ~dir:ufs_dir fid aux in
   let* () = store_fdir ufs_dir fdir in
+  note_summary_event t path;
   dir_event t path;
   Ok (reg_vnode t (path @ [ fid ]))
 
@@ -455,6 +642,7 @@ and dir_mkdir t path name =
   let* fdir = Fdir.add fdir ~rid:t.rid ~name ~fid ~kind:Aux_attrs.Fdir ~birth in
   let* _child = make_dir_storage t ufs_dir fid (Aux_attrs.make Aux_attrs.Fdir) in
   let* () = store_fdir ufs_dir fdir in
+  note_summary_event t path;
   dir_event t path;
   Ok (dir_vnode t (path @ [ fid ]) Aux_attrs.Fdir)
 
@@ -477,6 +665,7 @@ and dir_remove t path name =
       let* fdir = Fdir.kill fdir ~rid:t.rid e.Fdir.birth in
       let* () = drop_file_storage fdir ufs_dir e.Fdir.fid in
       let* () = store_fdir ufs_dir fdir in
+      note_summary_event t path;
       dir_event t path;
       Ok ()
 
@@ -496,6 +685,7 @@ and dir_rmdir t path name =
         let* () = rm_tree ufs_dir (Ids.fid_to_hex e.Fdir.fid) in
         let* () = ignore_enoent (ufs_dir.Vnode.remove (Ids.aux_name e.Fdir.fid)) in
         let* () = store_fdir ufs_dir fdir in
+        note_summary_event t path;
         dir_event t path;
         Ok ()
 
@@ -558,6 +748,7 @@ and dir_rename t path sname dst dname =
       Fdir.add fdir ~rid:t.rid ~name:dname ~fid:entry.Fdir.fid ~kind:entry.Fdir.kind ~birth
     in
     let* () = store_fdir src_ufs fdir in
+    note_summary_event t path;
     dir_event t path;
     Ok ()
   end
@@ -569,6 +760,8 @@ and dir_rename t path sname dst dname =
     let* () = move_storage entry src_ufs dst_ufs in
     let* () = store_fdir src_ufs src_fdir in
     let* () = store_fdir dst_ufs dst_fdir in
+    note_summary_event t path;
+    note_summary_event t dst_path;
     dir_event t path;
     dir_event t dst_path;
     Ok ()
@@ -602,6 +795,7 @@ and dir_link t path target name =
     | Error _ as e -> e
   in
   let* () = store_fdir ufs_dir fdir in
+  note_summary_event t path;
   dir_event t path;
   Ok ()
 
@@ -656,7 +850,9 @@ and reg_setattr t path sa =
     Counters.incr t.counters "phys.update";
     Span.emit "phys:update";
     (match split_file_path path with
-     | Ok (_, fid) -> file_event t path fid
+     | Ok (parent, fid) ->
+       note_summary_event t parent;
+       file_event t path fid
      | Error _ -> ());
     Ok ()
   end
@@ -672,6 +868,9 @@ and reg_write t path ~off payload =
   let* () = bump_file_version t parent_ufs fid in
   Counters.incr t.counters "phys.update";
   Span.emit "phys:update";
+  (match split_file_path path with
+   | Ok (parent, _) -> note_summary_event t parent
+   | Error _ -> ());
   file_event t path fid;
   Ok ()
 
@@ -704,11 +903,14 @@ and ctl_target t path who =
     Ok (child, vi)
 
 and encode_version_info vi =
-  Printf.sprintf "kind=%s\nvv=%s\nsize=%d\nuid=%d\nstored=%d\nspan=%d\n"
+  Printf.sprintf "kind=%s\nvv=%s\nsize=%d\nuid=%d\nstored=%d\nspan=%d\n%s"
     (Aux_attrs.kind_to_string vi.vi_kind)
     (Vv.encode vi.vi_vv) vi.vi_size vi.vi_uid
     (if vi.vi_stored then 1 else 0)
     vi.vi_span
+    (match vi.vi_summary with
+     | None -> ""
+     | Some s -> Printf.sprintf "summary=%s\n" (Vv.encode s))
 
 (* The `.#ficus#stats` body: the whole observability snapshot in the
    same line-oriented style as the other ctl responses — metrics first,
@@ -757,6 +959,34 @@ and ctl_lookup t path name =
        else
          let* fdir = fetch_dir t target in
          Ok (ctl_vnode (Fdir.encode fdir))
+     | "getdirvvs", who :: _ ->
+       (* Batched: one directory's summary + fdir + version info for all
+          its children in a single response.  Flush pending summary
+          bumps first so every claim we serve is durable. *)
+       Counters.incr t.counters "phys.ctl.getdirvvs";
+       let* (_ : int) = flush_summaries t in
+       let* target, vi = ctl_target t path who in
+       if vi.vi_kind = Aux_attrs.Freg then Error Errno.ENOTDIR
+       else
+         let* ufs_dir = resolve_dir t target in
+         let* fdir = load_fdir t ufs_dir in
+         let buf = Buffer.create 1024 in
+         (match vi.vi_summary with
+          | Some s -> Buffer.add_string buf ("summary=" ^ Vv.encode s ^ "\n")
+          | None -> ());
+         Buffer.add_string buf "fdir:\n";
+         Buffer.add_string buf (Fdir.encode fdir);
+         Buffer.add_string buf "endfdir:\n";
+         List.iter
+           (fun e ->
+             match child_version_info t ufs_dir target e with
+             | Error _ -> () (* omitted child: the walker falls back for it *)
+             | Ok cvi ->
+               Buffer.add_string buf
+                 (Printf.sprintf "child=%s\n" (Ids.fid_to_hex e.Fdir.fid));
+               Buffer.add_string buf (encode_version_info cvi))
+           (Fdir.live_fids fdir);
+         Ok (ctl_vnode (Buffer.contents buf))
      | "stats", _ ->
        Counters.incr t.counters "phys.ctl.stats";
        Metrics.incr t.obs.Obs.metrics "phys.ctl.stats";
@@ -828,6 +1058,9 @@ let install_file ?(span = 0) ?(via = "prop") t path ~vv ~uid ~data ~origin_rid =
             (Ids.fidpath_to_string path));
     Counters.incr t.counters "phys.install";
     Counters.add t.counters "phys.install.bytes" (String.length data);
+    (* Adopting a remote version is a local state change: peers that
+       summarized us before this install must walk us again. *)
+    note_summary_event t parent;
     Ok Installed
   in
   match local with
@@ -875,6 +1108,7 @@ let force_install t path ~vv ~uid ~data =
     { (Aux_attrs.make Aux_attrs.Freg) with Aux_attrs.vv = vv; uid; conflict = false }
   in
   let* () = Aux_attrs.store ~dir:parent_ufs fid aux in
+  note_summary_event t parent;
   file_event t path fid;
   Ok ()
 
@@ -949,6 +1183,10 @@ let merge_dir t path ~remote_rid remote =
   in
   let* () = apply result.Fdir.actions in
   let* () = store_fdir ufs_dir result.Fdir.merged in
+  (* Any observable change to the stored directory — entries, tombstone
+     expiry, known-map gossip — is an incorporation event peers must not
+     prune past. *)
+  if Fdir.encode local <> Fdir.encode result.Fdir.merged then note_summary_event t path;
   List.iter
     (fun (colliding_name, births) ->
       let fid =
@@ -1007,6 +1245,7 @@ let make_graft_point t ~parent ~name ~target ~replicas =
   let* child_fdir = add_replicas child_fdir replicas in
   let* () = store_fdir child_ufs child_fdir in
   let* () = store_fdir ufs_dir fdir in
+  note_summary_event t (parent @ [ fid ]);
   dir_event t parent;
   Ok ()
 
@@ -1049,6 +1288,7 @@ let add_graft_replica t path r h =
   let* fdir = load_fdir t ufs_dir in
   let* fdir = add_plain_entry t ufs_dir fdir (replica_entry_name r h) in
   let* () = store_fdir ufs_dir fdir in
+  note_summary_event t path;
   dir_event t path;
   Ok ()
 
@@ -1070,10 +1310,16 @@ let create ?(obs = Obs.default) ~container ~clock ~host ~vref ~rid ~peers () =
       counters = Counters.create ();
       obs;
       open_count = 0;
+      pending_summaries = Hashtbl.create 64;
     }
   in
   let* () = store_meta t in
-  let* _root = make_dir_storage t container Ids.root_fid (Aux_attrs.make Aux_attrs.Fdir) in
+  let root_aux =
+    (* A summary-native image: the root claims the (empty) event history
+       from birth, so attach never mistakes it for a pre-summary image. *)
+    { (Aux_attrs.make Aux_attrs.Fdir) with Aux_attrs.summary = Some Vv.empty }
+  in
+  let* _root = make_dir_storage t container Ids.root_fid root_aux in
   Ok t
 
 (* Remove leftover shadow files under [dir], recursively. *)
@@ -1103,6 +1349,31 @@ let recover t =
   let* root_ufs = t.container.Vnode.lookup (Ids.fid_to_hex Ids.root_fid) in
   sweep_shadows root_ufs
 
+(* fsck path for images written before summary vectors existed: claim,
+   for every directory, exactly this replica's own event history (all of
+   it is trivially incorporated locally; all other components stay zero,
+   which only under-claims). *)
+let recompute_summaries t =
+  let claim = Vv.singleton t.rid (t.next_uniq - 1) in
+  let rec go parent_ufs fid =
+    let* aux = Aux_attrs.load ~dir:parent_ufs fid in
+    let* () = Aux_attrs.store ~dir:parent_ufs fid { aux with Aux_attrs.summary = Some claim } in
+    let* child_ufs = parent_ufs.Vnode.lookup (Ids.fid_to_hex fid) in
+    let* fdir = load_fdir t child_ufs in
+    let rec walk = function
+      | [] -> Ok ()
+      | e :: rest ->
+        (match e.Fdir.kind with
+         | Aux_attrs.Freg -> walk rest
+         | Aux_attrs.Fdir | Aux_attrs.Fgraft ->
+           let* () = go child_ufs e.Fdir.fid in
+           walk rest)
+    in
+    walk (Fdir.live_fids fdir)
+  in
+  Counters.incr t.counters "phys.summary.recompute";
+  go t.container Ids.root_fid
+
 let attach ?(obs = Obs.default) ~container ~clock ~host () =
   let t =
     {
@@ -1118,8 +1389,16 @@ let attach ?(obs = Obs.default) ~container ~clock ~host () =
       counters = Counters.create ();
       obs;
       open_count = 0;
+      pending_summaries = Hashtbl.create 64;
     }
   in
   let* () = load_meta t in
   let* _count = recover t in
+  let* () =
+    match Aux_attrs.load ~dir:container Ids.root_fid with
+    | Ok { Aux_attrs.summary = Some _; _ } -> Ok ()
+    | Ok { Aux_attrs.summary = None; _ } -> recompute_summaries t
+    | Error Errno.ENOENT -> Ok ()
+    | Error _ as e -> e
+  in
   Ok t

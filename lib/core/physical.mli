@@ -81,6 +81,13 @@ type version_info = {
       (** trace span of the last update applied to the replica (0 when
           untraced); lets a reconciling peer continue the update's
           timeline *)
+  vi_summary : Version_vector.t option;
+      (** directories only: the subtree summary vector — a lower bound on
+          the update events this replica has incorporated anywhere under
+          the directory, keyed by originating replica.  [None] for
+          regular files and in responses from peers that predate
+          summaries.  A reconciler whose own summary dominates the
+          remote one may skip the whole subtree. *)
 }
 
 val get_version : t -> fidpath -> (version_info, Errno.t) result
@@ -139,6 +146,21 @@ val graft_entries_of_fdir :
 val add_graft_replica :
   t -> fidpath -> Ids.replica_id -> string -> (unit, Errno.t) result
 (** Record an additional volume replica in a graft point. *)
+
+(** {1 Subtree summaries (incremental reconciliation)} *)
+
+val join_summary : t -> fidpath -> Version_vector.t -> (unit, Errno.t) result
+(** After a reconciliation pass has {e fully} incorporated a peer's
+    subtree at [fidpath] (every child merged, pulled, pruned or
+    conflict-logged — no errors), fold the peer's summary into the local
+    one so future passes can prune.  Joins never allocate events, so
+    mutually quiescent replicas reach a fixpoint. *)
+
+val flush_summaries : t -> (int, Errno.t) result
+(** Write pending in-memory summary bumps to the aux files (done
+    automatically when serving a [getdirvvs] request); returns how many
+    directories were updated.  Pending bumps lost in a crash only
+    under-claim, costing a wider walk, never correctness. *)
 
 (** {1 Maintenance} *)
 

@@ -68,6 +68,16 @@ let on_notify t (e : Notify.event) =
 
 let ( let* ) = Result.bind
 
+(* Per-daemon private counter plus the shared cluster-wide registry, so
+   propagation activity shows up in Cluster.metrics_snapshot. *)
+let count t key =
+  Counters.incr t.counters key;
+  Metrics.incr t.obs.Obs.metrics key
+
+let count_n t key n =
+  Counters.add t.counters key n;
+  Metrics.add t.obs.Obs.metrics key n
+
 let pull t phys (e : New_version_cache.entry) =
   let* remote_root =
     t.connect ~host:e.New_version_cache.origin_host ~vref:e.New_version_cache.vref
@@ -93,10 +103,10 @@ let pull t phys (e : New_version_cache.entry) =
         ~vv:vi.Physical.vi_vv ~uid:vi.Physical.vi_uid ~data
         ~origin_rid:e.New_version_cache.origin_rid
     in
-    Counters.incr t.counters "prop.pull.file";
-    Counters.add t.counters "prop.bytes" (String.length data);
+    count t "prop.pull.file";
+    count_n t "prop.bytes" (String.length data);
     (match outcome with
-     | Physical.Conflict _ -> Counters.incr t.counters "prop.conflicts"
+     | Physical.Conflict _ -> count t "prop.conflicts"
      | Physical.Installed | Physical.Up_to_date -> ());
     Ok []
   | Aux_attrs.Fdir | Aux_attrs.Fgraft ->
@@ -105,7 +115,7 @@ let pull t phys (e : New_version_cache.entry) =
       Physical.merge_dir phys e.New_version_cache.fidpath
         ~remote_rid:e.New_version_cache.origin_rid remote_fdir
     in
-    Counters.incr t.counters "prop.pull.dir";
+    count t "prop.pull.dir";
     (* Entries the merge materialized need their own contents pulled. *)
     let followups =
       List.filter_map
@@ -159,8 +169,8 @@ let run_once t =
              | _ -> 0
            in
            e.New_version_cache.not_before <- now + wait;
-           Counters.incr t.counters "prop.retries";
-           Counters.add t.counters "prop.backoff_ticks" wait;
+           count t "prop.retries";
+           count_n t "prop.backoff_ticks" wait;
            New_version_cache.requeue t.nvc e
          end
          else begin
@@ -171,7 +181,7 @@ let run_once t =
                  e.New_version_cache.origin_host e.New_version_cache.attempts
                  (Errno.to_string err)
                  (if expired then ", deadline passed" else ""));
-           Counters.incr t.counters "prop.abandoned"
+           count t "prop.abandoned"
          end)
   in
   List.iter handle ready;

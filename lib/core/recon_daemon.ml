@@ -6,10 +6,11 @@ type t = {
   replicas : unit -> (Ids.volume_ref * Physical.t) list;
   rotation : (int * int, int) Hashtbl.t;  (* volume -> peer cursor *)
   counters : Counters.t;
+  obs : Obs.t;
   mutable next_due : int;
 }
 
-let create ?(period = 100) ~clock ~host ~connect ~replicas () =
+let create ?(period = 100) ?(obs = Obs.default) ~clock ~host ~connect ~replicas () =
   {
     period;
     clock;
@@ -18,11 +19,18 @@ let create ?(period = 100) ~clock ~host ~connect ~replicas () =
     replicas;
     rotation = Hashtbl.create 8;
     counters = Counters.create ();
+    obs;
     next_due = Clock.now clock + period;
   }
 
 let counters t = t.counters
 let next_due t = t.next_due
+
+(* Per-daemon private counter plus the shared cluster-wide registry, so
+   recon activity shows up in Cluster.metrics_snapshot. *)
+let count t key =
+  Counters.incr t.counters key;
+  Metrics.incr t.obs.Obs.metrics key
 
 (* Reconcile one local replica against its next rotation peer.  An
    unreachable peer is skipped — the daemon fails over to the following
@@ -30,11 +38,13 @@ let next_due t = t.next_due
    dead host degrades a pass gracefully instead of erroring it out. *)
 let reconcile_one t (vref, phys) =
   let my_rid = Physical.rid phys in
-  let peers = List.filter (fun (rid, _) -> rid <> my_rid) (Physical.peers phys) in
-  match peers with
-  | [] -> Reconcile.empty_stats
-  | _ ->
-    let npeers = List.length peers in
+  let peers =
+    Array.of_list
+      (List.filter (fun (rid, _) -> rid <> my_rid) (Physical.peers phys))
+  in
+  let npeers = Array.length peers in
+  if npeers = 0 then Reconcile.empty_stats
+  else begin
     let key = (vref.Ids.alloc, vref.Ids.vol) in
     let cursor = Option.value ~default:0 (Hashtbl.find_opt t.rotation key) in
     Hashtbl.replace t.rotation key (cursor + 1);
@@ -42,15 +52,15 @@ let reconcile_one t (vref, phys) =
       if k >= npeers then begin
         (* Every peer unreachable this pass; reconciliation will catch
            up when somebody returns. *)
-        Counters.incr t.counters "recon.errors";
+        count t "recon.errors";
         { Reconcile.empty_stats with errors = 1 }
       end
       else begin
-        let remote_rid, remote_host = List.nth peers ((cursor + k) mod npeers) in
-        Counters.incr t.counters "recon.pairs";
+        let remote_rid, remote_host = peers.((cursor + k) mod npeers) in
+        count t "recon.pairs";
         match t.connect ~host:remote_host ~vref ~rid:remote_rid with
         | Error _ ->
-          Counters.incr t.counters "recon.skipped";
+          count t "recon.skipped";
           try_peer (k + 1)
         | Ok remote_root ->
           (match Reconcile.reconcile_volume ~local:phys ~remote_root ~remote_rid with
@@ -59,14 +69,15 @@ let reconcile_one t (vref, phys) =
              (* Mid-reconcile failure (e.g. the link died): no failover —
                 partial progress is already durable and the next period
                 resumes. *)
-             Counters.incr t.counters "recon.errors";
+             count t "recon.errors";
              { Reconcile.empty_stats with errors = 1 })
       end
     in
     try_peer 0
+  end
 
 let force t =
-  Counters.incr t.counters "recon.passes";
+  count t "recon.passes";
   t.next_due <- Clock.now t.clock + t.period;
   List.fold_left
     (fun acc replica -> Reconcile.add_stats acc (reconcile_one t replica))

@@ -15,6 +15,7 @@ type t
 
 val create :
   ?period:int ->
+  ?obs:Obs.t ->
   clock:Clock.t ->
   host:string ->
   connect:Remote.connector ->
@@ -23,7 +24,8 @@ val create :
 (** [period] (default 100 ticks) is the interval between passes;
     [replicas] lists the volume replicas this host currently stores
     (re-read each pass, so dynamically added replicas join the
-    rotation). *)
+    rotation).  Counters are mirrored into [obs]'s metrics registry so
+    they appear in cluster-wide snapshots. *)
 
 val tick : t -> Reconcile.stats option
 (** Run a pass if the period has elapsed; [None] when not yet due.

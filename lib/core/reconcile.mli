@@ -12,7 +12,15 @@
     topology that connects all replicas — converges everyone.  Per
     directory it calls {!Physical.merge_dir}; per regular file it
     compares version vectors and either adopts the dominating remote
-    version (shadow commit) or reports a conflict. *)
+    version (shadow commit) or reports a conflict.
+
+    {!reconcile_volume} runs the walk {e incrementally}: one batched
+    [getdirvvs] RPC per directory (instead of a [getvv] per file), and
+    whole subtrees are skipped when the local subtree summary vector
+    dominates the remote one — a quiescent pass over any volume costs a
+    single RPC.  Peers that predate summaries answer the batched op with
+    [EINVAL] and are served by the original full walk
+    ({!reconcile_subtree}). *)
 
 type stats = {
   dirs_merged : int;
@@ -23,6 +31,13 @@ type stats = {
   tombstones_expired : int;
   name_collisions : int;
   errors : int;         (** subtrees skipped because the remote failed *)
+  rpcs : int;
+      (** remote protocol round trips issued on successfully handled
+          paths (getdirvvs/getdir/getvv/readfile) — the cost metric the
+          incremental walk minimizes *)
+  subtrees_pruned : int;
+      (** subtrees skipped because the local summary dominated the
+          remote one *)
 }
 
 val empty_stats : stats
@@ -37,15 +52,21 @@ val reconcile_dir :
 val reconcile_subtree :
   local:Physical.t -> remote_root:Vnode.t -> remote_rid:Ids.replica_id ->
   Physical.fidpath -> (stats, Errno.t) result
-(** Reconcile the subtree rooted at [fidpath] (the whole volume when
-    [[]]), depth-first.  Individual file or subdirectory failures are
-    counted in [errors] and skipped; the error return is reserved for
-    the root being unreachable. *)
+(** The original full walk: reconcile the subtree rooted at [fidpath]
+    (the whole volume when [[]]), depth-first, one [getvv] RPC per file.
+    Individual file or subdirectory failures are counted in [errors] and
+    skipped; the error return is reserved for the root being
+    unreachable.  Kept as the fallback for pre-summary peers and as the
+    baseline the [reconscale] experiment measures against. *)
 
 val reconcile_volume :
   local:Physical.t -> remote_root:Vnode.t -> remote_rid:Ids.replica_id ->
   (stats, Errno.t) result
-(** [reconcile_subtree] from the volume root. *)
+(** Incremental reconciliation from the volume root: batched version
+    fetches, summary-vector pruning, full-walk fallback when the peer
+    answers [EINVAL].  Also feeds the [recon.rpcs] and
+    [recon.pruned_subtrees] counters of the local replica's metrics
+    registry. *)
 
 val resolve_file_conflict :
   local:Physical.t -> Conflict_log.entry -> keep:[ `Local | `Remote | `Merged of string ] ->

@@ -64,6 +64,11 @@ let parse_version_info s =
          | None -> 0
          | Some s -> Option.value ~default:0 (int_of_string_opt s)
        in
+       (* Likewise "summary" is absent from pre-summary servers (and for
+          regular files); [None] tells the reconciler it cannot prune. *)
+       let vi_summary =
+         match find "summary" with None -> None | Some s -> Version_vector.decode s
+       in
        Ok
          {
            Physical.vi_kind;
@@ -72,6 +77,7 @@ let parse_version_info s =
            vi_uid = uid;
            vi_stored = stored = "1";
            vi_span;
+           vi_summary;
          }
      | _, _, _, _ -> Error Errno.EIO)
   | _, _, _, _, _ -> Error Errno.EIO
@@ -80,20 +86,29 @@ let get_version root path =
   let* response = ctl_at root path ~op:"getvv" in
   parse_version_info response
 
+(* First occurrence of "\n--\n" at or after [i]: hop from newline to
+   newline instead of re-comparing the whole separator at every byte. *)
+let find_sep response i =
+  let n = String.length response in
+  let rec go i =
+    match String.index_from_opt response i '\n' with
+    | None -> None
+    | Some j ->
+      if j + 3 < n && response.[j + 1] = '-' && response.[j + 2] = '-'
+         && response.[j + 3] = '\n'
+      then Some j
+      else go (j + 1)
+  in
+  if i >= n then None else go i
+
 let fetch_file root path =
   let* response = ctl_at root path ~op:"readfile" in
   (* Header lines, then a "--" separator line, then the raw contents. *)
-  let sep = "\n--\n" in
-  let rec find_sep i =
-    if i + String.length sep > String.length response then None
-    else if String.sub response i (String.length sep) = sep then Some i
-    else find_sep (i + 1)
-  in
-  match find_sep 0 with
+  match find_sep response 0 with
   | None -> Error Errno.EIO
   | Some i ->
     let header = String.sub response 0 i in
-    let data_start = i + String.length sep in
+    let data_start = i + 4 in
     let data = String.sub response data_start (String.length response - data_start) in
     let* vi = parse_version_info (header ^ "\n") in
     Ok (vi, data)
@@ -101,6 +116,64 @@ let fetch_file root path =
 let fetch_dir root path =
   let* response = ctl_at root path ~op:"getdir" in
   match Fdir.decode response with None -> Error Errno.EIO | Some d -> Ok d
+
+type dir_versions = {
+  dv_summary : Version_vector.t option;
+  dv_fdir : Fdir.t;
+  dv_children : (Ids.file_id * Physical.version_info) list;
+}
+
+(* Response layout (see the "getdirvvs" ctl op in {!Physical}):
+     summary=<vv>            (absent on pre-summary servers)
+     fdir:
+     <Fdir.encode body>
+     endfdir:
+     child=<hex-fid>         (one block per live child)
+     <encode_version_info body>
+     ... *)
+let fetch_dir_versions root path =
+  let* response = ctl_at root path ~op:"getdirvvs" in
+  let lines = String.split_on_char '\n' response in
+  let rec split_until marker acc = function
+    | [] -> Error Errno.EIO
+    | l :: rest when l = marker -> Ok (List.rev acc, rest)
+    | l :: rest -> split_until marker (l :: acc) rest
+  in
+  let* header, rest = split_until "fdir:" [] lines in
+  let* body, rest = split_until "endfdir:" [] rest in
+  let* dv_fdir =
+    match Fdir.decode (String.concat "\n" body ^ "\n") with
+    | Some d -> Ok d
+    | None -> Error Errno.EIO
+  in
+  let dv_summary =
+    match List.assoc_opt "summary" (parse_fields (String.concat "\n" header)) with
+    | None -> None
+    | Some s -> Version_vector.decode s
+  in
+  let is_child l = String.length l > 6 && String.sub l 0 6 = "child=" in
+  let finish acc = function
+    | None, _ -> Ok acc
+    | Some fid, block ->
+      let* vi = parse_version_info (String.concat "\n" (List.rev block) ^ "\n") in
+      Ok ((fid, vi) :: acc)
+  in
+  let rec children acc cur = function
+    | [] ->
+      let* acc = finish acc cur in
+      Ok (List.rev acc)
+    | l :: rest when is_child l ->
+      let* acc = finish acc cur in
+      (match Ids.fid_of_hex (String.sub l 6 (String.length l - 6)) with
+       | Some fid -> children acc (Some fid, []) rest
+       | None -> Error Errno.EIO)
+    | l :: rest ->
+      (match cur with
+       | None, _ -> children acc cur rest (* stray blank line *)
+       | Some fid, block -> children acc (Some fid, l :: block) rest)
+  in
+  let* dv_children = children [] (None, []) rest in
+  Ok { dv_summary; dv_fdir; dv_children }
 
 let resolve dir name =
   let* response = ctl dir ~op:"resolve" ~args:[ name ] in

@@ -23,6 +23,20 @@ val fetch_file :
   Vnode.t -> Physical.fidpath -> (Physical.version_info * string, Errno.t) result
 val fetch_dir : Vnode.t -> Physical.fidpath -> (Fdir.t, Errno.t) result
 
+type dir_versions = {
+  dv_summary : Version_vector.t option;
+      (** the directory's subtree summary; [None] from pre-summary peers *)
+  dv_fdir : Fdir.t;
+  dv_children : (Ids.file_id * Physical.version_info) list;
+      (** version info for every live child, one batched RPC instead of a
+          [get_version] per file *)
+}
+
+val fetch_dir_versions : Vnode.t -> Physical.fidpath -> (dir_versions, Errno.t) result
+(** Batched ["getdirvvs"] fetch: a directory's summary, fdir and all
+    child version infos in a single round trip.  Servers that predate the
+    op answer [EINVAL]; callers fall back to the per-file walk. *)
+
 val resolve :
   Vnode.t -> string -> (Ids.file_id * Aux_attrs.fkind, Errno.t) result
 (** Name-to-handle translation in a directory vnode: the mapping the

@@ -124,7 +124,7 @@ let create ?(seed = 11) ?(datagram_loss = 0.0) ?(faults = Sim_net.no_faults)
              ~local_replica ()
          in
          let h_recon =
-           Recon_daemon.create ~period:reconcile_period ~clock ~host:h_name ~connect
+           Recon_daemon.create ~period:reconcile_period ~obs ~clock ~host:h_name ~connect
              ~replicas:(fun () -> (Lazy.force h).h_replicas) ()
          in
          {

@@ -1348,6 +1348,106 @@ let obslag_propagation_lag () =
        (gauge "journal.flushes"))
 
 (* ------------------------------------------------------------------ *)
+(* RECONSCALE: incremental reconciliation RPC cost                     *)
+
+type recon_metrics = {
+  rm_full_rpcs : int;
+  rm_incr_rpcs : int;
+  rm_pruned : int;
+}
+
+let last_recon_metrics : recon_metrics option ref = ref None
+
+let reconscale_incremental_recon () =
+  let cluster =
+    Cluster.create ~selection:Logical.Prefer_local ~disk_blocks:65536
+      ~cache_capacity:4096 ~nhosts:2 ()
+  in
+  let vref = get (Cluster.create_volume cluster ~on:[ 0; 1 ]) in
+  let root0 = get (Cluster.logical_root cluster 0 vref) in
+  let phys1 =
+    match Cluster.replica (Cluster.host cluster 1) vref with
+    | Some p -> p
+    | None -> failwith "reconscale: host1 stores no replica"
+  in
+  (* A wide, flat volume: 16 directories of 64 files each, 1024 files
+     total, all written on host0 and reconciled over to host1. *)
+  let ndirs = 16 and per_dir = 64 in
+  for d = 1 to ndirs do
+    let dv = get (root0.Vnode.mkdir (Printf.sprintf "d%02d" d)) in
+    for f = 1 to per_dir do
+      let fv = get (dv.Vnode.create (Printf.sprintf "f%03d" f)) in
+      get (Vnode.write_all fv (Printf.sprintf "d%02d/f%03d contents" d f))
+    done
+  done;
+  let (_ : int) = Cluster.run_propagation cluster in
+  let (_ : int) = get (Cluster.converge cluster vref ~max_rounds:50 ()) in
+  (* Quiescent measurement, host1 pulling from host0: the original full
+     walk (one getvv RPC per file) against the incremental pass (summary
+     pruning; a clean volume costs one batched RPC). *)
+  let host0_name = Cluster.host_name (Cluster.host cluster 0) in
+  let connect = Cluster.connect_from cluster 1 in
+  let remote_root = get (connect ~host:host0_name ~vref ~rid:1) in
+  let full = get (Reconcile.reconcile_subtree ~local:phys1 ~remote_root ~remote_rid:1 []) in
+  let incr = get (Reconcile.reconcile_volume ~local:phys1 ~remote_root ~remote_rid:1) in
+  let ratio =
+    if incr.Reconcile.rpcs = 0 then float_of_int full.Reconcile.rpcs
+    else float_of_int full.Reconcile.rpcs /. float_of_int incr.Reconcile.rpcs
+  in
+  (* A single changed file: the pass must descend into exactly that
+     directory, prune the untouched siblings, and pull just the file. *)
+  let d1 = get (root0.Vnode.lookup "d01") in
+  get (Vnode.write_all (get (d1.Vnode.lookup "f001")) "targeted update");
+  let targeted = get (Reconcile.reconcile_volume ~local:phys1 ~remote_root ~remote_rid:1) in
+  (* The consolidated counters must surface in one cluster snapshot. *)
+  let snap = Cluster.metrics_snapshot cluster in
+  let counter name =
+    match List.assoc_opt name snap.Cluster.ms_metrics.Metrics.snap_counters with
+    | Some v -> v
+    | None -> 0
+  in
+  let counters_visible =
+    counter "recon.rpcs" > 0
+    && counter "recon.pruned_subtrees" > 0
+    && counter "prop.pull.file" > 0
+  in
+  last_recon_metrics :=
+    Some
+      {
+        rm_full_rpcs = full.Reconcile.rpcs;
+        rm_incr_rpcs = incr.Reconcile.rpcs;
+        rm_pruned = incr.Reconcile.subtrees_pruned + targeted.Reconcile.subtrees_pruned;
+      };
+  Table.print ~title:"RECONSCALE: RPCs for one reconciliation pass, 1024-file quiescent volume"
+    ~headers:[ "pass"; "rpcs"; "pruned"; "pulled" ]
+    [
+      [ "full walk"; string_of_int full.Reconcile.rpcs;
+        string_of_int full.Reconcile.subtrees_pruned;
+        string_of_int full.Reconcile.files_pulled ];
+      [ "incremental (quiescent)"; string_of_int incr.Reconcile.rpcs;
+        string_of_int incr.Reconcile.subtrees_pruned;
+        string_of_int incr.Reconcile.files_pulled ];
+      [ "incremental (1 file changed)"; string_of_int targeted.Reconcile.rpcs;
+        string_of_int targeted.Reconcile.subtrees_pruned;
+        string_of_int targeted.Reconcile.files_pulled ];
+    ];
+  let holds =
+    ratio >= 10.0
+    && incr.Reconcile.files_pulled = 0
+    && targeted.Reconcile.files_pulled = 1
+    && targeted.Reconcile.subtrees_pruned >= ndirs - 1
+    && targeted.Reconcile.rpcs <= 10
+    && counters_visible
+  in
+  verdict "RECONSCALE"
+    "summary pruning cuts quiescent reconciliation RPCs >= 10x; a point change costs a handful"
+    holds
+    (Printf.sprintf
+       "full=%d rpcs, quiescent incremental=%d (%.0fx), targeted=%d rpcs / %d pruned / %d pulled"
+       full.Reconcile.rpcs incr.Reconcile.rpcs ratio targeted.Reconcile.rpcs
+       targeted.Reconcile.subtrees_pruned targeted.Reconcile.files_pulled)
+
+(* ------------------------------------------------------------------ *)
 
 let registry =
   [
@@ -1370,6 +1470,7 @@ let registry =
     ("chaos", chaos_convergence);
     ("wal", wal_crash_sweep);
     ("obslag", obslag_propagation_lag);
+    ("reconscale", reconscale_incremental_recon);
   ]
 
 let names = List.map fst registry

@@ -128,6 +128,27 @@ val obslag_propagation_lag : unit -> verdict
     heal) must exceed the connected replica's (paid on the notify/pull
     path).  Journal group commits must be attributed to the same spans. *)
 
+type recon_metrics = {
+  rm_full_rpcs : int;   (** RPCs for a full-walk pass, quiescent volume *)
+  rm_incr_rpcs : int;   (** RPCs for the incremental pass, same volume *)
+  rm_pruned : int;      (** subtrees skipped by summary pruning *)
+}
+(** Machine-readable summary of the reconciliation-scaling experiment,
+    consumed by [bench --json]. *)
+
+val last_recon_metrics : recon_metrics option ref
+(** Filled by {!reconscale_incremental_recon}; [None] until it has run. *)
+
+val reconscale_incremental_recon : unit -> verdict
+(** Incremental reconciliation economics: a 1024-file two-replica
+    volume, converged and quiescent.  The original full walk pays one
+    [getvv] RPC per file; the incremental pass compares subtree summary
+    vectors and prunes everything, costing a single batched RPC (>= 10x
+    fewer).  A one-file change must descend into exactly one directory,
+    prune the rest, and pull exactly that file.  Also asserts the
+    consolidated [recon.*] / [prop.*] counters appear in one
+    {!Cluster.metrics_snapshot}. *)
+
 val all : unit -> verdict list
 (** Run every experiment in order, printing all tables. *)
 

@@ -101,6 +101,34 @@ let test_reboot_under_load () =
   write_file root1 "before" "from host1";
   Alcotest.(check string) "rebooted host writes" "from host1" (read_file root1 "before")
 
+let test_summaries_survive_reboot () =
+  (* Subtree summary claims are flushed ahead of serving them (journaled
+     like any metadata write), so a crash cannot forget a claim a peer
+     may have used to prune. *)
+  let cluster = Cluster.create ~journal_blocks:256 ~nhosts:2 () in
+  let vref = ok (Cluster.create_volume cluster ~on:[ 0; 1 ]) in
+  let root0 = ok (Cluster.logical_root cluster 0 vref) in
+  create_file root0 "f" "data";
+  let _ = ok (root0.Vnode.mkdir "d") in
+  (* Converging makes host1 issue getdirvvs against host0, which flushes
+     host0's pending summary claims to disk. *)
+  let (_ : int) = ok (Cluster.converge cluster vref ()) in
+  let summary_of phys =
+    match (ok (Physical.get_version phys [])).Physical.vi_summary with
+    | Some s -> s
+    | None -> Alcotest.fail "root carries no summary"
+  in
+  let phys0 = Option.get (Cluster.replica (Cluster.host cluster 0) vref) in
+  let before = summary_of phys0 in
+  Alcotest.(check bool) "claims cover local events" true
+    (Version_vector.get before 1 > 0);
+  (* Age out the group commit, then crash. *)
+  let (_ : int * Reconcile.stats) = Cluster.tick_daemons cluster 10 in
+  ok (Cluster.reboot cluster 0);
+  let phys0' = Option.get (Cluster.replica (Cluster.host cluster 0) vref) in
+  Alcotest.(check bool) "claims survive the crash" true
+    (Version_vector.dominates (summary_of phys0') before)
+
 let test_reboot_preserves_uniq_allocator () =
   let cluster = Cluster.create ~nhosts:1 () in
   let vref = ok (Cluster.create_volume cluster ~on:[ 0 ]) in
@@ -134,5 +162,6 @@ let suite =
     case "membership change unblocks tombstone GC" test_tombstone_gc_after_membership_change;
     case "reboot under load" test_reboot_under_load;
     case "reboot preserves the fid allocator" test_reboot_preserves_uniq_allocator;
+    case "summaries survive a crash reboot" test_summaries_survive_reboot;
     case "reconcile reports partition errors" test_converge_reports_partitioned_failure;
   ]

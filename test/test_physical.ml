@@ -271,6 +271,58 @@ let test_recover_sweeps_shadows () =
   expect_err Errno.ENOENT
     (Result.map (fun _ -> ()) (root_ufs.Vnode.lookup (Shadow.shadow_name e.Fdir.fid)))
 
+let test_summary_tracks_mutations () =
+  let _fs, _, _, phys = fresh_phys () in
+  let root = Physical.root phys in
+  let summary path =
+    match (ok (Physical.get_version phys path)).Physical.vi_summary with
+    | Some s -> s
+    | None -> Alcotest.fail "directory carries no summary"
+  in
+  let s0 = summary [] in
+  let d = ok (root.Vnode.mkdir "d") in
+  let s1 = summary [] in
+  Alcotest.(check bool) "root summary advances on mkdir" true
+    (Vv.dominates s1 s0 && not (Vv.equal s1 s0));
+  (* A write deep in the tree advances the enclosing directory's summary
+     and every ancestor's, so a dominating root claim really covers the
+     whole subtree. *)
+  let f = ok (d.Vnode.create "f") in
+  ok (f.Vnode.write ~off:0 "data");
+  let e = Option.get (Fdir.find_live (ok (Physical.fetch_dir phys [])) "d") in
+  let sd = summary [ e.Fdir.fid ] in
+  let s2 = summary [] in
+  Alcotest.(check bool) "child summary nonempty" true (not (Vv.equal sd Vv.empty));
+  Alcotest.(check bool) "root covers the child" true (Vv.dominates s2 sd);
+  Alcotest.(check bool) "root advanced past mkdir-time" true
+    (Vv.dominates s2 s1 && not (Vv.equal s2 s1));
+  (* Files never carry one. *)
+  let vi = ok (Physical.get_version phys [ e.Fdir.fid; (Option.get (Fdir.find_live (ok (Physical.fetch_dir phys [ e.Fdir.fid ])) "f")).Fdir.fid ]) in
+  Alcotest.(check bool) "files carry no summary" true (vi.Physical.vi_summary = None)
+
+let test_summary_recomputed_on_attach () =
+  (* A pre-summary disk image (root aux without the field) is upgraded
+     on attach: every directory gets a conservative claim covering every
+     event this replica has allocated. *)
+  let _fs, clock, container, phys = fresh_phys () in
+  let root = Physical.root phys in
+  let d = ok (root.Vnode.mkdir "d") in
+  let f = ok (d.Vnode.create "f") in
+  ok (f.Vnode.write ~off:0 "x");
+  let aux = ok (Aux_attrs.load ~dir:container Ids.root_fid) in
+  ok (Aux_attrs.store ~dir:container Ids.root_fid { aux with Aux_attrs.summary = None });
+  let phys2 = ok (Physical.attach ~container ~clock ~host:"hostA" ()) in
+  let summary path =
+    match (ok (Physical.get_version phys2 path)).Physical.vi_summary with
+    | Some s -> s
+    | None -> Alcotest.fail "no summary after attach"
+  in
+  Alcotest.(check bool) "root claim covers local events" true
+    (Vv.get (summary []) 1 > 0);
+  let e = Option.get (Fdir.find_live (ok (Physical.fetch_dir phys2 [])) "d") in
+  Alcotest.(check bool) "subdirectory recomputed too" true
+    (Vv.get (summary [ e.Fdir.fid ]) 1 > 0)
+
 let suite =
   [
     case "on-disk layout" test_create_layout;
@@ -289,4 +341,6 @@ let suite =
     case "graft point roundtrip" test_graft_point_roundtrip;
     case "attach after restart" test_attach_after_restart;
     case "recover sweeps shadows" test_recover_sweeps_shadows;
+    case "subtree summaries track mutations" test_summary_tracks_mutations;
+    case "summaries recomputed on pre-summary attach" test_summary_recomputed_on_attach;
   ]

@@ -75,6 +75,33 @@ let test_resolve_remote () =
   Alcotest.(check bool) "issuer is replica 1" true (fid.Ids.issuer = 1);
   expect_err Errno.ENOENT (Result.map (fun _ -> ()) (Remote.resolve remote_root "missing"))
 
+let test_fetch_dir_versions () =
+  (* The batched getdirvvs op: one RPC returns the directory's subtree
+     summary, its fdir, and version info for every live child — with
+     contents that embed protocol markers surviving the roundtrip. *)
+  let cluster, vref = two_hosts () in
+  let root0 = ok (Cluster.logical_root cluster 0 vref) in
+  create_file root0 "plain" "pay\nchild=42\nload";
+  create_file root0 "tricky" "body with\nfdir:\nand\nendfdir:\nmarkers";
+  let _ = ok (root0.Vnode.mkdir "sub") in
+  let connect = Cluster.connect_from cluster 1 in
+  let remote_root = ok (connect ~host:"host0" ~vref ~rid:1) in
+  let dv = ok (Remote.fetch_dir_versions remote_root []) in
+  Alcotest.(check bool) "summary present" true (dv.Remote.dv_summary <> None);
+  let live = Fdir.live dv.Remote.dv_fdir in
+  Alcotest.(check int) "three live entries" 3 (List.length live);
+  Alcotest.(check int) "three child infos" 3 (List.length dv.Remote.dv_children);
+  let vi_of name =
+    let e = Option.get (Fdir.find_live dv.Remote.dv_fdir name) in
+    List.assoc e.Fdir.fid dv.Remote.dv_children
+  in
+  let plain = vi_of "plain" in
+  Alcotest.(check int) "file size over the wire" 17 plain.Physical.vi_size;
+  Alcotest.(check bool) "files carry no summary" true (plain.Physical.vi_summary = None);
+  let sub = vi_of "sub" in
+  Alcotest.(check bool) "dirs carry a summary" true (sub.Physical.vi_summary <> None);
+  Alcotest.(check bool) "dir kind" true (sub.Physical.vi_kind = Aux_attrs.Fdir)
+
 let test_graft_points_reconcile_as_directories () =
   (* Paper §4.3: "Overloading the directory concept in this way allows
      implicit use of the Ficus directory reconciliation mechanism to
@@ -126,6 +153,7 @@ let suite =
     case "ctl serial defeats NFS name cache" test_ctl_defeats_nfs_name_cache;
     case "remote walk and errors" test_remote_walk_and_errors;
     case "remote resolve" test_resolve_remote;
+    case "fetch_dir_versions batched op" test_fetch_dir_versions;
     case "graft points reconcile as directories" test_graft_points_reconcile_as_directories;
     case "send open/close across NFS" test_send_open_close_remote;
   ]
