@@ -152,6 +152,22 @@ let write_json path ~mode verdicts =
      Printf.fprintf oc "    \"recon.rpcs\": %d,\n" m.Experiments.rm_incr_rpcs;
      Printf.fprintf oc "    \"recon.pruned_subtrees\": %d\n  }" m.Experiments.rm_pruned
    | None -> ());
+  (match !Experiments.last_member_metrics with
+   | Some m ->
+     Printf.fprintf oc ",\n  \"membership\": {\n";
+     Printf.fprintf oc "    \"gossip.rounds_to_converge\": %d,\n"
+       m.Experiments.mm_rounds_to_converge;
+     Printf.fprintf oc "    \"gossip.suspect_events\": %d,\n"
+       m.Experiments.mm_suspect_events;
+     Printf.fprintf oc "    \"prop.rpcs_skipped_dead\": %d,\n"
+       m.Experiments.mm_rpcs_skipped_dead;
+     Printf.fprintf oc "    \"membership.eager_pushes\": %d,\n"
+       m.Experiments.mm_eager_pushes;
+     Printf.fprintf oc "    \"net.rpc.failed_seed\": %d,\n"
+       m.Experiments.mm_failed_rpcs_seed;
+     Printf.fprintf oc "    \"net.rpc.failed_gossip\": %d\n  }"
+       m.Experiments.mm_failed_rpcs_gossip
+   | None -> ());
   Printf.fprintf oc "\n}\n";
   close_out oc;
   Printf.printf "\nWrote %s\n%!" path
@@ -161,7 +177,7 @@ let write_json path ~mode verdicts =
    bechamel runs. *)
 let smoke_names =
   [ "e2"; "e3"; "e4"; "e6"; "e9"; "e10"; "f2"; "a1"; "a3"; "a5"; "chaos"; "wal";
-    "obslag"; "reconscale" ]
+    "obslag"; "reconscale"; "member" ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

@@ -1,5 +1,11 @@
 module Vv = Version_vector
 
+(* The per-replica knowledge map is consulted once per (tombstone, peer)
+   pair during GC and updated on every merge; a sorted map keeps that
+   logarithmic where the old assoc list went quadratic on wide replica
+   sets. *)
+module Kmap = Map.Make (Int)
+
 type birth = { b_rid : Ids.replica_id; b_seq : int }
 
 type status = Live | Dead of { death_vv : Vv.t }
@@ -15,7 +21,7 @@ type entry = {
 type t = {
   entries : entry list;
   vv : Vv.t;
-  known : (Ids.replica_id * Vv.t) list;
+  known : Vv.t Kmap.t;
 }
 
 let birth_compare a b =
@@ -23,7 +29,7 @@ let birth_compare a b =
 
 let birth_equal a b = birth_compare a b = 0
 
-let empty rid = { entries = []; vv = Vv.empty; known = [ (rid, Vv.empty) ] }
+let empty rid = { entries = []; vv = Vv.empty; known = Kmap.singleton rid Vv.empty }
 
 let is_live e = match e.status with Live -> true | Dead _ -> false
 
@@ -93,7 +99,7 @@ let find_birth t birth = List.find_opt (fun e -> birth_equal e.birth birth) t.en
 
 let bump t rid =
   let vv = Vv.bump t.vv rid in
-  let known = (rid, vv) :: List.remove_assoc rid t.known in
+  let known = Kmap.add rid vv t.known in
   { t with vv; known }
 
 let valid_name name =
@@ -174,25 +180,31 @@ let merge ~local_rid ~remote_rid ~peers local remote =
   (* Gossip the knowledge map.  The remote replica has reached its own
      vv; we are about to reach the merged vv. *)
   let merged_vv = Vv.merge local.vv remote.vv in
-  let all_rids =
-    List.sort_uniq Int.compare
-      (List.map fst local.known @ List.map fst remote.known
-      @ [ local_rid; remote_rid ] @ peers)
-  in
-  let known_of m rid = Option.value ~default:Vv.empty (List.assoc_opt rid m.known) in
+  let known_of m rid = Option.value ~default:Vv.empty (Kmap.find_opt rid m.known) in
   let known =
-    List.map
-      (fun rid ->
-        let merged_known = Vv.merge (known_of local rid) (known_of remote rid) in
-        let merged_known = if rid = remote_rid then Vv.merge merged_known remote.vv else merged_known in
-        let merged_known = if rid = local_rid then Vv.merge merged_known merged_vv else merged_known in
-        (rid, merged_known))
-      all_rids
+    (* Pointwise merge of the two knowledge maps… *)
+    Kmap.merge
+      (fun _rid l r ->
+        match l, r with
+        | Some l, Some r -> Some (Vv.merge l r)
+        | (Some _ as v), None | None, (Some _ as v) -> v
+        | None, None -> None)
+      local.known remote.known
+    (* …then fold in what this very merge proves: the remote has reached
+       its own vv, we are about to reach the merged vv, and every listed
+       peer at least has an (empty) row. *)
+    |> fun m ->
+    List.fold_left
+      (fun m rid ->
+        if Kmap.mem rid m then m else Kmap.add rid Vv.empty m)
+      m peers
+    |> Kmap.add remote_rid (Vv.merge (known_of remote remote_rid |> Vv.merge (known_of local remote_rid)) remote.vv)
+    |> Kmap.add local_rid (Vv.merge (known_of local local_rid |> Vv.merge (known_of remote local_rid)) merged_vv)
   in
   (* Tombstone GC: drop tombstones every peer is known to have applied. *)
   let everyone_knows death_vv =
     List.for_all
-      (fun rid -> Vv.dominates (Option.value ~default:Vv.empty (List.assoc_opt rid known)) death_vv)
+      (fun rid -> Vv.dominates (Option.value ~default:Vv.empty (Kmap.find_opt rid known)) death_vv)
       peers
   in
   let kept, expired =
@@ -243,9 +255,9 @@ let unescape = Ctl_name.unescape
 let encode t =
   let buf = Buffer.create 256 in
   Buffer.add_string buf (Printf.sprintf "V %s\n" (Vv.encode t.vv));
-  List.iter
-    (fun (rid, vv) -> Buffer.add_string buf (Printf.sprintf "K %d %s\n" rid (Vv.encode vv)))
-    (List.sort (fun (a, _) (b, _) -> Int.compare a b) t.known);
+  Kmap.iter
+    (fun rid vv -> Buffer.add_string buf (Printf.sprintf "K %d %s\n" rid (Vv.encode vv)))
+    t.known;  (* Kmap iterates in ascending rid order, as the sort did *)
   List.iter
     (fun e ->
       let status =
@@ -282,7 +294,7 @@ let decode s =
   let rec go acc = function
     | [] ->
       let { entries; vv; known } = acc in
-      Some { entries = sort_entries entries; vv; known = List.rev known }
+      Some { entries = sort_entries entries; vv; known }
     | line :: rest ->
       (match String.split_on_char ' ' line with
        | [ "V"; vv ] ->
@@ -291,7 +303,7 @@ let decode s =
           | None -> None)
        | [ "K"; rid; vv ] ->
          (match int_of_string_opt rid, Vv.decode vv with
-          | Some rid, Some vv -> go { acc with known = (rid, vv) :: acc.known } rest
+          | Some rid, Some vv -> go { acc with known = Kmap.add rid vv acc.known } rest
           | _, _ -> None)
        | "E" :: name :: fid :: birth :: kind :: status ->
          let parsed =
@@ -311,7 +323,7 @@ let decode s =
           | None -> None)
        | _ -> None)
   in
-  go { entries = []; vv = Vv.empty; known = [] } lines
+  go { entries = []; vv = Vv.empty; known = Kmap.empty } lines
 
 let pp_entry ppf e =
   let status =

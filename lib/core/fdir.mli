@@ -30,6 +30,11 @@
     replica has applied the deletion and the tombstone can never again be
     needed, so it is dropped. *)
 
+module Kmap : Map.S with type key = Ids.replica_id
+(** Sorted map keyed by replica id, used for the [known] knowledge map
+    so the tombstone-GC dominance check stays logarithmic per lookup on
+    wide replica sets. *)
+
 type birth = { b_rid : Ids.replica_id; b_seq : int }
 (** Globally unique entry identity: issuing volume replica and a
     per-replica sequence number (drawn from the same allocator as
@@ -48,9 +53,9 @@ type entry = {
 }
 
 type t = {
-  entries : entry list;                               (** sorted by birth *)
-  vv : Version_vector.t;                              (** directory version vector *)
-  known : (Ids.replica_id * Version_vector.t) list;   (** gossip: replica → vv it has reached *)
+  entries : entry list;                  (** sorted by birth *)
+  vv : Version_vector.t;                 (** directory version vector *)
+  known : Version_vector.t Kmap.t;       (** gossip: replica → vv it has reached *)
 }
 
 val empty : Ids.replica_id -> t

@@ -22,18 +22,21 @@ type t = {
   clock : Clock.t;
   connect : Remote.connector;
   selection : selection;
+  liveness : string -> Gossip.liveness;
   grafts : (int * int, graft) Hashtbl.t;
   locks : (int * int * int * int, lock) Hashtbl.t;  (* alloc, vol, fid issuer, fid uniq *)
   counters : Counters.t;
   obs : Obs.t;
 }
 
-let create ?(selection = Most_recent) ?(obs = Obs.default) ~host ~clock ~connect () =
+let create ?(selection = Most_recent) ?(obs = Obs.default)
+    ?(liveness = fun _ -> Gossip.Alive) ~host ~clock ~connect () =
   {
     host;
     clock;
     connect;
     selection;
+    liveness;
     grafts = Hashtbl.create 8;
     locks = Hashtbl.create 16;
     counters = Counters.create ();
@@ -122,13 +125,36 @@ let replica_root t g rc =
        Ok root
      | Error _ as e -> e)
 
-(* Candidate replicas in policy order for an operation on [path]. *)
-let candidates t g path =
+(* Candidate replicas in policy order for an operation on [path].
+
+   With a gossip failure detector wired in, the first pass ([all =
+   false]) does not even attempt to connect replicas whose host is
+   suspect or dead — under [Most_recent] that also saves the per-replica
+   version poll.  The verdict is advisory: if every replica is doubtful
+   the full list is used anyway, and the caller's retry pass always
+   considers everyone, so a false suspicion costs one extra pass, never
+   availability. *)
+let candidates t ~all g path =
+  let considered =
+    if all then g.g_replicas
+    else
+      match
+        List.filter (fun rc -> t.liveness rc.rc_host = Gossip.Alive) g.g_replicas
+      with
+      | [] -> g.g_replicas
+      | live ->
+        let skipped = List.length g.g_replicas - List.length live in
+        if skipped > 0 then begin
+          Counters.add t.counters "logical.skipped_doubtful" skipped;
+          Metrics.add t.obs.Obs.metrics "logical.skipped_doubtful" skipped
+        end;
+        live
+  in
   let reachable =
     List.filter_map
       (fun rc ->
         match replica_root t g rc with Ok root -> Some (rc, root) | Error _ -> None)
-      g.g_replicas
+      considered
   in
   match t.selection with
   | First_available -> reachable
@@ -179,20 +205,21 @@ let with_replica t vref path f =
          attempt false true rest
        | Error _ as e -> e)
   in
-  let pass () =
+  let pass all =
     saw_unreachable := false;
-    let cands = candidates t g path in
+    let cands = candidates t ~all g path in
     if List.length cands < List.length g.g_replicas then saw_unreachable := true;
     attempt true false cands
   in
-  match pass () with
+  match pass false with
   | Error (Errno.EUNREACHABLE | Errno.ENOENT) when !saw_unreachable ->
     (* Some replica could not be consulted — the object may live exactly
        there, and transient RPC failures are per-call.  One fresh pass
-       (reconnects included) stands for the client's timeout-and-retry;
-       a genuine miss (every replica answered) never re-polls. *)
+       (reconnects included, liveness hints ignored) stands for the
+       client's timeout-and-retry; a genuine miss (every replica
+       answered) never re-polls. *)
     Counters.incr t.counters "logical.retry_pass";
-    pass ()
+    pass true
   | r -> r
 
 (* ------------------------------------------------------------------ *)

@@ -29,19 +29,27 @@ type selection =
 val create :
   ?selection:selection ->
   ?obs:Obs.t ->
+  ?liveness:(string -> Gossip.liveness) ->
   host:string -> clock:Clock.t -> connect:Remote.connector -> unit -> t
 (** [host] is this logical layer's host name, used to recognize local
     replicas; [connect] supplies physical-root vnodes (direct or via
     NFS).  Default selection is [Most_recent].  [obs] (default
     {!Obs.default}) receives metrics and the causal span that every
-    mutating operation originates here, at the top of the stack. *)
+    mutating operation originates here, at the top of the stack.
+
+    [liveness] (default: everyone [Alive]) lets the gossip failure
+    detector steer replica selection: the first pass over a graft's
+    replicas skips hosts judged [Suspect] or [Dead] (counted in
+    ["logical.skipped_doubtful"]), but the retry pass always considers
+    the full list — one-copy availability is never forfeited to a
+    suspicion. *)
 
 val host : t -> string
 val obs : t -> Obs.t
 val counters : t -> Counters.t
 (** ["logical.ops"], ["logical.fallback"] (ops served by a non-preferred
     replica), ["logical.autograft"], ["logical.lock_denied"],
-    ["logical.prune"]. *)
+    ["logical.prune"], ["logical.skipped_doubtful"]. *)
 
 (** {1 Volumes and grafting} *)
 

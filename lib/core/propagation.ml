@@ -13,6 +13,7 @@ type t = {
   host : string;
   connect : Remote.connector;
   local_replica : Ids.volume_ref -> Physical.t option;
+  liveness : string -> Gossip.liveness;
   delay : int;
   max_attempts : int;
   backoff_base : int;
@@ -24,7 +25,8 @@ type t = {
 }
 
 let create ?(delay = 0) ?(max_attempts = 5) ?(backoff_base = 2) ?(backoff_max = 64)
-    ?(deadline = 500) ?seed ?(obs = Obs.default) ~clock ~host ~connect ~local_replica () =
+    ?(deadline = 500) ?seed ?(obs = Obs.default)
+    ?(liveness = fun _ -> Gossip.Alive) ~clock ~host ~connect ~local_replica () =
   if backoff_base < 0 || backoff_max < 0 || deadline < 0 then
     invalid_arg "Propagation.create";
   let seed = match seed with Some s -> s | None -> Hashtbl.hash host in
@@ -34,6 +36,7 @@ let create ?(delay = 0) ?(max_attempts = 5) ?(backoff_base = 2) ?(backoff_max = 
     host;
     connect;
     local_replica;
+    liveness;
     delay;
     max_attempts;
     backoff_base;
@@ -144,6 +147,34 @@ let run_once t =
   let handle e =
     match t.local_replica e.New_version_cache.vref with
     | None -> ()
+    | Some _
+      when t.liveness e.New_version_cache.origin_host <> Gossip.Alive ->
+      (* The failure detector says the origin is doubtful: don't burn an
+         RPC (and its retry/backoff budget) on it.  The entry sleeps and
+         keeps its attempts; if the origin never refutes the suspicion,
+         the deadline below abandons the pull to reconciliation — the
+         detector is an optimization, never a correctness gate. *)
+      let now = Clock.now t.clock in
+      let expired =
+        t.deadline > 0 && now - e.New_version_cache.queued_at >= t.deadline
+      in
+      if expired then begin
+        count t "prop.abandoned";
+        Log.info (fun m ->
+            m ~tags:(log_tags t.host)
+              "%s abandoning pull of %s: origin %s still %s at deadline"
+              t.host
+              (Ids.fidpath_to_string e.New_version_cache.fidpath)
+              e.New_version_cache.origin_host
+              (Gossip.liveness_to_string
+                 (t.liveness e.New_version_cache.origin_host)))
+      end
+      else begin
+        count t "prop.rpcs_skipped_dead";
+        e.New_version_cache.not_before <-
+          now + backoff t (e.New_version_cache.attempts + 1);
+        New_version_cache.requeue t.nvc e
+      end
     | Some phys ->
       incr attempted;
       (match pull t phys e with

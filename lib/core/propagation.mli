@@ -26,6 +26,7 @@ val create :
   ?deadline:int ->
   ?seed:int ->
   ?obs:Obs.t ->
+  ?liveness:(string -> Gossip.liveness) ->
   clock:Clock.t ->
   host:string ->
   connect:Remote.connector ->
@@ -43,7 +44,14 @@ val create :
     jitter again, drawn from a PRNG seeded by [seed] (default: a hash of
     [host], so every daemon jitters differently but deterministically).
     An entry older than [deadline] ticks (default 500; 0 disables) is
-    abandoned at its next failure regardless of attempts left. *)
+    abandoned at its next failure regardless of attempts left.
+
+    [liveness] (default: everyone [Alive]) is the gossip failure
+    detector's verdict on a host name.  Pulls whose origin is [Suspect]
+    or [Dead] are parked without an RPC (counted as
+    ["prop.rpcs_skipped_dead"]) until the origin refutes the suspicion
+    or the deadline abandons the entry to reconciliation, so a dead
+    origin no longer burns the retry budget. *)
 
 val on_notify : t -> Notify.event -> unit
 (** Feed one notification (wire this to the host's datagram handler).
@@ -58,4 +66,5 @@ val cache : t -> New_version_cache.t
 val counters : t -> Counters.t
 (** ["prop.pull.file"], ["prop.pull.dir"], ["prop.bytes"],
     ["prop.conflicts"], ["prop.retries"], ["prop.backoff_ticks"]
-    (cumulative sleep imposed by backoff), ["prop.abandoned"]. *)
+    (cumulative sleep imposed by backoff), ["prop.abandoned"],
+    ["prop.rpcs_skipped_dead"]. *)

@@ -16,6 +16,7 @@ type t
 val create :
   ?period:int ->
   ?obs:Obs.t ->
+  ?liveness:(string -> Gossip.liveness) ->
   clock:Clock.t ->
   host:string ->
   connect:Remote.connector ->
@@ -25,7 +26,14 @@ val create :
     [replicas] lists the volume replicas this host currently stores
     (re-read each pass, so dynamically added replicas join the
     rotation).  Counters are mirrored into [obs]'s metrics registry so
-    they appear in cluster-wide snapshots. *)
+    they appear in cluster-wide snapshots.
+
+    [liveness] (default: everyone [Alive]) reorders each pass so peers
+    the gossip failure detector calls [Suspect] or [Dead] are tried
+    after every healthy one; when a healthy peer then absorbs the pass,
+    the doubtful peers it spared are counted in
+    ["recon.skipped_doubtful"].  Doubtful peers are deprioritized, never
+    excluded, so all-pairs convergence is preserved. *)
 
 val tick : t -> Reconcile.stats option
 (** Run a pass if the period has elapsed; [None] when not yet due.
@@ -38,6 +46,6 @@ val force : t -> Reconcile.stats
 
 val counters : t -> Counters.t
 (** ["recon.passes"], ["recon.pairs"], ["recon.skipped"] (unreachable
-    peers failed over), ["recon.errors"]. *)
+    peers failed over), ["recon.skipped_doubtful"], ["recon.errors"]. *)
 
 val next_due : t -> int

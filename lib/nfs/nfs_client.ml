@@ -9,10 +9,19 @@ type m = {
   attr_ttl : int;
   name_ttl : int;
   data_ttl : int;
+  readdir_ttl : int;
   attr_cache : (fh, Vnode.attrs * int) Hashtbl.t;          (* fh -> attrs, expiry *)
   name_cache : (fh * string, fh * int) Hashtbl.t;          (* dir fh, name -> fh, expiry *)
   data_cache : (fh * int * int, string * int) Hashtbl.t;   (* fh, off, len -> data, expiry *)
+  readdir_cache : (fh, Vnode.dirent list * int * int) Hashtbl.t;
+      (* dir fh -> entries, mutation serial at fill, expiry *)
+  mutable mutation_serial : int;
+      (* bumped by every namespace mutation through this mount; a cached
+         listing is served only while its serial still matches, so the
+         client never re-reads its own mutations stale (the same
+         discipline the name cache gets from targeted removals) *)
   counters : Counters.t;
+  obs : Obs.t;
   mutable root_fh : fh;
 }
 
@@ -63,6 +72,12 @@ let ( let* ) = Result.bind
 (* Drop any cached state about [fh]; on ESTALE or update. *)
 let forget_attrs m fh = Hashtbl.remove m.attr_cache fh
 
+(* A namespace mutation under [fh]: the listing is gone and the
+   mount-wide serial moves, invalidating any listing filled before now. *)
+let dirty_dir m fh =
+  m.mutation_serial <- m.mutation_serial + 1;
+  Hashtbl.remove m.readdir_cache fh
+
 let forget_data m fh =
   let stale =
     Hashtbl.fold
@@ -78,6 +93,7 @@ let forget_data m fh =
 let invalidate_fh m fh =
   forget_attrs m fh;
   forget_data m fh;
+  Hashtbl.remove m.readdir_cache fh;
   let stale =
     Hashtbl.fold
       (fun key (fh', _) acc -> if fh' = fh then key :: acc else acc)
@@ -128,6 +144,23 @@ let cached_attrs m fh =
     Some attrs
   | Some _ ->
     Hashtbl.remove m.attr_cache fh;
+    None
+  | None -> None
+
+let cache_readdir m fh entries =
+  if m.readdir_ttl > 0 then
+    Hashtbl.replace m.readdir_cache fh
+      (entries, m.mutation_serial, now m + m.readdir_ttl)
+
+let cached_readdir m fh =
+  match Hashtbl.find_opt m.readdir_cache fh with
+  | Some (entries, serial, expiry)
+    when now m < expiry && serial = m.mutation_serial ->
+    Counters.incr m.counters "nfs.client.readdir_hits";
+    Metrics.incr m.obs.Obs.metrics "nfs.client.readdir_hits";
+    Some entries
+  | Some _ ->
+    Hashtbl.remove m.readdir_cache fh;
     None
   | None -> None
 
@@ -186,6 +219,7 @@ let rec make m fh : Vnode.t =
     create =
       (fun name ->
         forget_attrs m fh;
+        dirty_dir m fh;
         let* resp = rpc m (Create (fh, name)) in
         let* child_fh, _ = node_result resp in
         cache_name m fh name child_fh;
@@ -193,6 +227,7 @@ let rec make m fh : Vnode.t =
     mkdir =
       (fun name ->
         forget_attrs m fh;
+        dirty_dir m fh;
         let* resp = rpc m (Mkdir (fh, name)) in
         let* child_fh, _ = node_result resp in
         cache_name m fh name child_fh;
@@ -201,11 +236,13 @@ let rec make m fh : Vnode.t =
       (fun name ->
         forget_attrs m fh;
         Hashtbl.remove m.name_cache (fh, name);
+        dirty_dir m fh;
         expect_ok m fh (Remove (fh, name)));
     rmdir =
       (fun name ->
         forget_attrs m fh;
         Hashtbl.remove m.name_cache (fh, name);
+        dirty_dir m fh;
         expect_ok m fh (Rmdir (fh, name)));
     rename =
       (fun sname dst_dir dname ->
@@ -214,20 +251,28 @@ let rec make m fh : Vnode.t =
         Hashtbl.remove m.name_cache (dfh, dname);
         forget_attrs m fh;
         forget_attrs m dfh;
+        dirty_dir m fh;
+        dirty_dir m dfh;
         expect_ok m fh (Rename (fh, sname, dfh, dname)));
     link =
       (fun target name ->
         let* tfh = sibling target in
         forget_attrs m fh;
         forget_attrs m tfh;
+        dirty_dir m fh;
         expect_ok m fh (Link (fh, tfh, name)));
     readdir =
       (fun () ->
-        let* resp = rpc m (Readdir fh) in
-        match resp with
-        | R_dirents entries -> Ok entries
-        | R_error e -> on_error m fh e
-        | _ -> Error Errno.EINVAL);
+        match cached_readdir m fh with
+        | Some entries -> Ok entries
+        | None ->
+          let* resp = rpc m (Readdir fh) in
+          (match resp with
+           | R_dirents entries ->
+             cache_readdir m fh entries;
+             Ok entries
+           | R_error e -> on_error m fh e
+           | _ -> Error Errno.EINVAL));
     read =
       (fun ~off ~len ->
         match cached_data m fh ~off ~len with
@@ -259,8 +304,8 @@ let rec make m fh : Vnode.t =
     inactive = (fun () -> Ok ());
   }
 
-let mount ?(attr_ttl = 30) ?(name_ttl = 30) ?(data_ttl = 0) ?(max_retries = 3) net
-    ~client ~server ~export =
+let mount ?(attr_ttl = 30) ?(name_ttl = 30) ?(data_ttl = 0) ?(readdir_ttl = 30)
+    ?(max_retries = 3) ?(obs = Obs.default) net ~client ~server ~export =
   if max_retries < 0 then invalid_arg "Nfs_client.mount";
   let m =
     {
@@ -272,10 +317,14 @@ let mount ?(attr_ttl = 30) ?(name_ttl = 30) ?(data_ttl = 0) ?(max_retries = 3) n
       attr_ttl;
       name_ttl;
       data_ttl;
+      readdir_ttl;
       attr_cache = Hashtbl.create 64;
       name_cache = Hashtbl.create 64;
       data_cache = Hashtbl.create 64;
+      readdir_cache = Hashtbl.create 16;
+      mutation_serial = 0;
       counters = Counters.create ();
+      obs;
       root_fh = "";
     }
   in
@@ -293,6 +342,7 @@ let root m = make m m.root_fh
 let flush_caches m =
   Hashtbl.reset m.attr_cache;
   Hashtbl.reset m.name_cache;
-  Hashtbl.reset m.data_cache
+  Hashtbl.reset m.data_cache;
+  Hashtbl.reset m.readdir_cache
 
 let counters m = m.counters

@@ -21,18 +21,30 @@ val mount :
   ?attr_ttl:int ->
   ?name_ttl:int ->
   ?data_ttl:int ->
+  ?readdir_ttl:int ->
   ?max_retries:int ->
+  ?obs:Obs.t ->
   Sim_net.t ->
   client:Sim_net.host_id ->
   server:Sim_net.host_id ->
   export:string ->
   (m, Errno.t) result
-(** TTLs are in simulated clock ticks (attribute and name caches default
-    to 30, matching SunOS's 3-second attribute cache at 10 ticks/s;
-    the file-block cache [data_ttl] defaults to 0 = disabled, so
-    replication experiments see every read — enable it to study the
-    §2.2 staleness).  Fails with [EUNREACHABLE] if the server cannot be
-    reached, [ENOENT] for an unknown export.
+(** TTLs are in simulated clock ticks (attribute, name and readdir
+    caches default to 30, matching SunOS's 3-second attribute cache at
+    10 ticks/s; the file-block cache [data_ttl] defaults to 0 =
+    disabled, so replication experiments see every read — enable it to
+    study the §2.2 staleness).  Fails with [EUNREACHABLE] if the server
+    cannot be reached, [ENOENT] for an unknown export.
+
+    The readdir cache follows the name cache's discipline plus a
+    mount-wide {e invalidation serial}: every namespace mutation made
+    through this mount bumps the serial and drops the affected
+    directory's listing, and a cached listing is served only while both
+    its TTL and its fill-time serial are current — so a client always
+    re-reads its own mutations, while cross-host staleness is bounded
+    by the TTL exactly as for attributes and names.  Hits are counted
+    in ["nfs.client.readdir_hits"] and mirrored into [obs]'s metrics
+    registry (default {!Obs.default}).
 
     [max_retries] (default 3) bounds retransmissions of {e idempotent}
     requests (reads, lookups, absolute-offset writes) after an
@@ -45,10 +57,12 @@ val mount :
 val root : m -> Vnode.t
 
 val flush_caches : m -> unit
-(** Drop the attribute and name caches (client reboot / explicit purge). *)
+(** Drop the attribute, name, data and readdir caches (client reboot /
+    explicit purge). *)
 
 val counters : m -> Counters.t
 (** ["nfs.client.calls"], ["nfs.client.attr_hits"],
-    ["nfs.client.name_hits"], ["nfs.client.openclose_dropped"],
+    ["nfs.client.name_hits"], ["nfs.client.readdir_hits"],
+    ["nfs.client.openclose_dropped"],
     ["nfs.client.retries"], ["nfs.client.backoff_ticks"] (modeled
     retransmission waiting), ["nfs.client.stale"]. *)

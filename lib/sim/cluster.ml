@@ -8,6 +8,7 @@ type host = {
   h_logical : Logical.t;
   h_prop : Propagation.t;
   h_recon : Recon_daemon.t;
+  h_gossip : Gossip.t option;
   mutable h_replicas : (Ids.volume_ref * Physical.t) list;
   h_mounts : (string * string, Nfs_client.m) Hashtbl.t;  (* server name, export *)
 }
@@ -36,6 +37,7 @@ let logical h = h.h_logical
 let propagation h = h.h_prop
 let reconciler h = h.h_recon
 let nfs_server h = h.h_server
+let gossip h = h.h_gossip
 let replicas h = h.h_replicas
 
 let replica h vref =
@@ -69,7 +71,9 @@ let connector t h : Remote.connector =
       (match Hashtbl.find_opt h.h_mounts key with
        | Some m -> Ok (Nfs_client.root m)
        | None ->
-         let* m = Nfs_client.mount t.net ~client:h.h_id ~server:server_id ~export in
+         let* m =
+           Nfs_client.mount ~obs:t.obs t.net ~client:h.h_id ~server:server_id ~export
+         in
          Hashtbl.replace h.h_mounts key m;
          Ok (Nfs_client.root m))
 
@@ -78,7 +82,8 @@ let connect_from t i = connector t t.hosts.(i)
 let create ?(seed = 11) ?(datagram_loss = 0.0) ?(faults = Sim_net.no_faults)
     ?(disk_blocks = 4096) ?(block_size = 1024)
     ?(cache_capacity = 256) ?(propagation_delay = 0) ?(reconcile_period = 100)
-    ?(selection = Logical.Most_recent) ?(journal_blocks = 0) ?log_level ~nhosts () =
+    ?(selection = Logical.Most_recent) ?(journal_blocks = 0) ?gossip ?log_level
+    ~nhosts () =
   if nhosts <= 0 then invalid_arg "Cluster.create";
   let clock = Clock.create () in
   let net = Sim_net.create ~seed ~datagram_loss ~faults clock in
@@ -112,20 +117,34 @@ let create ?(seed = 11) ?(datagram_loss = 0.0) ?(faults = Sim_net.no_faults)
       | Error e -> failwith ("Cluster: mkfs failed: " ^ Errno.to_string e)
     in
     let h_server = Nfs_server.create ~obs net ~host:h_id in
+    (* The gossip daemon registers its own datagram handler; its
+       liveness verdicts steer (but never gate) the host's daemons. *)
+    let h_gossip =
+      Option.map
+        (fun config -> Gossip.create ~config ~seed:(seed + (977 * i)) ~obs ~net h_id)
+        gossip
+    in
+    let liveness =
+      match h_gossip with
+      | Some g -> Gossip.liveness g
+      | None -> fun _ -> Gossip.Alive
+    in
     let rec h =
       lazy
         ((* Defer forcing until the closures are actually called: the
             host record and its layers refer to each other. *)
          let connect ~host ~vref ~rid = connector t (Lazy.force h) ~host ~vref ~rid in
          let local_replica vref = replica (Lazy.force h) vref in
-         let h_logical = Logical.create ~selection ~obs ~host:h_name ~clock ~connect () in
+         let h_logical =
+           Logical.create ~selection ~obs ~liveness ~host:h_name ~clock ~connect ()
+         in
          let h_prop =
-           Propagation.create ~delay:propagation_delay ~obs ~clock ~host:h_name ~connect
-             ~local_replica ()
+           Propagation.create ~delay:propagation_delay ~obs ~liveness ~clock
+             ~host:h_name ~connect ~local_replica ()
          in
          let h_recon =
-           Recon_daemon.create ~period:reconcile_period ~obs ~clock ~host:h_name ~connect
-             ~replicas:(fun () -> (Lazy.force h).h_replicas) ()
+           Recon_daemon.create ~period:reconcile_period ~obs ~liveness ~clock
+             ~host:h_name ~connect ~replicas:(fun () -> (Lazy.force h).h_replicas) ()
          in
          {
            h_index = i;
@@ -137,6 +156,7 @@ let create ?(seed = 11) ?(datagram_loss = 0.0) ?(faults = Sim_net.no_faults)
            h_logical;
            h_prop;
            h_recon;
+           h_gossip;
            h_replicas = [];
            h_mounts = Hashtbl.create 8;
          })
@@ -149,6 +169,19 @@ let create ?(seed = 11) ?(datagram_loss = 0.0) ?(faults = Sim_net.no_faults)
     host
   in
   let hosts = Array.init nhosts make_host in
+  (* Bootstrap acquaintance (the static host list every real deployment
+     has).  Everything {e about} each host — its replica sets, its
+     departure, its liveness — converges epidemically from here on. *)
+  Array.iter
+    (fun a ->
+      Array.iter
+        (fun b ->
+          if a.h_index < b.h_index then
+            match a.h_gossip, b.h_gossip with
+            | Some ga, Some gb -> Gossip.introduce ga gb
+            | _ -> ())
+        hosts)
+    hosts;
   { t with hosts }
 
 (* ------------------------------------------------------------------ *)
@@ -164,6 +197,20 @@ let wire_notifier t h phys =
             | Some dst -> Sim_net.send t.net ~src:h.h_id ~dst (Notify.Ficus_notify ev)
             | None -> ())
         peers)
+
+(* Re-publish a host's own replica set into its gossip entry; the delta
+   then converges epidemically.  No-op on gossip-less clusters. *)
+let seed_gossip t ~label i =
+  let h = t.hosts.(i) in
+  match h.h_gossip with
+  | None -> ()
+  | Some g ->
+    let triples =
+      List.map
+        (fun (vref, phys) -> (vref.Ids.alloc, vref.Ids.vol, Physical.rid phys))
+        h.h_replicas
+    in
+    Gossip.set_replicas g ~label triples
 
 let create_volume t ~on =
   match on with
@@ -188,6 +235,7 @@ let create_volume t ~on =
     in
     let* () = place 1 on in
     Hashtbl.replace t.volumes (vref.Ids.alloc, vref.Ids.vol) peers;
+    List.iter (fun i -> seed_gossip t ~label:"member:join" i) on;
     Ok vref
 
 let volume_peers t vref =
@@ -195,10 +243,13 @@ let volume_peers t vref =
   | Some peers -> Ok peers
   | None -> Error Errno.ENOENT
 
-(* Push a new peer list to every replica of [vref] this cluster can
-   still reach (unreachable ones learn it when their host returns; in a
-   full implementation the peer list is itself reconciled state). *)
+(* Eagerly push a new peer list to every replica of [vref] this cluster
+   can still reach.  This synchronous fan-out is the pre-gossip
+   baseline, kept for comparison: gossip-enabled clusters never call it
+   (the MEMBER experiment asserts ["membership.eager_pushes"] stays 0),
+   letting the same delta converge epidemically instead. *)
 let refresh_peers t vref peers =
+  Metrics.incr t.obs.Obs.metrics "membership.eager_pushes";
   Hashtbl.replace t.volumes (vref.Ids.alloc, vref.Ids.vol) peers;
   Array.iter
     (fun h ->
@@ -225,7 +276,16 @@ let add_replica t ~host:i vref =
     in
     Nfs_server.add_export h.h_server ~name:(export_name vref rid) (Physical.root phys);
     h.h_replicas <- (vref, phys) :: h.h_replicas;
-    refresh_peers t vref peers;
+    (match h.h_gossip with
+     | None -> refresh_peers t vref peers
+     | Some _ ->
+       (* Local operation only: record the authoritative set in the
+          harness registry, wire the newcomer, and seed the membership
+          delta — every other replica learns the new peer epidemically
+          via its own gossip table. *)
+       Hashtbl.replace t.volumes (vref.Ids.alloc, vref.Ids.vol) peers;
+       wire_notifier t h phys;
+       seed_gossip t ~label:"member:join" i);
     (* Populate the newcomer from the first accessible existing replica. *)
     let connect = connector t h in
     let rec populate = function
@@ -251,7 +311,12 @@ let remove_replica t ~host:i vref =
   | Some phys ->
     let rid = Physical.rid phys in
     h.h_replicas <- List.filter (fun (v, _) -> not (Ids.vref_equal v vref)) h.h_replicas;
-    refresh_peers t vref (List.filter (fun (r, _) -> r <> rid) peers);
+    let remaining = List.filter (fun (r, _) -> r <> rid) peers in
+    (match h.h_gossip with
+     | None -> refresh_peers t vref remaining
+     | Some _ ->
+       Hashtbl.replace t.volumes (vref.Ids.alloc, vref.Ids.vol) remaining;
+       seed_gossip t ~label:"member:leave" i);
     Ok ()
 
 let graft t i vref =
@@ -349,11 +414,45 @@ let run_propagation t =
   loop 50;
   !total
 
+(* After gossip has run, fold each host's membership view back into the
+   peer lists its physical layers actually use: an epidemically learned
+   join/leave changes who gets notified and who reconciliation visits,
+   with no global fan-out ever having happened. *)
+let sync_peers_from_gossip t =
+  Array.iter
+    (fun h ->
+      match h.h_gossip with
+      | None -> ()
+      | Some g ->
+        List.iter
+          (fun (vref, phys) ->
+            let peers =
+              Gossip.replica_peers g ~alloc:vref.Ids.alloc ~vol:vref.Ids.vol
+            in
+            let current = List.sort compare (Physical.peers phys) in
+            if peers <> [] && peers <> current then begin
+              (match Physical.set_peers phys peers with Ok () | Error _ -> ());
+              wire_notifier t h phys;
+              Metrics.incr t.obs.Obs.metrics "membership.peer_updates"
+            end)
+          h.h_replicas)
+    t.hosts
+
 (* Advance time and drive every host's daemons, as a host's cron would:
-   deliver datagrams, run propagation, tick the periodic reconcilers. *)
+   deliver datagrams, run gossip rounds, run propagation, tick the
+   periodic reconcilers. *)
 let tick_daemons t ticks =
   Clock.advance t.clock ticks;
   let (_ : int) = pump t in
+  let (_ : int) =
+    Array.fold_left
+      (fun acc h ->
+        match h.h_gossip with Some g -> acc + Gossip.tick g | None -> acc)
+      0 t.hosts
+  in
+  (* Datagrams delivered by this (or an earlier) pump may have merged
+     fresh membership; apply it every tick, not just on round ticks. *)
+  sync_peers_from_gossip t;
   (* The journal flush daemon runs off the same cron as propagation and
      reconciliation: age out any staged group commit.  (No-op on
      unjournaled hosts; an EIO here surfaces on the next operation.) *)
@@ -453,6 +552,20 @@ let converge t vref ?(max_rounds = 10) () =
       if quiet stats then Ok round else go (round + 1)
   in
   go 1
+
+(* ------------------------------------------------------------------ *)
+(* Membership introspection                                            *)
+
+(* Heartbeats advance forever, so equality is taken over the
+   heartbeat-free view: host, incarnation, status, replica set. *)
+let membership_converged t =
+  let views =
+    Array.to_list t.hosts
+    |> List.filter_map (fun h -> Option.map Gossip.view h.h_gossip)
+  in
+  match views with
+  | [] -> true
+  | v :: rest -> List.for_all (fun v' -> v' = v) rest
 
 (* ------------------------------------------------------------------ *)
 (* Observability                                                       *)

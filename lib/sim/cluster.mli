@@ -23,6 +23,7 @@ val create :
   ?reconcile_period:int ->
   ?selection:Logical.selection ->
   ?journal_blocks:int ->
+  ?gossip:Gossip.config ->
   ?log_level:Logs.level ->
   nhosts:int -> unit -> t
 (** Hosts are named ["host0"], ["host1"], ….  All parameters are shared
@@ -30,7 +31,16 @@ val create :
     with a write-ahead journal of that size; the group-commit flush
     daemon is then driven by {!tick_daemons}.  [log_level] installs the
     shared {!Obs.reporter} (host-tagged, simulated-time-stamped) at that
-    level; by default logging is left alone. *)
+    level; by default logging is left alone.
+
+    [gossip] (default: absent, the seed behavior) gives every host a
+    {!Gossip} membership daemon driven by {!tick_daemons}.  Hosts are
+    introduced to each other at bootstrap (the static host list), after
+    which membership changes — {!add_replica}, {!remove_replica} — are
+    purely local operations whose deltas converge epidemically, the
+    daemons consult gossip liveness to try suspect/dead peers last, and
+    peer lists are re-derived from each host's own membership table
+    instead of being pushed. *)
 
 val clock : t -> Clock.t
 val net : t -> Sim_net.t
@@ -49,8 +59,13 @@ val logical : host -> Logical.t
 val propagation : host -> Propagation.t
 val reconciler : host -> Recon_daemon.t
 val nfs_server : host -> Nfs_server.t
+val gossip : host -> Gossip.t option
 val replicas : host -> (Ids.volume_ref * Physical.t) list
 val replica : host -> Ids.volume_ref -> Physical.t option
+
+val membership_converged : t -> bool
+(** Do all gossip-enabled hosts hold the same membership view
+    (heartbeats excluded)?  Vacuously true without [?gossip]. *)
 
 (** {1 Volumes} *)
 
@@ -63,13 +78,16 @@ val add_replica : t -> host:int -> Ids.volume_ref -> (Ids.replica_id, Errno.t) r
 (** Dynamically extend the volume's replica set (paper §3.1/§4.1: the
     set of containers is "maximal, but extensible", changeable "whenever
     a file replica is available"): create a fresh replica on [host],
-    register its export and notification wiring, teach every accessible
-    existing replica the new peer list, and populate the newcomer by
-    reconciling it against an existing replica. *)
+    register its export and notification wiring, and populate the
+    newcomer by reconciling it against an existing replica.  Without
+    gossip, every accessible existing replica is eagerly taught the new
+    peer list; with gossip this is a local operation whose membership
+    delta converges epidemically. *)
 
 val remove_replica : t -> host:int -> Ids.volume_ref -> (unit, Errno.t) result
-(** Retire [host]'s replica: drop it from every accessible peer list and
-    from the host.  Its storage is abandoned (as when a host leaves). *)
+(** Retire [host]'s replica: drop it from the host and (eagerly without
+    gossip, epidemically with it) from every peer list.  Its storage is
+    abandoned (as when a host leaves). *)
 
 val graft : t -> int -> Ids.volume_ref -> (unit, Errno.t) result
 (** Explicitly graft the volume on a host's logical layer (the replica
@@ -124,11 +142,13 @@ val pump : t -> int
 
 val tick_daemons : t -> int -> int * Reconcile.stats
 (** Advance the clock by [ticks], then drive every host's daemons once:
-    pump datagrams, tick the journal group-commit flush daemons, run
-    propagation, and tick the periodic reconcilers (which fire when
-    their period elapses).  Returns (pulls, aggregated reconciliation
-    stats).  This is how a long-running deployment converges without
-    anyone calling {!converge} explicitly. *)
+    pump datagrams, tick the gossip daemons (when enabled) and apply any
+    epidemically learned peer-list changes, tick the journal
+    group-commit flush daemons, run propagation, and tick the periodic
+    reconcilers (which fire when their period elapses).  Returns (pulls,
+    aggregated reconciliation stats).  This is how a long-running
+    deployment converges without anyone calling {!converge}
+    explicitly. *)
 
 val run_propagation : t -> int
 (** Pump, then run every host's propagation daemon once; repeats until no

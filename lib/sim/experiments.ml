@@ -1448,6 +1448,180 @@ let reconscale_incremental_recon () =
        targeted.Reconcile.subtrees_pruned targeted.Reconcile.files_pulled)
 
 (* ------------------------------------------------------------------ *)
+(* MEMBER: epidemic membership + failure-detector economics            *)
+
+type member_metrics = {
+  mm_rounds_to_converge : int;
+  mm_eager_pushes : int;
+  mm_suspect_events : int;
+  mm_rpcs_skipped_dead : int;
+  mm_failed_rpcs_seed : int;
+  mm_failed_rpcs_gossip : int;
+}
+
+let last_member_metrics : member_metrics option ref = ref None
+
+let member_gossip () =
+  let cfg = Gossip.default_config in
+  let snapshot_counter cluster name =
+    let snap = Cluster.metrics_snapshot cluster in
+    match List.assoc_opt name snap.Cluster.ms_metrics.Metrics.snap_counters with
+    | Some v -> v
+    | None -> 0
+  in
+  (* -------- arm 1: convergence after a partitioned add_replica ------ *)
+  (* 16 hosts, volume on three of them.  A replica is added on a host
+     that can only see one side of a partition; the membership delta is
+     seeded locally (no eager push) and must become globally known,
+     after the heal, within O(log n) anti-entropy rounds. *)
+  let nhosts = 16 in
+  let cluster = Cluster.create ~seed:31337 ~nhosts ~gossip:cfg () in
+  let vref = get (Cluster.create_volume cluster ~on:[ 0; 1; 8 ]) in
+  let round c = ignore (Cluster.tick_daemons c cfg.Gossip.period) in
+  (* Settle the bootstrap state (the volume placement itself spreads
+     epidemically) before measuring. *)
+  let settled = ref 0 in
+  while (not (Cluster.membership_converged cluster)) && !settled < 64 do
+    round cluster;
+    incr settled
+  done;
+  if not (Cluster.membership_converged cluster) then
+    failwith "member: bootstrap membership never converged";
+  Cluster.partition cluster [ List.init 8 Fun.id; List.init 8 (fun i -> 8 + i) ];
+  (* host9 can reach only hosts 8..15; the populating pull comes from
+     host8's replica, and nobody eagerly tells partition A anything. *)
+  let new_rid = get (Cluster.add_replica cluster ~host:9 vref) in
+  for _ = 1 to 4 do round cluster done;
+  let knows i =
+    match Cluster.gossip (Cluster.host cluster i) with
+    | None -> false
+    | Some g ->
+      List.mem_assoc new_rid
+        (Gossip.replica_peers g ~alloc:vref.Ids.alloc ~vol:vref.Ids.vol)
+  in
+  (* Partition B has gossiped the newcomer around; partition A is dark. *)
+  let spread_in_b = knows 8 && knows 15 in
+  let dark_in_a = (not (knows 0)) && not (Cluster.membership_converged cluster) in
+  Cluster.heal cluster;
+  let rounds = ref 0 in
+  while (not (Cluster.membership_converged cluster)) && !rounds < 64 do
+    round cluster;
+    incr rounds
+  done;
+  let converged = Cluster.membership_converged cluster in
+  (* Once views agree, every replica's peer list must have been re-derived
+     from gossip: host0's physical layer now notifies the newcomer. *)
+  let peers_synced =
+    match Cluster.replica (Cluster.host cluster 0) vref with
+    | Some phys -> List.mem_assoc new_rid (Physical.peers phys)
+    | None -> false
+  in
+  let eager_pushes = snapshot_counter cluster "membership.eager_pushes" in
+  (* 4·log2(16) = 16: the epidemic bound with plenty of slack. *)
+  let log2n =
+    int_of_float (ceil (log (float_of_int nhosts) /. log 2.0))
+  in
+  let rounds_bound = 4 * log2n in
+  (* -------- arm 2: a flaky host, with and without the detector ------ *)
+  (* Identical 4-host clusters run the same fault schedule: host3 writes,
+     its notifications land, then it goes silent before anyone pulls.
+     Without gossip every daemon burns RPCs (and retry budgets) against
+     the dead air; with the failure detector the same pulls park and the
+     reconcilers try healthy peers first. *)
+  let flaky_arm ~gossip () =
+    let cluster =
+      Cluster.create ?gossip ~seed:777 ~nhosts:4 ~propagation_delay:24
+        ~reconcile_period:16 ()
+    in
+    let vref = get (Cluster.create_volume cluster ~on:[ 0; 1; 2; 3 ]) in
+    let roots = List.init 4 (fun i -> get (Cluster.logical_root cluster i vref)) in
+    List.iteri
+      (fun i root -> ignore (get (root.Vnode.mkdir (Printf.sprintf "h%d" i))))
+      roots;
+    let (_ : int) = Cluster.run_propagation cluster in
+    let (_ : int) = get (Cluster.converge cluster vref ()) in
+    for _ = 1 to 4 do round cluster done;
+    (* host3 writes, the notifications are delivered... *)
+    let d3 = get ((List.nth roots 3).Vnode.lookup "h3") in
+    for k = 1 to 6 do
+      let f = get (d3.Vnode.create (Printf.sprintf "f%d" k)) in
+      get (Vnode.write_all f (Printf.sprintf "from host3: %d" k))
+    done;
+    let (_ : int) = Cluster.pump cluster in
+    (* ...and then host3 goes dark before the delayed pulls fire. *)
+    let net = Cluster.net cluster in
+    let failed0 = Counters.get (Sim_net.counters net) "net.rpc.failed" in
+    Cluster.set_flaky cluster 3
+      ~until:(Clock.now (Cluster.clock cluster) + 400);
+    for _ = 1 to 30 do
+      ignore (Cluster.tick_daemons cluster 4)
+    done;
+    let failed = Counters.get (Sim_net.counters net) "net.rpc.failed" - failed0 in
+    (* Heal and prove availability was never sacrificed: everything
+       still converges. *)
+    Cluster.heal cluster;
+    let (_ : int) = Cluster.run_propagation cluster in
+    let (_ : int) = get (Cluster.converge cluster vref ~max_rounds:50 ()) in
+    let ok =
+      List.for_all
+        (fun i ->
+          let root = List.nth roots i in
+          match root.Vnode.lookup "h3" with
+          | Ok d -> Result.is_ok (d.Vnode.lookup "f6")
+          | Error _ -> false)
+        [ 0; 1; 2 ]
+    in
+    ( failed,
+      snapshot_counter cluster "gossip.suspect_events",
+      snapshot_counter cluster "prop.rpcs_skipped_dead",
+      ok )
+  in
+  let seed_failed, _, _, seed_ok = flaky_arm ~gossip:None () in
+  let gossip_failed, suspects, skipped, gossip_ok =
+    flaky_arm ~gossip:(Some cfg) ()
+  in
+  last_member_metrics :=
+    Some
+      {
+        mm_rounds_to_converge = !rounds;
+        mm_eager_pushes = eager_pushes;
+        mm_suspect_events = suspects;
+        mm_rpcs_skipped_dead = skipped;
+        mm_failed_rpcs_seed = seed_failed;
+        mm_failed_rpcs_gossip = gossip_failed;
+      };
+  Table.print
+    ~title:"MEMBER: epidemic membership (16 hosts) + flaky-host economics (4 hosts)"
+    ~headers:[ "metric"; "value" ]
+    [
+      [ "bootstrap settle rounds"; string_of_int !settled ];
+      [ "newcomer spread in partition B"; string_of_bool spread_in_b ];
+      [ "partition A still dark"; string_of_bool dark_in_a ];
+      [ "rounds to converge after heal";
+        Printf.sprintf "%d (bound %d)" !rounds rounds_bound ];
+      [ "eager peer-list pushes"; string_of_int eager_pushes ];
+      [ "failed RPCs during outage, no gossip"; string_of_int seed_failed ];
+      [ "failed RPCs during outage, gossip"; string_of_int gossip_failed ];
+      [ "suspect transitions observed"; string_of_int suspects ];
+      [ "pulls parked on doubtful origin"; string_of_int skipped ];
+    ];
+  let holds =
+    spread_in_b && dark_in_a && converged && peers_synced
+    && !rounds >= 1 && !rounds <= rounds_bound
+    && eager_pushes = 0
+    && suspects > 0 && skipped > 0
+    && gossip_failed < seed_failed
+    && seed_ok && gossip_ok
+  in
+  verdict "MEMBER"
+    "membership deltas converge epidemically in O(log n) rounds with zero eager pushes; suspicion cuts wasted RPCs"
+    holds
+    (Printf.sprintf
+       "converged in %d rounds (bound %d), eager pushes=%d; outage RPC failures %d -> %d with %d pulls parked, %d suspect events"
+       !rounds rounds_bound eager_pushes seed_failed gossip_failed skipped
+       suspects)
+
+(* ------------------------------------------------------------------ *)
 
 let registry =
   [
@@ -1471,6 +1645,7 @@ let registry =
     ("wal", wal_crash_sweep);
     ("obslag", obslag_propagation_lag);
     ("reconscale", reconscale_incremental_recon);
+    ("member", member_gossip);
   ]
 
 let names = List.map fst registry

@@ -149,6 +149,34 @@ val reconscale_incremental_recon : unit -> verdict
     consolidated [recon.*] / [prop.*] counters appear in one
     {!Cluster.metrics_snapshot}. *)
 
+type member_metrics = {
+  mm_rounds_to_converge : int;
+      (** post-heal anti-entropy rounds until all views agree *)
+  mm_eager_pushes : int;   (** must stay 0 on a gossip cluster *)
+  mm_suspect_events : int;
+  mm_rpcs_skipped_dead : int;
+  mm_failed_rpcs_seed : int;    (** outage RPC failures, gossip off *)
+  mm_failed_rpcs_gossip : int;  (** same schedule, gossip on *)
+}
+(** Machine-readable summary of the membership experiment, consumed by
+    [bench --json]. *)
+
+val last_member_metrics : member_metrics option ref
+(** Filled by {!member_gossip}; [None] until it has run. *)
+
+val member_gossip : unit -> verdict
+(** Epidemic membership: on a 16-host gossip cluster, a replica added
+    inside a partition is known only to its side until the heal, then
+    becomes globally known within 4·log2(n) anti-entropy rounds with
+    zero eager peer-list pushes — and every physical layer's peer list
+    is re-derived from the converged tables.  Then the failure
+    detector's economics: two identical 4-host clusters (gossip off /
+    on) run the same flaky-host schedule; with gossip the doubtful
+    origin's pulls park (["prop.rpcs_skipped_dead"]) and reconcilers
+    try healthy peers first, so the outage burns measurably fewer
+    failed RPCs — while the post-heal converge proves availability was
+    never sacrificed. *)
+
 val all : unit -> verdict list
 (** Run every experiment in order, printing all tables. *)
 

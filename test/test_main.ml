@@ -27,6 +27,7 @@ let () =
       ("cluster", Test_cluster.suite);
       ("layers", Test_layers.suite);
       ("obs", Test_obs.suite);
+      ("gossip", Test_gossip.suite);
       ("properties", Test_props.suite);
       ("experiments", Test_experiments.suite);
     ]
