@@ -8,7 +8,11 @@
      bench/main.exe e4 e6             run selected experiments
      bench/main.exe micro             run only the microbenchmarks
      bench/main.exe --smoke           fast subset (CI; no microbenchmarks)
-     bench/main.exe --json out.json   also write verdicts as JSON *)
+     bench/main.exe --json out.json   also write verdicts as JSON
+     bench/main.exe --scale-ops N     trace length for the SCALE benchmark
+     bench/main.exe --scale-hosts N   cluster size for the SCALE benchmark
+     bench/main.exe --scale-floor F   fail SCALE below F sim-ops/sec (CI gate)
+     bench/main.exe --check-schema f  validate a previously written JSON file *)
 
 open Bechamel
 open Toolkit
@@ -168,19 +172,114 @@ let write_json path ~mode verdicts =
      Printf.fprintf oc "    \"net.rpc.failed_gossip\": %d\n  }"
        m.Experiments.mm_failed_rpcs_gossip
    | None -> ());
+  (match !Experiments.last_scale_metrics with
+   | Some m ->
+     Printf.fprintf oc ",\n  \"scale\": {\n";
+     Printf.fprintf oc "    \"ops\": %d,\n    \"hosts\": %d,\n"
+       m.Experiments.sm_ops m.Experiments.sm_hosts;
+     Printf.fprintf oc "    \"wall_seconds\": %.3f,\n    \"sim_ops_per_sec\": %.1f,\n"
+       m.Experiments.sm_wall_seconds m.Experiments.sm_ops_per_sec;
+     Printf.fprintf oc "    \"errors\": %d,\n    \"pulls\": %d,\n"
+       m.Experiments.sm_errors m.Experiments.sm_pulls;
+     Printf.fprintf oc "    \"deterministic\": %b,\n" m.Experiments.sm_deterministic;
+     Printf.fprintf oc "    \"linear_ticks_per_sec\": %.1f,\n"
+       m.Experiments.sm_linear_ticks_per_sec;
+     Printf.fprintf oc "    \"indexed_ticks_per_sec\": %.1f,\n"
+       m.Experiments.sm_indexed_ticks_per_sec;
+     Printf.fprintf oc "    \"quiescent_speedup\": %.2f,\n"
+       m.Experiments.sm_quiescent_speedup;
+     Printf.fprintf oc "    \"floor\": %.1f\n  }" !Experiments.scale_floor
+   | None -> ());
   Printf.fprintf oc "\n}\n";
   close_out oc;
   Printf.printf "\nWrote %s\n%!" path
 
+(* ------------------------------------------------------------------ *)
+(* Schema validation: the one authoritative list of keys a full bench
+   JSON must carry.  CI's bench-smoke job runs `--check-schema` on its
+   artifact instead of maintaining its own grep list; extending
+   [write_json] means extending this list, and the check fails loudly
+   when they drift. *)
+
+let schema_keys =
+  [
+    (* envelope *)
+    "schema"; "mode"; "reproduced"; "total"; "experiments";
+    (* per-verdict *)
+    "experiment"; "holds"; "claim"; "detail";
+    (* observability (obslag) *)
+    "metrics"; "spans"; "lag_p50"; "lag_p95"; "lag_p99"; "per_replica";
+    "journal_flushes"; "journal_txns";
+    (* reconciliation (reconscale) *)
+    "reconciliation"; "recon.full_rpcs"; "recon.rpcs"; "recon.pruned_subtrees";
+    (* membership (member) *)
+    "membership"; "gossip.rounds_to_converge"; "gossip.suspect_events";
+    "prop.rpcs_skipped_dead"; "membership.eager_pushes";
+    "net.rpc.failed_seed"; "net.rpc.failed_gossip";
+    (* scale *)
+    "scale"; "ops"; "hosts"; "wall_seconds"; "sim_ops_per_sec"; "errors";
+    "pulls"; "deterministic"; "linear_ticks_per_sec"; "indexed_ticks_per_sec";
+    "quiescent_speedup"; "floor";
+  ]
+
+let check_schema path =
+  let contents =
+    try
+      let ic = open_in_bin path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+    with Sys_error msg ->
+      Printf.eprintf "--check-schema: cannot read %s: %s\n" path msg;
+      exit 1
+  in
+  let contains key =
+    (* Keys appear exactly as "key": in the hand-rolled output. *)
+    let needle = Printf.sprintf "\"%s\":" key in
+    let nl = String.length needle and cl = String.length contents in
+    let rec scan i = i + nl <= cl && (String.sub contents i nl = needle || scan (i + 1)) in
+    scan 0
+  in
+  let missing = List.filter (fun k -> not (contains k)) schema_keys in
+  if not (String.length contents > 0 && contents.[0] = '{') then begin
+    Printf.eprintf "--check-schema: %s does not look like a JSON object\n" path;
+    exit 1
+  end;
+  if missing <> [] then begin
+    Printf.eprintf "--check-schema: %s is missing key(s): %s\n" path
+      (String.concat ", " missing);
+    exit 1
+  end;
+  Printf.printf "%s: all %d schema keys present\n%!" path (List.length schema_keys)
+
 (* The fast, deterministic subset for CI: no timing-sensitive
    experiments (E1 is wall-clock based), no parameter sweeps, no
-   bechamel runs. *)
+   bechamel runs.  SCALE runs at a reduced trace length (see below) so
+   the smoke artifact still carries the full JSON schema. *)
 let smoke_names =
   [ "e2"; "e3"; "e4"; "e6"; "e9"; "e10"; "f2"; "a1"; "a3"; "a5"; "chaos"; "wal";
-    "obslag"; "reconscale"; "member" ]
+    "obslag"; "reconscale"; "member"; "scale" ]
+
+let smoke_scale_ops = 20_000
+
+let int_arg flag v =
+  match int_of_string_opt v with
+  | Some n when n > 0 -> n
+  | _ ->
+    Printf.eprintf "%s requires a positive integer, got %S\n" flag v;
+    exit 2
+
+let float_arg flag v =
+  match float_of_string_opt v with
+  | Some f when f >= 0.0 -> f
+  | _ ->
+    Printf.eprintf "%s requires a non-negative number, got %S\n" flag v;
+    exit 2
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  let scale_ops_set = ref false in
   let rec parse args (json, smoke, rest) =
     match args with
     | [] -> (json, smoke, List.rev rest)
@@ -189,13 +288,56 @@ let () =
       Printf.eprintf "--json requires a path\n";
       exit 2
     | "--smoke" :: tl -> parse tl (json, true, rest)
+    | "--check-schema" :: path :: _ ->
+      (* A standalone mode: validate and stop. *)
+      check_schema path;
+      exit 0
+    | [ "--check-schema" ] ->
+      Printf.eprintf "--check-schema requires a path\n";
+      exit 2
+    | "--scale-ops" :: v :: tl ->
+      Experiments.scale_ops := int_arg "--scale-ops" v;
+      scale_ops_set := true;
+      parse tl (json, smoke, rest)
+    | "--scale-hosts" :: v :: tl ->
+      Experiments.scale_hosts := int_arg "--scale-hosts" v;
+      parse tl (json, smoke, rest)
+    | "--scale-floor" :: v :: tl ->
+      Experiments.scale_floor := float_arg "--scale-floor" v;
+      parse tl (json, smoke, rest)
+    | ([ "--scale-ops" ] | [ "--scale-hosts" ] | [ "--scale-floor" ]) as a ->
+      Printf.eprintf "%s requires a value\n" (List.hd a);
+      exit 2
     | a :: tl -> parse tl (json, smoke, a :: rest)
   in
   let json, smoke, names = parse args (None, false, []) in
+  if smoke && not !scale_ops_set then Experiments.scale_ops := smoke_scale_ops;
   let mode =
     if smoke then "smoke"
     else if names = [] then "full"
     else String.concat "+" names
+  in
+  (* An experiment that dies — setup failure, unexpected exception —
+     must still surface as a failing verdict: the JSON gets written, the
+     summary shows the crash, and the process exits non-zero, so CI can
+     never mistake a crashed run for a clean one. *)
+  let run_one name =
+    match Experiments.run_by_name name with
+    | Some v -> Some v
+    | None ->
+      Printf.eprintf "unknown experiment %S (known: %s)\n" name
+        (String.concat ", " Experiments.names);
+      exit 2
+    | exception e ->
+      Printf.printf "  => %s: CRASHED (%s)\n%!" (String.uppercase_ascii name)
+        (Printexc.to_string e);
+      Some
+        {
+          Experiments.experiment = String.uppercase_ascii name;
+          claim = "(experiment crashed)";
+          holds = false;
+          detail = Printexc.to_string e;
+        }
   in
   let run_names names =
     List.filter_map
@@ -204,13 +346,7 @@ let () =
           run_micro ();
           None
         end
-        else
-          match Experiments.run_by_name name with
-          | Some v -> Some v
-          | None ->
-            Printf.eprintf "unknown experiment %S (known: %s)\n" name
-              (String.concat ", " Experiments.names);
-            exit 2)
+        else run_one name)
       names
   in
   let verdicts =
@@ -220,7 +356,7 @@ let () =
       Printf.eprintf "--smoke takes no experiment names\n";
       exit 2
     | false, [] ->
-      let verdicts = Experiments.all () in
+      let verdicts = run_names Experiments.names in
       run_micro ();
       verdicts
     | false, [ "micro" ] ->

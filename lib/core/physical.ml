@@ -28,6 +28,12 @@ type t = {
      (path, pending vector).  Purely an I/O batching device — losing it
      in a crash only under-claims, which is always safe. *)
   pending_summaries : (string, fidpath * Vv.t ref) Hashtbl.t;
+  (* Decoded-directory cache, keyed by the DIR file's encoded bytes.
+     Content addressing makes staleness impossible: any directory update
+     rewrites the DIR file, and the new bytes simply miss.  Fdir values
+     are immutable, so sharing the decoded structure is safe.  Bounded;
+     see [load_fdir]. *)
+  fdir_cache : (string, Fdir.t) Hashtbl.t;
 }
 
 type version_info = {
@@ -153,14 +159,36 @@ let split_file_path path =
   | [] -> Error Errno.EINVAL
   | fid :: rev_parent -> Ok (List.rev rev_parent, fid)
 
-let load_fdir _t ufs_dir =
+(* Decoding a directory is the hot path's dominant allocation (every
+   lookup re-reads the DIR file); the content-addressed cache turns the
+   common re-decode into one Hashtbl probe.  Crude bounded eviction: the
+   working set is the handful of directories under active use, so a full
+   reset on overflow is simpler than LRU and just as effective. *)
+let fdir_cache_cap = 512
+
+let fdir_cache_put t contents fdir =
+  if Hashtbl.length t.fdir_cache >= fdir_cache_cap then Hashtbl.reset t.fdir_cache;
+  Hashtbl.replace t.fdir_cache contents fdir
+
+let load_fdir t ufs_dir =
   let* dirfile = ufs_dir.Vnode.lookup dirfile_name in
   let* contents = Vnode.read_all dirfile in
-  match Fdir.decode contents with None -> Error Errno.EIO | Some d -> Ok d
+  match Hashtbl.find_opt t.fdir_cache contents with
+  | Some d -> Ok d
+  | None ->
+    (match Fdir.decode contents with
+     | None -> Error Errno.EIO
+     | Some d ->
+       fdir_cache_put t contents d;
+       Ok d)
 
-let store_fdir ufs_dir fdir =
+(* Write-through: seeding the cache with the bytes just written means
+   the next load after an update hits. *)
+let store_fdir t ufs_dir fdir =
   let* dirfile = ufs_dir.Vnode.lookup dirfile_name in
-  Vnode.write_all dirfile (Fdir.encode fdir)
+  let contents = Fdir.encode fdir in
+  fdir_cache_put t contents fdir;
+  Vnode.write_all dirfile contents
 
 (* Create the UFS storage of a fresh, empty Ficus directory. *)
 let make_dir_storage t parent_ufs fid aux =
@@ -628,7 +656,7 @@ and dir_create t path name =
     { (Aux_attrs.make Aux_attrs.Freg) with Aux_attrs.vv = Vv.singleton t.rid 1 }
   in
   let* () = Aux_attrs.store ~dir:ufs_dir fid aux in
-  let* () = store_fdir ufs_dir fdir in
+  let* () = store_fdir t ufs_dir fdir in
   note_summary_event t path;
   dir_event t path;
   Ok (reg_vnode t (path @ [ fid ]))
@@ -641,7 +669,7 @@ and dir_mkdir t path name =
   let birth = { Fdir.b_rid = t.rid; b_seq = uniq } in
   let* fdir = Fdir.add fdir ~rid:t.rid ~name ~fid ~kind:Aux_attrs.Fdir ~birth in
   let* _child = make_dir_storage t ufs_dir fid (Aux_attrs.make Aux_attrs.Fdir) in
-  let* () = store_fdir ufs_dir fdir in
+  let* () = store_fdir t ufs_dir fdir in
   note_summary_event t path;
   dir_event t path;
   Ok (dir_vnode t (path @ [ fid ]) Aux_attrs.Fdir)
@@ -664,7 +692,7 @@ and dir_remove t path name =
     else
       let* fdir = Fdir.kill fdir ~rid:t.rid e.Fdir.birth in
       let* () = drop_file_storage fdir ufs_dir e.Fdir.fid in
-      let* () = store_fdir ufs_dir fdir in
+      let* () = store_fdir t ufs_dir fdir in
       note_summary_event t path;
       dir_event t path;
       Ok ()
@@ -684,7 +712,7 @@ and dir_rmdir t path name =
         let* fdir = Fdir.kill fdir ~rid:t.rid e.Fdir.birth in
         let* () = rm_tree ufs_dir (Ids.fid_to_hex e.Fdir.fid) in
         let* () = ignore_enoent (ufs_dir.Vnode.remove (Ids.aux_name e.Fdir.fid)) in
-        let* () = store_fdir ufs_dir fdir in
+        let* () = store_fdir t ufs_dir fdir in
         note_summary_event t path;
         dir_event t path;
         Ok ()
@@ -747,7 +775,7 @@ and dir_rename t path sname dst dname =
     let* fdir =
       Fdir.add fdir ~rid:t.rid ~name:dname ~fid:entry.Fdir.fid ~kind:entry.Fdir.kind ~birth
     in
-    let* () = store_fdir src_ufs fdir in
+    let* () = store_fdir t src_ufs fdir in
     note_summary_event t path;
     dir_event t path;
     Ok ()
@@ -758,8 +786,8 @@ and dir_rename t path sname dst dname =
       Fdir.add dst_fdir ~rid:t.rid ~name:dname ~fid:entry.Fdir.fid ~kind:entry.Fdir.kind ~birth
     in
     let* () = move_storage entry src_ufs dst_ufs in
-    let* () = store_fdir src_ufs src_fdir in
-    let* () = store_fdir dst_ufs dst_fdir in
+    let* () = store_fdir t src_ufs src_fdir in
+    let* () = store_fdir t dst_ufs dst_fdir in
     note_summary_event t path;
     note_summary_event t dst_path;
     dir_event t path;
@@ -794,7 +822,7 @@ and dir_link t path target name =
        | Error _ as e -> e)
     | Error _ as e -> e
   in
-  let* () = store_fdir ufs_dir fdir in
+  let* () = store_fdir t ufs_dir fdir in
   note_summary_event t path;
   dir_event t path;
   Ok ()
@@ -1182,7 +1210,7 @@ let merge_dir t path ~remote_rid remote =
       apply rest
   in
   let* () = apply result.Fdir.actions in
-  let* () = store_fdir ufs_dir result.Fdir.merged in
+  let* () = store_fdir t ufs_dir result.Fdir.merged in
   (* Any observable change to the stored directory — entries, tombstone
      expiry, known-map gossip — is an incorporation event peers must not
      prune past. *)
@@ -1243,8 +1271,8 @@ let make_graft_point t ~parent ~name ~target ~replicas =
       add_replicas fdir rest
   in
   let* child_fdir = add_replicas child_fdir replicas in
-  let* () = store_fdir child_ufs child_fdir in
-  let* () = store_fdir ufs_dir fdir in
+  let* () = store_fdir t child_ufs child_fdir in
+  let* () = store_fdir t ufs_dir fdir in
   note_summary_event t (parent @ [ fid ]);
   dir_event t parent;
   Ok ()
@@ -1287,7 +1315,7 @@ let add_graft_replica t path r h =
   let* ufs_dir = resolve_dir t path in
   let* fdir = load_fdir t ufs_dir in
   let* fdir = add_plain_entry t ufs_dir fdir (replica_entry_name r h) in
-  let* () = store_fdir ufs_dir fdir in
+  let* () = store_fdir t ufs_dir fdir in
   note_summary_event t path;
   dir_event t path;
   Ok ()
@@ -1311,6 +1339,7 @@ let create ?(obs = Obs.default) ~container ~clock ~host ~vref ~rid ~peers () =
       obs;
       open_count = 0;
       pending_summaries = Hashtbl.create 64;
+      fdir_cache = Hashtbl.create 64;
     }
   in
   let* () = store_meta t in
@@ -1390,6 +1419,7 @@ let attach ?(obs = Obs.default) ~container ~clock ~host () =
       obs;
       open_count = 0;
       pending_summaries = Hashtbl.create 64;
+      fdir_cache = Hashtbl.create 64;
     }
   in
   let* () = load_meta t in

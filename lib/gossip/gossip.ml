@@ -74,6 +74,16 @@ type t = {
   g_rng : Random.State.t;
   g_table : (string, peer_state) Hashtbl.t;
   mutable g_next_round : int;
+  mutable g_next_due : int;
+      (* earliest tick at which tick can do anything: the next round
+         boundary, or the earliest liveness-threshold crossing among
+         peers.  Datagram arrival resets it to now (a merge can change
+         verdicts immediately).  Conservative: running tick earlier is
+         always a no-op. *)
+  mutable g_peers_version : int;
+      (* bumped whenever the table changes in a way replica_peers or
+         view could observe (entry learned, status or replica-set
+         changed) — lets consumers cache derived peer lists *)
 }
 
 (* Wire protocol: three asynchronous datagrams per exchange.  A digest
@@ -138,6 +148,7 @@ let refresh_liveness t =
     t.g_table
 
 let note_heard t name =
+  t.g_next_due <- now t;
   match Hashtbl.find_opt t.g_table name with
   | Some ps when not (String.equal name t.g_host) ->
       ps.p_last_heard <- now t
@@ -147,6 +158,7 @@ let note_heard t name =
    is always strictly better news; the join keeps the table a lattice
    even when it is not. *)
 let merge t e =
+  t.g_next_due <- now t;
   if String.equal e.e_host t.g_host then begin
     (* Someone is spreading fresher news about us than we ourselves
        hold — a stale [Left] tombstone, or state from before a restart.
@@ -174,6 +186,7 @@ let merge t e =
             p_last_heard = now t;
             p_liveness = (if e.e_status = Left then Dead else Alive);
           };
+        t.g_peers_version <- t.g_peers_version + 1;
         Metrics.incr (metrics t) "gossip.members_learned";
         Span.event (spans t) e.e_span ~host:t.g_host ~tick:(now t)
           "gossip:learn"
@@ -182,6 +195,8 @@ let merge t e =
         let joined = entry_join old e in
         if compare (entry_key joined) (entry_key old) <> 0 then begin
           ps.p_entry <- joined;
+          if joined.e_status <> old.e_status || joined.e_replicas <> old.e_replicas
+          then t.g_peers_version <- t.g_peers_version + 1;
           Metrics.incr (metrics t) "gossip.updates";
           if entry_fresher e old then
             (* Fresh evidence of life, even secondhand, resets the
@@ -283,6 +298,8 @@ let create ?(config = default_config) ?seed ~obs ~net id =
       g_rng = Random.State.make [| seed; id |];
       g_table = Hashtbl.create 16;
       g_next_round = 0;
+      g_next_due = 0;
+      g_peers_version = 0;
     }
   in
   let entry =
@@ -327,6 +344,7 @@ let set_replicas t ?(label = "member:update") replicas =
   let replicas = List.sort_uniq compare replicas in
   let span = Span.start (spans t) ~host:t.g_host ~tick:(now t) label in
   bump_self t ~span ~replicas ~label ();
+  t.g_peers_version <- t.g_peers_version + 1;
   Metrics.incr (metrics t) "gossip.deltas";
   Log.info (fun m ->
       m "%s: membership delta %s (%d replicas)" t.g_host label
@@ -335,6 +353,7 @@ let set_replicas t ?(label = "member:update") replicas =
 let leave t =
   let span = Span.start (spans t) ~host:t.g_host ~tick:(now t) "member:leave" in
   bump_self t ~span ~status:Left ~label:"member:leave" ();
+  t.g_peers_version <- t.g_peers_version + 1;
   Metrics.incr (metrics t) "gossip.deltas"
 
 let pick_partner t =
@@ -363,21 +382,52 @@ let pick_partner t =
     in
     Some (List.nth pool (Random.State.int t.g_rng (List.length pool)))
 
+(* When can the next tick possibly do anything?  Either the round
+   boundary, or a peer silently crossing a liveness threshold.  Verdict
+   thresholds are exact ticks ([p_last_heard + period·missed]), and
+   [p_last_heard] only moves via datagrams — which reset [g_next_due] to
+   now — so a tick skipped while [now < g_next_due] is provably the
+   no-op it would have been: no round due, no transition to record. *)
+let compute_next_due t =
+  let horizon = ref t.g_next_round in
+  let cfg = t.g_config in
+  Hashtbl.iter
+    (fun name ps ->
+      if (not (String.equal name t.g_host)) && ps.p_entry.e_status = Member then
+        match ps.p_liveness with
+        | Alive ->
+            horizon :=
+              min !horizon (ps.p_last_heard + (cfg.period * cfg.suspect_missed))
+        | Suspect ->
+            horizon :=
+              min !horizon (ps.p_last_heard + (cfg.period * cfg.dead_missed))
+        | Dead -> ())
+    t.g_table;
+  t.g_next_due <- !horizon
+
+let next_due t = t.g_next_due
+
+let peers_version t = t.g_peers_version
+
 let tick t =
   refresh_liveness t;
-  if now t < t.g_next_round then 0
-  else begin
-    t.g_next_round <- now t + t.g_config.period;
-    bump_self t ~label:"heartbeat" ();
-    Metrics.incr (metrics t) "gossip.rounds";
-    (match pick_partner t with
-    | None -> ()
-    | Some partner ->
-        Metrics.incr (metrics t) "gossip.syn_sent";
-        send t ~dst:partner.p_entry.e_host
-          (Gossip_syn { g_from = t.g_host; g_digest = digest t }));
-    1
-  end
+  let rounds =
+    if now t < t.g_next_round then 0
+    else begin
+      t.g_next_round <- now t + t.g_config.period;
+      bump_self t ~label:"heartbeat" ();
+      Metrics.incr (metrics t) "gossip.rounds";
+      (match pick_partner t with
+      | None -> ()
+      | Some partner ->
+          Metrics.incr (metrics t) "gossip.syn_sent";
+          send t ~dst:partner.p_entry.e_host
+            (Gossip_syn { g_from = t.g_host; g_digest = digest t }));
+      1
+    end
+  in
+  compute_next_due t;
+  rounds
 
 let liveness t name =
   if String.equal name t.g_host then Alive

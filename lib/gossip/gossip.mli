@@ -117,6 +117,24 @@ val tick : t -> int
     heartbeat and start an anti-entropy exchange with one partner.
     Returns the number of rounds begun (0 or 1). *)
 
+val next_due : t -> int
+(** The earliest clock tick at which {!tick} could possibly act: the
+    next round boundary, or the earliest tick a silent peer crosses a
+    suspect/dead threshold — whichever comes first.  Datagram arrival
+    resets it to the current tick (a merge may flip a verdict
+    immediately).  Calling {!tick} while [Clock.now < next_due] is
+    guaranteed to be a no-op, which is what lets a driver skip idle
+    daemons without changing a single observable (rounds fire at the
+    same ticks, transitions are recorded at the same ticks, the PRNG is
+    consumed identically). *)
+
+val peers_version : t -> int
+(** Monotone counter bumped whenever the table changes in a way
+    {!replica_peers} or {!view} could observe: an entry learned, or a
+    merge/local delta that changed a status or replica set.  Heartbeat
+    refreshes do not bump it, so a consumer may cache derived peer lists
+    keyed on this version instead of re-deriving every tick. *)
+
 val liveness : t -> string -> liveness
 (** Current verdict for a host name.  Unknown hosts — and the local host
     itself — are [Alive]: suspicion requires evidence. *)

@@ -297,6 +297,8 @@ let tick t =
   | Some since when t.now () - since >= t.flush_age -> flush t
   | _ -> Ok ()
 
+let pending t = t.oldest_commit <> None
+
 (* ------------------------------------------------------------------ *)
 (* Block I/O through the journal                                       *)
 

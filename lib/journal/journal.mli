@@ -117,6 +117,11 @@ val tick : t -> unit io
 (** Clock-driven flush daemon hook: flush iff the oldest staged commit
     has waited at least [flush_age]. *)
 
+val pending : t -> bool
+(** Is at least one committed transaction staged and waiting for the
+    group-commit flush?  While [false], {!tick} is a no-op — drivers may
+    skip it. *)
+
 (** {1 Introspection} *)
 
 val stats : t -> (string * int) list

@@ -59,6 +59,21 @@ type packet = {
   p_seq : int;  (* send order, the tiebreak among equally due packets *)
 }
 
+module Imap = Map.Make (Int)
+
+(* Two interchangeable queue representations.  [Linear] is the seed
+   behavior: an unordered list that every pump partitions and sorts.
+   [Indexed] is an event queue keyed by delivery tick; each bucket holds
+   its packets newest-first, so popping the <= now buckets in key order
+   and reversing each reproduces the exact (due, seq) delivery order the
+   linear path sorts into.  Both representations consume the PRNG
+   identically (latency at send, reorder/loss at delivery in ready
+   order), so a given (seed, schedule) produces the same run under
+   either — the equivalence qcheck in the test suite holds them to it. *)
+type queue =
+  | Linear of packet list
+  | Indexed of packet list Imap.t
+
 type t = {
   clock : Clock.t;
   rng : Random.State.t;
@@ -68,12 +83,15 @@ type t = {
   link_faults : (host_id * host_id, faults) Hashtbl.t;
   severed : (host_id * host_id, unit) Hashtbl.t;
   mutable host_table : host array;
-  mutable queue : packet list;  (* unordered; delivery sorts by (due, seq) *)
+  mutable queue : queue;
+  mutable npending : int;
   mutable seq : int;
+  mutable deliver_hook : (host_id -> unit) option;
   counters : Counters.t;
 }
 
-let create ?(seed = 42) ?(datagram_loss = 0.0) ?(faults = no_faults) clock =
+let create ?(seed = 42) ?(datagram_loss = 0.0) ?(faults = no_faults)
+    ?(indexed = true) clock =
   if datagram_loss < 0.0 || datagram_loss > 1.0 then invalid_arg "Sim_net.create";
   check_faults faults;
   {
@@ -85,10 +103,16 @@ let create ?(seed = 42) ?(datagram_loss = 0.0) ?(faults = no_faults) clock =
     link_faults = Hashtbl.create 8;
     severed = Hashtbl.create 8;
     host_table = [||];
-    queue = [];
+    queue = (if indexed then Indexed Imap.empty else Linear []);
+    npending = 0;
     seq = 0;
+    deliver_hook = None;
     counters = Counters.create ();
   }
+
+let indexed t = match t.queue with Indexed _ -> true | Linear _ -> false
+
+let set_deliver_hook t f = t.deliver_hook <- Some f
 
 let clock t = t.clock
 let counters t = t.counters
@@ -206,8 +230,14 @@ let draw_latency t (f : faults) =
   else f.latency_min + Random.State.int t.rng (f.latency_max - f.latency_min + 1)
 
 let enqueue t ~src ~dst p ~due =
-  t.queue <- { p_src = src; p_dst = dst; p_payload = p; p_due = due; p_seq = t.seq } :: t.queue;
-  t.seq <- t.seq + 1
+  let pkt = { p_src = src; p_dst = dst; p_payload = p; p_due = due; p_seq = t.seq } in
+  t.seq <- t.seq + 1;
+  t.npending <- t.npending + 1;
+  match t.queue with
+  | Linear q -> t.queue <- Linear (pkt :: q)
+  | Indexed m ->
+    let bucket = Option.value ~default:[] (Imap.find_opt due m) in
+    t.queue <- Indexed (Imap.add due (pkt :: bucket) m)
 
 let send t ~src ~dst p =
   Counters.incr t.counters "net.datagrams.sent";
@@ -226,7 +256,29 @@ let register_handler t id f =
   let h = host t id in
   h.datagram_handlers <- h.datagram_handlers @ [ f ]
 
-let pending t = List.length t.queue
+let pending t = t.npending
+
+(* Pull every packet due by [now], in (due, seq) order.  Linear: one
+   partition + sort over the whole queue, O(pending · log pending) per
+   pump even when nothing is due.  Indexed: split off the ripe buckets,
+   O(log buckets) when nothing is due. *)
+let take_ready t now =
+  match t.queue with
+  | Linear q ->
+    let ready, later = List.partition (fun p -> p.p_due <= now) q in
+    t.queue <- Linear later;
+    List.sort
+      (fun a b ->
+        match Int.compare a.p_due b.p_due with 0 -> Int.compare a.p_seq b.p_seq | c -> c)
+      ready
+  | Indexed m ->
+    let below, at_now, above = Imap.split now m in
+    t.queue <- Indexed above;
+    let buckets =
+      Imap.bindings below
+      @ (match at_now with Some b -> [ (now, b) ] | None -> [])
+    in
+    List.concat_map (fun (_, bucket) -> List.rev bucket) buckets
 
 (* One adjacent-swap pass over the delivery order: each packet may slip
    behind its successor with the link's reorder probability. *)
@@ -242,14 +294,8 @@ let rec reorder_pass t = function
 
 let pump t =
   let now = Clock.now t.clock in
-  let ready, later = List.partition (fun p -> p.p_due <= now) t.queue in
-  t.queue <- later;
-  let ready =
-    List.sort
-      (fun a b ->
-        match Int.compare a.p_due b.p_due with 0 -> Int.compare a.p_seq b.p_seq | c -> c)
-      ready
-  in
+  let ready = take_ready t now in
+  t.npending <- t.npending - List.length ready;
   let ready = reorder_pass t ready in
   let delivered = ref 0 in
   let deliver p =
@@ -261,6 +307,7 @@ let pump t =
     else begin
       Counters.incr t.counters "net.datagrams.delivered";
       incr delivered;
+      (match t.deliver_hook with Some f -> f p.p_dst | None -> ());
       List.iter (fun f -> f ~src:p.p_src p.p_payload) (host t p.p_dst).datagram_handlers
     end
   in

@@ -46,11 +46,30 @@ type faults = {
 val no_faults : faults
 (** All zeros: the pre-fault-injection behavior. *)
 
-val create : ?seed:int -> ?datagram_loss:float -> ?faults:faults -> Clock.t -> t
+val create :
+  ?seed:int -> ?datagram_loss:float -> ?faults:faults -> ?indexed:bool ->
+  Clock.t -> t
 (** [datagram_loss] (default 0.0) is the probability, from a seeded PRNG,
     that any given datagram is silently dropped even without a
     partition.  [faults] (default {!no_faults}) is the initial global
-    fault spec; see {!set_faults}. *)
+    fault spec; see {!set_faults}.
+
+    [indexed] (default [true]) selects the queue representation: an
+    event queue keyed by delivery tick, so {!pump} touches only ripe
+    packets, versus the legacy flat list that every pump partitions and
+    sorts.  The two are observably identical — same delivery order, same
+    PRNG consumption, same counters — differing only in cost; the linear
+    path is kept as the oracle for the equivalence property test and as
+    the before arm of the SCALE benchmark. *)
+
+val indexed : t -> bool
+
+val set_deliver_hook : t -> (host_id -> unit) -> unit
+(** Install a callback invoked with the destination host id of every
+    {e delivered} datagram (dropped ones excluded), before its handlers
+    run.  The cluster harness uses it to mark hosts with freshly arrived
+    work as runnable in its ready-queue.  At most one hook; a second
+    call replaces the first. *)
 
 val set_faults : t -> faults -> unit
 (** Replace the global fault spec.  Raises [Invalid_argument] on

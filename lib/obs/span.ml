@@ -30,11 +30,19 @@ type span = {
 type t = {
   mutable next_id : int;
   mutable next_seq : int; (* total order for same-tick events *)
+  mutable retention : int option; (* keep at most this many spans *)
+  mutable oldest : int; (* eviction cursor; ids are dense from 1 *)
   spans : (int, span) Hashtbl.t;
 }
 
 let none = 0
-let create () = { next_id = 1; next_seq = 0; spans = Hashtbl.create 64 }
+
+let create () =
+  { next_id = 1; next_seq = 0; retention = None; oldest = 1; spans = Hashtbl.create 64 }
+
+let set_retention t cap =
+  if cap <= 0 then invalid_arg "Span.set_retention";
+  t.retention <- Some cap
 
 let push t sp ~host ~tick label =
   let e = { e_tick = tick; e_host = host; e_label = label; e_seq = t.next_seq } in
@@ -46,6 +54,15 @@ let start t ~host ~tick label =
   t.next_id <- id + 1;
   let sp = { sp_id = id; sp_label = label; sp_origin = host; sp_start = tick; sp_events = [] } in
   Hashtbl.replace t.spans id sp;
+  (match t.retention with
+  | None -> ()
+  | Some cap ->
+    (* Ids are minted densely, so the oldest surviving span is at the
+       cursor; [event] on an evicted id is already a silent no-op. *)
+    while id - t.oldest + 1 > cap do
+      Hashtbl.remove t.spans t.oldest;
+      t.oldest <- t.oldest + 1
+    done);
   push t sp ~host ~tick label;
   id
 

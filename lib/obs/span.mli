@@ -11,6 +11,14 @@ val none : int
 
 val create : unit -> t
 
+val set_retention : t -> int -> unit
+(** Bound the table to the newest [cap] spans ([cap > 0]); older spans
+    are evicted as new ones start, and later [event]s on them become
+    no-ops.  By default retention is unbounded — every span is kept,
+    which is what the observability experiments rely on.  Million-op
+    replays (the SCALE benchmark) set a cap so per-update spans do not
+    accumulate without bound. *)
+
 val start : t -> host:string -> tick:int -> string -> int
 (** Mint a fresh span id and record its first event. *)
 

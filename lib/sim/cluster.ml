@@ -10,6 +10,9 @@ type host = {
   h_recon : Recon_daemon.t;
   h_gossip : Gossip.t option;
   mutable h_replicas : (Ids.volume_ref * Physical.t) list;
+  h_replica_idx : (int * int, Physical.t) Hashtbl.t;
+      (* (alloc, vol) -> the local replica: the volume-registry index,
+         so per-volume lookups stop scanning the replica list *)
   h_mounts : (string * string, Nfs_client.m) Hashtbl.t;  (* server name, export *)
 }
 
@@ -22,6 +25,21 @@ type t = {
   name_to_index : (string, int) Hashtbl.t;
   volumes : (int * int, (Ids.replica_id * string) list) Hashtbl.t;
   mutable next_vol : int;
+  indexed : bool;
+  journaled : bool;
+  (* The ready-queue (shared mutable containers, not mutable fields: the
+     record is functionally updated once during create and closures hold
+     the early copy). *)
+  active : (int, unit) Hashtbl.t;
+      (* host indexes that may have immediate work: a datagram was just
+         delivered to them, or their last daemon run left propagation
+         pulls pending *)
+  timer_wake : int ref;
+      (* earliest tick at which any host's periodic timer (reconciler,
+         gossip) can fire; 0 forces a full scan on the next tick *)
+  peers_synced : (int, int) Hashtbl.t;
+      (* host index -> Gossip.peers_version last folded into its
+         physical layers' peer lists *)
 }
 
 let clock t = t.clock
@@ -40,10 +58,12 @@ let nfs_server h = h.h_server
 let gossip h = h.h_gossip
 let replicas h = h.h_replicas
 
-let replica h vref =
-  List.find_map
-    (fun (v, phys) -> if Ids.vref_equal v vref then Some phys else None)
-    h.h_replicas
+let replica h vref = Hashtbl.find_opt h.h_replica_idx (vref.Ids.alloc, vref.Ids.vol)
+
+let index_replica h (vref : Ids.volume_ref) phys =
+  Hashtbl.replace h.h_replica_idx (vref.Ids.alloc, vref.Ids.vol) phys
+
+let mark_active t i = if t.indexed then Hashtbl.replace t.active i ()
 
 let export_name (vref : Ids.volume_ref) rid =
   Printf.sprintf "vol.%d.%d.%d" vref.Ids.alloc vref.Ids.vol rid
@@ -80,13 +100,14 @@ let connector t h : Remote.connector =
 let connect_from t i = connector t t.hosts.(i)
 
 let create ?(seed = 11) ?(datagram_loss = 0.0) ?(faults = Sim_net.no_faults)
-    ?(disk_blocks = 4096) ?(block_size = 1024)
+    ?(disk_blocks = 4096) ?(block_size = 1024) ?ninodes ?disk_blocks_for
+    ?ninodes_for
     ?(cache_capacity = 256) ?(propagation_delay = 0) ?(reconcile_period = 100)
     ?(selection = Logical.Most_recent) ?(journal_blocks = 0) ?gossip ?log_level
-    ~nhosts () =
+    ?(indexed = true) ~nhosts () =
   if nhosts <= 0 then invalid_arg "Cluster.create";
   let clock = Clock.create () in
-  let net = Sim_net.create ~seed ~datagram_loss ~faults clock in
+  let net = Sim_net.create ~seed ~datagram_loss ~faults ~indexed clock in
   let obs = Obs.create () in
   (match log_level with
    | None -> ()
@@ -103,6 +124,11 @@ let create ?(seed = 11) ?(datagram_loss = 0.0) ?(faults = Sim_net.no_faults)
       name_to_index;
       volumes = Hashtbl.create 8;
       next_vol = 1;
+      indexed;
+      journaled = journal_blocks > 0;
+      active = Hashtbl.create 64;
+      timer_wake = ref 0;
+      peers_synced = Hashtbl.create 64;
     }
   in
   let make_host i =
@@ -110,9 +136,18 @@ let create ?(seed = 11) ?(datagram_loss = 0.0) ?(faults = Sim_net.no_faults)
     let h_id = Sim_net.add_host net h_name in
     Hashtbl.replace name_to_id h_name h_id;
     Hashtbl.replace name_to_index h_name i;
-    let h_disk = Disk.create ~label:h_name ~nblocks:disk_blocks ~block_size () in
+    let nblocks =
+      match disk_blocks_for with Some f -> f i | None -> disk_blocks
+    in
+    let h_ninodes =
+      match ninodes_for with Some f -> Some (f i) | None -> ninodes
+    in
+    let h_disk = Disk.create ~label:h_name ~nblocks ~block_size () in
     let h_ufs =
-      match Ufs.mkfs ~cache_capacity ~journal_blocks ~now:(Clock.fn clock) h_disk with
+      match
+        Ufs.mkfs ~cache_capacity ?ninodes:h_ninodes ~journal_blocks
+          ~now:(Clock.fn clock) h_disk
+      with
       | Ok fs -> fs
       | Error e -> failwith ("Cluster: mkfs failed: " ^ Errno.to_string e)
     in
@@ -158,6 +193,7 @@ let create ?(seed = 11) ?(datagram_loss = 0.0) ?(faults = Sim_net.no_faults)
            h_recon;
            h_gossip;
            h_replicas = [];
+           h_replica_idx = Hashtbl.create 4;
            h_mounts = Hashtbl.create 8;
          })
     in
@@ -182,7 +218,12 @@ let create ?(seed = 11) ?(datagram_loss = 0.0) ?(faults = Sim_net.no_faults)
             | _ -> ())
         hosts)
     hosts;
-  { t with hosts }
+  let t = { t with hosts } in
+  (* Feed the ready-queue: every delivered datagram (update notification,
+     gossip leg, …) marks its destination runnable.  Sim_net host ids are
+     assigned in creation order, so they equal cluster host indexes. *)
+  if indexed then Sim_net.set_deliver_hook net (fun dst -> Hashtbl.replace t.active dst ());
+  t
 
 (* ------------------------------------------------------------------ *)
 (* Volumes                                                             *)
@@ -231,6 +272,9 @@ let create_volume t ~on =
         wire_notifier t h phys;
         Nfs_server.add_export h.h_server ~name:(export_name vref rid) (Physical.root phys);
         h.h_replicas <- (vref, phys) :: h.h_replicas;
+        index_replica h vref phys;
+        (* The container mkdir may have staged a journal commit. *)
+        mark_active t h.h_index;
         place (rid + 1) rest
     in
     let* () = place 1 on in
@@ -276,6 +320,8 @@ let add_replica t ~host:i vref =
     in
     Nfs_server.add_export h.h_server ~name:(export_name vref rid) (Physical.root phys);
     h.h_replicas <- (vref, phys) :: h.h_replicas;
+    index_replica h vref phys;
+    mark_active t h.h_index;
     (match h.h_gossip with
      | None -> refresh_peers t vref peers
      | Some _ ->
@@ -311,6 +357,7 @@ let remove_replica t ~host:i vref =
   | Some phys ->
     let rid = Physical.rid phys in
     h.h_replicas <- List.filter (fun (v, _) -> not (Ids.vref_equal v vref)) h.h_replicas;
+    Hashtbl.remove h.h_replica_idx (vref.Ids.alloc, vref.Ids.vol);
     let remaining = List.filter (fun (r, _) -> r <> rid) peers in
     (match h.h_gossip with
      | None -> refresh_peers t vref remaining
@@ -391,6 +438,9 @@ let reboot t i =
   in
   let* fresh_replicas = reattach [] h.h_replicas in
   h.h_replicas <- fresh_replicas;
+  List.iter (fun (vref, phys) -> index_replica h vref phys) fresh_replicas;
+  (* Journal replay / fsck may have left work; re-run this host soon. *)
+  mark_active t i;
   Ok ()
 
 (* ------------------------------------------------------------------ *)
@@ -424,26 +474,49 @@ let sync_peers_from_gossip t =
       match h.h_gossip with
       | None -> ()
       | Some g ->
-        List.iter
-          (fun (vref, phys) ->
-            let peers =
-              Gossip.replica_peers g ~alloc:vref.Ids.alloc ~vol:vref.Ids.vol
-            in
-            let current = List.sort compare (Physical.peers phys) in
-            if peers <> [] && peers <> current then begin
-              (match Physical.set_peers phys peers with Ok () | Error _ -> ());
-              wire_notifier t h phys;
-              Metrics.incr t.obs.Obs.metrics "membership.peer_updates"
-            end)
-          h.h_replicas)
+        (* Deriving peer lists walks the whole membership table per
+           replica; gate it on the table's peers_version so a quiet tick
+           costs one integer compare per host instead.  The version
+           bumps on exactly the changes replica_peers can observe, so
+           the gated fold performs the same set_peers calls the ungated
+           one would. *)
+        let version = Gossip.peers_version g in
+        let seen = Hashtbl.find_opt t.peers_synced h.h_index in
+        if seen <> Some version then begin
+          Hashtbl.replace t.peers_synced h.h_index version;
+          List.iter
+            (fun (vref, phys) ->
+              let peers =
+                Gossip.replica_peers g ~alloc:vref.Ids.alloc ~vol:vref.Ids.vol
+              in
+              let current = List.sort compare (Physical.peers phys) in
+              if peers <> [] && peers <> current then begin
+                (match Physical.set_peers phys peers with Ok () | Error _ -> ());
+                wire_notifier t h phys;
+                Metrics.incr t.obs.Obs.metrics "membership.peer_updates"
+              end)
+            h.h_replicas
+        end)
     t.hosts
 
 (* Advance time and drive every host's daemons, as a host's cron would:
    deliver datagrams, run gossip rounds, run propagation, tick the
-   periodic reconcilers. *)
-let tick_daemons t ticks =
-  Clock.advance t.clock ticks;
-  let (_ : int) = pump t in
+   periodic reconcilers.
+
+   Linear mode (the seed behavior, kept as the oracle): every daemon of
+   every host runs every tick, relying on each being a cheap no-op when
+   idle.  Indexed mode runs the same phases but consults the
+   ready-queue: a tick on a fully quiescent cluster — no deliverable
+   datagrams, no host in [active], no timer due, no journal commit
+   staged — returns after one cheap pump and three O(1) checks, and a
+   busy tick still skips the hosts whose daemons would no-op.  Each
+   per-host skip is individually a proven no-op (empty new-version
+   cache, timer not due, nothing staged), so both modes produce
+   identical cluster state, metrics and PRNG consumption; the
+   equivalence qcheck in the test suite drives random schedules through
+   both and compares everything. *)
+
+let tick_daemons_linear t =
   let (_ : int) =
     Array.fold_left
       (fun acc h ->
@@ -469,6 +542,67 @@ let tick_daemons t ticks =
       Reconcile.empty_stats t.hosts
   in
   (pulls, recon)
+
+let any_journal_pending t =
+  t.journaled && Array.exists (fun h -> Ufs.journal_pending h.h_ufs) t.hosts
+
+let tick_daemons_indexed t =
+  let now = Clock.now t.clock in
+  if Hashtbl.length t.active = 0 && now < !(t.timer_wake) && not (any_journal_pending t)
+  then (0, Reconcile.empty_stats)
+  else begin
+    let (_ : int) =
+      Array.fold_left
+        (fun acc h ->
+          match h.h_gossip with
+          | Some g when Gossip.next_due g <= now -> acc + Gossip.tick g
+          | Some _ | None -> acc)
+        0 t.hosts
+    in
+    sync_peers_from_gossip t;
+    Array.iter
+      (fun h ->
+        if Ufs.journal_pending h.h_ufs then
+          match Ufs.journal_tick h.h_ufs with Ok () | Error _ -> ())
+      t.hosts;
+    let pulls =
+      Array.fold_left
+        (fun acc h ->
+          if Propagation.pending h.h_prop > 0 then acc + Propagation.run_once h.h_prop
+          else acc)
+        0 t.hosts
+    in
+    let recon =
+      Array.fold_left
+        (fun acc h ->
+          if Recon_daemon.next_due h.h_recon <= now then
+            match Recon_daemon.tick h.h_recon with
+            | Some stats -> Reconcile.add_stats acc stats
+            | None -> acc
+          else acc)
+        Reconcile.empty_stats t.hosts
+    in
+    (* Requiesce: hosts that still owe propagation work stay runnable;
+       everyone else sleeps until the earliest timer anywhere. *)
+    Hashtbl.reset t.active;
+    let wake = ref max_int in
+    Array.iter
+      (fun h ->
+        if Propagation.pending h.h_prop > 0 then Hashtbl.replace t.active h.h_index ();
+        let due = Recon_daemon.next_due h.h_recon in
+        let due =
+          match h.h_gossip with Some g -> min due (Gossip.next_due g) | None -> due
+        in
+        if due < !wake then wake := due)
+      t.hosts;
+    t.timer_wake := !wake;
+    (pulls, recon)
+  end
+
+let tick_daemons t ticks =
+  Clock.advance t.clock ticks;
+  let (_ : int) = pump t in
+  if t.indexed then tick_daemons_indexed t else tick_daemons_linear t
 
 let volume_replicas_in_order t vref =
   let* peers = volume_peers t vref in

@@ -18,6 +18,9 @@ val create :
   ?faults:Sim_net.faults ->
   ?disk_blocks:int ->
   ?block_size:int ->
+  ?ninodes:int ->
+  ?disk_blocks_for:(int -> int) ->
+  ?ninodes_for:(int -> int) ->
   ?cache_capacity:int ->
   ?propagation_delay:int ->
   ?reconcile_period:int ->
@@ -25,6 +28,7 @@ val create :
   ?journal_blocks:int ->
   ?gossip:Gossip.config ->
   ?log_level:Logs.level ->
+  ?indexed:bool ->
   nhosts:int -> unit -> t
 (** Hosts are named ["host0"], ["host1"], ….  All parameters are shared
     by every host.  [journal_blocks] (default 0) formats each host's UFS
@@ -40,7 +44,28 @@ val create :
     purely local operations whose deltas converge epidemically, the
     daemons consult gossip liveness to try suspect/dead peers last, and
     peer lists are re-derived from each host's own membership table
-    instead of being pushed. *)
+    instead of being pushed.
+
+    [ninodes] is forwarded to {!Ufs.mkfs} (default: derived from the
+    disk size) — large synthetic workloads need more inodes than the
+    derived count.
+
+    [disk_blocks_for] / [ninodes_for] size individual hosts' disks by
+    host index, overriding [disk_blocks] / [ninodes] where given.  A
+    large cluster in which only a few hosts store replicas can give the
+    idle majority small disks — the simulator's per-host disk arrays
+    are eagerly allocated, so uniform sizing makes cluster construction
+    (and its memory footprint) scale with [nhosts * disk_blocks] even
+    when most hosts never store a byte.
+
+    [indexed] (default [true]) selects the simulator's indexed hot
+    paths: the network uses an event queue keyed by delivery tick
+    ({!Sim_net.create}), and {!tick_daemons} keeps a per-host
+    ready-queue so hosts with no queued datagrams, an empty new-version
+    cache and no due timers are skipped entirely.  [~indexed:false] is
+    the seed's linear scan, kept as the oracle for the equivalence
+    property test and as the before arm of the SCALE benchmark; both
+    modes produce identical cluster state, metrics and PRNG draws. *)
 
 val clock : t -> Clock.t
 val net : t -> Sim_net.t
@@ -148,7 +173,13 @@ val tick_daemons : t -> int -> int * Reconcile.stats
     reconcilers (which fire when their period elapses).  Returns (pulls,
     aggregated reconciliation stats).  This is how a long-running
     deployment converges without anyone calling {!converge}
-    explicitly. *)
+    explicitly.
+
+    With [~indexed:true] (the default) a ready-queue makes this cheap on
+    quiet clusters: hosts with no freshly delivered datagrams, an empty
+    new-version cache and no due reconciler/gossip timer are skipped
+    entirely, and a fully quiescent tick is O(1).  Observable behavior
+    is identical to the linear scan (see {!create}). *)
 
 val run_propagation : t -> int
 (** Pump, then run every host's propagation daemon once; repeats until no

@@ -177,6 +177,49 @@ val member_gossip : unit -> verdict
     failed RPCs — while the post-heal converge proves availability was
     never sacrificed. *)
 
+type scale_metrics = {
+  sm_ops : int;
+  sm_hosts : int;
+  sm_wall_seconds : float;     (** wall clock of the replay phase *)
+  sm_ops_per_sec : float;
+  sm_errors : int;             (** failed trace ops; must be 0 *)
+  sm_pulls : int;              (** propagation pulls over the whole run *)
+  sm_deterministic : bool;     (** two same-seed replays, identical state *)
+  sm_linear_ticks_per_sec : float;
+  sm_indexed_ticks_per_sec : float;
+  sm_quiescent_speedup : float;  (** indexed / linear, quiescent cluster *)
+}
+(** Machine-readable summary of the scale benchmark, consumed by
+    [bench --json]. *)
+
+val last_scale_metrics : scale_metrics option ref
+(** Filled by {!scale_trace}; [None] until it has run. *)
+
+val scale_ops : int ref
+(** Trace length for {!scale_trace} (default 1_000_000).  The bench
+    harness lowers it for smoke runs and CI (--scale-ops). *)
+
+val scale_hosts : int ref
+(** Cluster size for {!scale_trace} (default 64; minimum 8). *)
+
+val scale_floor : float ref
+(** Throughput regression floor in sim-ops/sec (default 0 = no floor).
+    When positive, the SCALE verdict fails if the replay runs slower —
+    this is the gate CI's bench-perf job enforces (--scale-floor). *)
+
+val scale_trace : unit -> verdict
+(** The SCALE benchmark, three arms.  (1) Throughput: a Zipfian
+    read/write/rename/mkdir trace ({!Workload.trace}) streamed over a
+    gossip cluster with a 4-replica volume, users spread round-robin
+    over the replica hosts, daemons ticked every 2000 ops; reports
+    sim-ops/sec and wall-clock, and requires zero op errors plus exact
+    replica convergence after the drain.  (2) Determinism: two fresh
+    same-seed replays (reduced size) must digest to bit-identical final
+    state.  (3) Indexing: an identical cluster at rest is ticked under
+    the legacy linear scan and the indexed ready-queue; the indexed
+    ticks/sec must be at least twice the linear rate — the before/after
+    measurement for the simulator's indexed hot paths. *)
+
 val all : unit -> verdict list
 (** Run every experiment in order, printing all tables. *)
 

@@ -923,6 +923,9 @@ let sync t =
 let journal_tick t =
   match t.journal with None -> Ok () | Some j -> Journal.tick j
 
+let journal_pending t =
+  match t.journal with None -> false | Some j -> Journal.pending j
+
 let journal_stats t =
   match t.journal with None -> [] | Some j -> Journal.stats j
 

@@ -137,6 +137,11 @@ val journal_tick : t -> unit io
     Driven alongside the propagation/reconciliation daemons (see
     [Cluster.tick_daemons]); a no-op when unjournaled. *)
 
+val journal_pending : t -> bool
+(** Is a group commit staged and waiting to age out?  While [false],
+    {!journal_tick} is a no-op, so the cluster's ready-queue may skip
+    this host's flush daemon.  Always [false] when unjournaled. *)
+
 val journal_stats : t -> (string * int) list
 (** Journal lifetime counters ({!Journal.stats}); [[]] when unjournaled. *)
 

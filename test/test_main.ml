@@ -29,5 +29,6 @@ let () =
       ("obs", Test_obs.suite);
       ("gossip", Test_gossip.suite);
       ("properties", Test_props.suite);
+      ("scale", Test_scale.suite);
       ("experiments", Test_experiments.suite);
     ]
