@@ -172,6 +172,26 @@ let write_json path ~mode verdicts =
      Printf.fprintf oc "    \"net.rpc.failed_gossip\": %d\n  }"
        m.Experiments.mm_failed_rpcs_gossip
    | None -> ());
+  (match !Experiments.last_consensus_metrics with
+   | Some m ->
+     Printf.fprintf oc ",\n  \"consensus\": {\n";
+     Printf.fprintf oc "    \"control.divergence_ticks\": %d,\n"
+       m.Experiments.cn_raft_divergence_ticks;
+     Printf.fprintf oc "    \"control.divergence_ticks_gossip\": %d,\n"
+       m.Experiments.cn_gossip_divergence_ticks;
+     Printf.fprintf oc "    \"rounds_to_agreement\": %d,\n"
+       m.Experiments.cn_raft_rounds_to_agreement;
+     Printf.fprintf oc "    \"rounds_to_agreement_gossip\": %d,\n"
+       m.Experiments.cn_gossip_rounds_to_agreement;
+     Printf.fprintf oc "    \"raft.leader_changes\": %d,\n"
+       m.Experiments.cn_raft_leader_changes;
+     Printf.fprintf oc "    \"control.unavailable_ticks\": %d,\n"
+       m.Experiments.cn_raft_unavailable_ticks;
+     Printf.fprintf oc "    \"control.ops\": %d,\n    \"control.failed_ops\": %d,\n"
+       m.Experiments.cn_raft_control_ops m.Experiments.cn_raft_control_failed;
+     Printf.fprintf oc "    \"data_available\": %b\n  }"
+       m.Experiments.cn_data_available
+   | None -> ());
   (match !Experiments.last_scale_metrics with
    | Some m ->
      Printf.fprintf oc ",\n  \"scale\": {\n";
@@ -216,6 +236,11 @@ let schema_keys =
     "membership"; "gossip.rounds_to_converge"; "gossip.suspect_events";
     "prop.rpcs_skipped_dead"; "membership.eager_pushes";
     "net.rpc.failed_seed"; "net.rpc.failed_gossip";
+    (* control plane (consensus) *)
+    "consensus"; "control.divergence_ticks"; "control.divergence_ticks_gossip";
+    "rounds_to_agreement"; "rounds_to_agreement_gossip"; "raft.leader_changes";
+    "control.unavailable_ticks"; "control.ops"; "control.failed_ops";
+    "data_available";
     (* scale *)
     "scale"; "ops"; "hosts"; "wall_seconds"; "sim_ops_per_sec"; "errors";
     "pulls"; "deterministic"; "linear_ticks_per_sec"; "indexed_ticks_per_sec";
@@ -259,7 +284,7 @@ let check_schema path =
    the smoke artifact still carries the full JSON schema. *)
 let smoke_names =
   [ "e2"; "e3"; "e4"; "e6"; "e9"; "e10"; "f2"; "a1"; "a3"; "a5"; "chaos"; "wal";
-    "obslag"; "reconscale"; "member"; "scale" ]
+    "obslag"; "reconscale"; "member"; "consensus"; "scale" ]
 
 let smoke_scale_ops = 20_000
 

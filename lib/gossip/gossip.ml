@@ -25,6 +25,7 @@ type entry = {
   e_heartbeat : int;
   e_status : status;
   e_replicas : (int * int * int) list;
+  e_cindex : int;
   e_span : int;
 }
 
@@ -33,12 +34,17 @@ let status_rank = function Member -> 0 | Left -> 1
 (* The join below is [max] by this key, which makes it a semilattice:
    commutative, associative, idempotent.  That is the whole correctness
    argument for anti-entropy — any delivery order with any duplication
-   converges — and the qcheck suite checks it mechanically.  Status and
-   replicas participate so even stamp ties (which owner-only mutation
-   should never produce, but dropped-and-reordered wires might) resolve
-   identically everywhere. *)
+   converges — and the qcheck suite checks it mechanically.  Status,
+   replicas and the control index participate so even stamp ties (which
+   owner-only mutation should never produce, but dropped-and-reordered
+   wires might) resolve identically everywhere. *)
 let entry_key e =
-  (e.e_incarnation, e.e_heartbeat, status_rank e.e_status, e.e_replicas, e.e_span)
+  ( e.e_incarnation,
+    e.e_heartbeat,
+    status_rank e.e_status,
+    e.e_replicas,
+    e.e_cindex,
+    e.e_span )
 
 let entry_join a b =
   if not (String.equal a.e_host b.e_host) then
@@ -309,6 +315,7 @@ let create ?(config = default_config) ?seed ~obs ~net id =
       e_heartbeat = 0;
       e_status = Member;
       e_replicas = [];
+      e_cindex = 0;
       e_span = Span.none;
     }
   in
@@ -321,7 +328,7 @@ let introduce a b =
   merge a (self b).p_entry;
   merge b (self a).p_entry
 
-let bump_self t ?span ?status ?replicas ~label () =
+let bump_self t ?span ?status ?replicas ?cindex ~label () =
   let ps = self t in
   let e = ps.p_entry in
   let span =
@@ -335,15 +342,18 @@ let bump_self t ?span ?status ?replicas ~label () =
       e_heartbeat = e.e_heartbeat + 1;
       e_status = Option.value status ~default:e.e_status;
       e_replicas = Option.value replicas ~default:e.e_replicas;
+      (* The control index is a high-water mark: it only moves up, even
+         if the caller hands us something stale. *)
+      e_cindex = max e.e_cindex (Option.value cindex ~default:e.e_cindex);
       e_span = span;
     };
   ps.p_last_heard <- now t;
   ignore label
 
-let set_replicas t ?(label = "member:update") replicas =
+let set_replicas t ?(label = "member:update") ?cindex replicas =
   let replicas = List.sort_uniq compare replicas in
   let span = Span.start (spans t) ~host:t.g_host ~tick:(now t) label in
-  bump_self t ~span ~replicas ~label ();
+  bump_self t ~span ~replicas ?cindex ~label ();
   t.g_peers_version <- t.g_peers_version + 1;
   Metrics.incr (metrics t) "gossip.deltas";
   Log.info (fun m ->
@@ -449,6 +459,13 @@ let view t =
   List.map
     (fun e -> (e.e_host, e.e_incarnation, e.e_status, e.e_replicas))
     (membership t)
+
+(* The highest control-plane committed index any entry in the table
+   vouches for.  Not per-owner: committed state is global, so the best
+   evidence any neighbour carries bounds how stale our control view can
+   be. *)
+let control_index t =
+  Hashtbl.fold (fun _ ps acc -> max acc ps.p_entry.e_cindex) t.g_table 0
 
 let replica_peers t ~alloc ~vol =
   Hashtbl.fold

@@ -50,12 +50,19 @@ type entry = {
       (** volume replicas stored on the host, as sorted
           [(allocator, volume, replica-id)] triples — kept as raw ints
           so this library sits below [Ids] in the dependency order *)
+  e_cindex : int;
+      (** highest control-plane committed index this host has observed —
+          the bridge by which raft-committed control state reaches
+          non-coordinators: it rides ordinary anti-entropy and lets any
+          host compare the freshness of a gossip-learned view against a
+          coordinator's committed index.  0 on gossip-only clusters. *)
   e_span : int;  (** span of the membership delta this entry carries *)
 }
 
-val entry_key : entry -> int * int * int * (int * int * int) list * int
+val entry_key :
+  entry -> int * int * int * (int * int * int) list * int * int
 (** Total order used by {!entry_join}: incarnation, heartbeat, status
-    rank ([Left] above [Member]), replicas, span. *)
+    rank ([Left] above [Member]), replicas, control index, span. *)
 
 val entry_join : entry -> entry -> entry
 (** Least upper bound of two entries for the same host (max by
@@ -100,11 +107,14 @@ val introduce : t -> t -> unit
     other's current self-entry, as if a join datagram had been
     delivered.  Everything after first contact is epidemic. *)
 
-val set_replicas : t -> ?label:string -> (int * int * int) list -> unit
+val set_replicas :
+  t -> ?label:string -> ?cindex:int -> (int * int * int) list -> unit
 (** Local membership delta: replace this host's replica set, bump its
     heartbeat and start a fresh span (labelled [label], default
     ["member:update"]) that travels with the entry — remote hosts append
-    a ["gossip:learn"] event when the delta first reaches them. *)
+    a ["gossip:learn"] event when the delta first reaches them.
+    [cindex], when given, raises the entry's control-index high-water
+    mark (it never lowers — the mark is monotone). *)
 
 val leave : t -> unit
 (** Mark this host [Left].  The tombstone spreads epidemically and wins
@@ -148,6 +158,12 @@ val view : t -> (string * int * status * (int * int * int) list) list
 (** Heartbeat-free projection [(host, incarnation, status, replicas)],
     sorted by host: two tables agree on membership iff their views are
     equal, even though heartbeats keep counting. *)
+
+val control_index : t -> int
+(** The highest control-plane committed index any entry in the local
+    table vouches for (own entry included) — how fresh a committed
+    control view this host has provably seen.  0 when no coordinator
+    state has ever reached it. *)
 
 val replica_peers : t -> alloc:int -> vol:int -> (int * string) list
 (** Who stores volume [(alloc, vol)], according to the local table:

@@ -9,6 +9,9 @@ type host = {
   h_prop : Propagation.t;
   h_recon : Recon_daemon.t;
   h_gossip : Gossip.t option;
+  h_control : (Raft.t * Control_plane.t) option;
+      (* present on raft coordinator-group members only: the consensus
+         core plus the control-plane registry it replicates *)
   mutable h_replicas : (Ids.volume_ref * Physical.t) list;
   h_replica_idx : (int * int, Physical.t) Hashtbl.t;
       (* (alloc, vol) -> the local replica: the volume-registry index,
@@ -27,6 +30,11 @@ type t = {
   mutable next_vol : int;
   indexed : bool;
   journaled : bool;
+  control_members : int list;
+      (* coordinator-group host indexes; [] on gossip-only clusters *)
+  control_wait : int;
+      (* tick budget a control op may spend finding a leader and
+         waiting for its command to commit before failing *)
   (* The ready-queue (shared mutable containers, not mutable fields: the
      record is functionally updated once during create and closures hold
      the early copy). *)
@@ -56,6 +64,8 @@ let propagation h = h.h_prop
 let reconciler h = h.h_recon
 let nfs_server h = h.h_server
 let gossip h = h.h_gossip
+let raft_node h = Option.map fst h.h_control
+let control_plane h = Option.map snd h.h_control
 let replicas h = h.h_replicas
 
 let replica h vref = Hashtbl.find_opt h.h_replica_idx (vref.Ids.alloc, vref.Ids.vol)
@@ -99,13 +109,116 @@ let connector t h : Remote.connector =
 
 let connect_from t i = connector t t.hosts.(i)
 
+(* ------------------------------------------------------------------ *)
+(* Control-plane client protocol (RPC to coordinator-group members).
+   Submissions and reads go to whichever member currently leads;
+   followers answer with a redirect hint, partitions with EUNREACHABLE —
+   so a client on the minority side of a partition genuinely cannot
+   mutate control state, which is the availability cost the CONSENSUS
+   experiment measures. *)
+
+type Sim_net.payload +=
+  | Control_submit of { cs_cmd : string; cs_span : int }
+  | Control_submitted of { cs_index : int; cs_term : int }
+  | Control_redirect of { cr_leader : string option }
+  | Control_poll of { cp_index : int; cp_term : int }
+  | Control_polled of { cp_committed : bool }
+  | Control_query of { cq_alloc : int; cq_vol : int }
+  | Control_replicas of {
+      cr_replicas : (int * string) list option;
+      cr_applied : int;
+    }
+
+(* Raft hard state lives in one file on the member's own journaled UFS:
+   [p_save] rewrites it and fsyncs (journal flush + checkpoint), so a
+   {!reboot}'s [Ufs.crash_reboot] replays exactly the sealed prefix and
+   {!Raft.crash_recover} finds the promised durable state. *)
+
+let raft_save ufs s =
+  let root = Ufs_vnode.root ufs in
+  let dir =
+    match Namei.mkdir_p ~root "raft" with
+    | Ok d -> d
+    | Error e -> failwith ("Cluster: raft dir: " ^ Errno.to_string e)
+  in
+  let file =
+    match Namei.walk ~root "raft/state" with
+    | Ok f -> f
+    | Error _ -> (
+      match dir.Vnode.create "state" with
+      | Ok f -> f
+      | Error e -> failwith ("Cluster: raft state: " ^ Errno.to_string e))
+  in
+  (match Vnode.write_all file s with
+  | Ok () -> ()
+  | Error e -> failwith ("Cluster: raft persist: " ^ Errno.to_string e));
+  match file.Vnode.fsync () with
+  | Ok () -> ()
+  | Error e -> failwith ("Cluster: raft fsync: " ^ Errno.to_string e)
+
+let raft_load ufs () =
+  let root = Ufs_vnode.root ufs in
+  match Namei.walk ~root "raft/state" with
+  | Ok f -> (
+    match Vnode.read_all f with
+    | Ok s when not (String.equal s "") -> Some s
+    | Ok _ | Error _ -> None)
+  | Error _ -> None
+
+let control_rpc raft cp payload =
+  match payload with
+  | Control_submit { cs_cmd; cs_span } -> (
+    match Raft.submit raft ~span:cs_span cs_cmd with
+    | Ok idx ->
+      Some (Control_submitted { cs_index = idx; cs_term = Raft.term raft })
+    | Error hint -> Some (Control_redirect { cr_leader = hint }))
+  | Control_poll { cp_index; cp_term } ->
+    (* Committed iff the commit index covers it AND the entry still
+       carries the term it was submitted under (an index alone can be
+       re-occupied by a different command after a leader change). *)
+    let committed =
+      Raft.commit_index raft >= cp_index
+      && (cp_index <= Raft.snapshot_index raft
+         ||
+         match List.assoc_opt cp_index (Raft.log_view raft) with
+         | Some tm -> tm = cp_term
+         | None -> false)
+    in
+    Some (Control_polled { cp_committed = committed })
+  | Control_query { cq_alloc; cq_vol } ->
+    if Raft.role raft = Raft.Leader then
+      Some
+        (Control_replicas
+           {
+             cr_replicas =
+               Option.map fst
+                 (Control_plane.volume cp ~alloc:cq_alloc ~vol:cq_vol);
+             cr_applied = Control_plane.applied_index cp;
+           })
+    else Some (Control_redirect { cr_leader = Raft.leader_hint raft })
+  | _ -> None
+
 let create ?(seed = 11) ?(datagram_loss = 0.0) ?(faults = Sim_net.no_faults)
     ?(disk_blocks = 4096) ?(block_size = 1024) ?ninodes ?disk_blocks_for
     ?ninodes_for
     ?(cache_capacity = 256) ?(propagation_delay = 0) ?(reconcile_period = 100)
     ?(selection = Logical.Most_recent) ?(journal_blocks = 0) ?gossip ?log_level
-    ?(indexed = true) ~nhosts () =
+    ?(indexed = true) ?(control = `Gossip) ?(raft = Raft.default_config)
+    ?(control_wait = 200) ~nhosts () =
   if nhosts <= 0 then invalid_arg "Cluster.create";
+  let control_members =
+    match control with
+    | `Gossip -> []
+    | `Raft members ->
+      let members = List.sort_uniq compare members in
+      if members = [] then invalid_arg "Cluster.create: empty raft group";
+      List.iter
+        (fun i ->
+          if i < 0 || i >= nhosts then
+            invalid_arg "Cluster.create: raft member out of range")
+        members;
+      members
+  in
   let clock = Clock.create () in
   let net = Sim_net.create ~seed ~datagram_loss ~faults ~indexed clock in
   let obs = Obs.create () in
@@ -126,6 +239,8 @@ let create ?(seed = 11) ?(datagram_loss = 0.0) ?(faults = Sim_net.no_faults)
       next_vol = 1;
       indexed;
       journaled = journal_blocks > 0;
+      control_members;
+      control_wait;
       active = Hashtbl.create 64;
       timer_wake = ref 0;
       peers_synced = Hashtbl.create 64;
@@ -164,6 +279,29 @@ let create ?(seed = 11) ?(datagram_loss = 0.0) ?(faults = Sim_net.no_faults)
       | Some g -> Gossip.liveness g
       | None -> fun _ -> Gossip.Alive
     in
+    (* Coordinator-group members replicate the control-plane registry
+       through Raft; the hard state persists on this host's own
+       journaled UFS.  The raft daemon registers its own datagram
+       handler, like gossip. *)
+    let h_control =
+      if List.mem i control_members then begin
+        let peers = List.map (Printf.sprintf "host%d") control_members in
+        let cp = Control_plane.create () in
+        let persist =
+          { Raft.p_save = raft_save h_ufs; p_load = raft_load h_ufs }
+        in
+        let r =
+          Raft.create ~config:raft ~seed:(seed + (4099 * i)) ~persist ~obs ~net
+            ~peers
+            ~apply:(fun ~index cmd -> Control_plane.apply cp ~index cmd)
+            ~snapshot:(fun () -> Control_plane.snapshot cp)
+            ~restore:(fun s -> Control_plane.restore cp s)
+            h_id
+        in
+        Some (r, cp)
+      end
+      else None
+    in
     let rec h =
       lazy
         ((* Defer forcing until the closures are actually called: the
@@ -192,6 +330,7 @@ let create ?(seed = 11) ?(datagram_loss = 0.0) ?(faults = Sim_net.no_faults)
            h_prop;
            h_recon;
            h_gossip;
+           h_control;
            h_replicas = [];
            h_replica_idx = Hashtbl.create 4;
            h_mounts = Hashtbl.create 8;
@@ -202,6 +341,10 @@ let create ?(seed = 11) ?(datagram_loss = 0.0) ?(faults = Sim_net.no_faults)
         match payload with
         | Notify.Ficus_notify ev -> Propagation.on_notify host.h_prop ev
         | _ -> ());
+    (match host.h_control with
+    | Some (r, cp) ->
+      Sim_net.register_rpc net h_id (fun ~src:_ payload -> control_rpc r cp payload)
+    | None -> ());
     host
   in
   let hosts = Array.init nhosts make_host in
@@ -240,8 +383,12 @@ let wire_notifier t h phys =
         peers)
 
 (* Re-publish a host's own replica set into its gossip entry; the delta
-   then converges epidemically.  No-op on gossip-less clusters. *)
-let seed_gossip t ~label i =
+   then converges epidemically.  No-op on gossip-less clusters.
+   [cindex] (raft-routed operations only) stamps the entry with the
+   committed index the change was serialized at, so non-members can rank
+   the freshness of gossip-carried control state against a
+   coordinator's. *)
+let seed_gossip t ~label ?cindex i =
   let h = t.hosts.(i) in
   match h.h_gossip with
   | None -> ()
@@ -251,15 +398,307 @@ let seed_gossip t ~label i =
         (fun (vref, phys) -> (vref.Ids.alloc, vref.Ids.vol, Physical.rid phys))
         h.h_replicas
     in
-    Gossip.set_replicas g ~label triples
+    Gossip.set_replicas g ~label ?cindex triples
+
+(* ------------------------------------------------------------------ *)
+(* Daemons.  (Defined ahead of the volume operations: raft-routed
+   control operations drive the daemons while waiting for commitment.) *)
+
+let pump t = Sim_net.pump t.net
+
+let run_propagation t =
+  let total = ref 0 in
+  let rec loop rounds =
+    if rounds <= 0 then ()
+    else begin
+      let delivered = pump t in
+      let attempted =
+        Array.fold_left (fun acc h -> acc + Propagation.run_once h.h_prop) 0 t.hosts
+      in
+      total := !total + attempted;
+      if delivered > 0 || attempted > 0 then loop (rounds - 1)
+    end
+  in
+  loop 50;
+  !total
+
+(* After gossip has run, fold each host's membership view back into the
+   peer lists its physical layers actually use: an epidemically learned
+   join/leave changes who gets notified and who reconciliation visits,
+   with no global fan-out ever having happened. *)
+let sync_peers_from_gossip t =
+  Array.iter
+    (fun h ->
+      match h.h_gossip with
+      | None -> ()
+      | Some g ->
+        (* Deriving peer lists walks the whole membership table per
+           replica; gate it on the table's peers_version so a quiet tick
+           costs one integer compare per host instead.  The version
+           bumps on exactly the changes replica_peers can observe, so
+           the gated fold performs the same set_peers calls the ungated
+           one would. *)
+        let version = Gossip.peers_version g in
+        let seen = Hashtbl.find_opt t.peers_synced h.h_index in
+        if seen <> Some version then begin
+          Hashtbl.replace t.peers_synced h.h_index version;
+          List.iter
+            (fun (vref, phys) ->
+              let peers =
+                Gossip.replica_peers g ~alloc:vref.Ids.alloc ~vol:vref.Ids.vol
+              in
+              let current = List.sort compare (Physical.peers phys) in
+              if peers <> [] && peers <> current then begin
+                (match Physical.set_peers phys peers with Ok () | Error _ -> ());
+                wire_notifier t h phys;
+                Metrics.incr t.obs.Obs.metrics "membership.peer_updates"
+              end)
+            h.h_replicas
+        end)
+    t.hosts
+
+(* Advance time and drive every host's daemons, as a host's cron would:
+   deliver datagrams, run gossip and raft rounds, run propagation, tick
+   the periodic reconcilers.
+
+   Linear mode (the seed behavior, kept as the oracle): every daemon of
+   every host runs every tick, relying on each being a cheap no-op when
+   idle.  Indexed mode runs the same phases but consults the
+   ready-queue: a tick on a fully quiescent cluster — no deliverable
+   datagrams, no host in [active], no timer due, no journal commit
+   staged — returns after one cheap pump and three O(1) checks, and a
+   busy tick still skips the hosts whose daemons would no-op.  Each
+   per-host skip is individually a proven no-op (empty new-version
+   cache, timer not due, nothing staged), so both modes produce
+   identical cluster state, metrics and PRNG consumption; the
+   equivalence qcheck in the test suite drives random schedules through
+   both and compares everything. *)
+
+let tick_daemons_linear t =
+  Array.iter
+    (fun h ->
+      match h.h_control with Some (r, _) -> Raft.tick r | None -> ())
+    t.hosts;
+  let (_ : int) =
+    Array.fold_left
+      (fun acc h ->
+        match h.h_gossip with Some g -> acc + Gossip.tick g | None -> acc)
+      0 t.hosts
+  in
+  (* Datagrams delivered by this (or an earlier) pump may have merged
+     fresh membership; apply it every tick, not just on round ticks. *)
+  sync_peers_from_gossip t;
+  (* The journal flush daemon runs off the same cron as propagation and
+     reconciliation: age out any staged group commit.  (No-op on
+     unjournaled hosts; an EIO here surfaces on the next operation.) *)
+  Array.iter
+    (fun h -> match Ufs.journal_tick h.h_ufs with Ok () | Error _ -> ())
+    t.hosts;
+  let pulls = Array.fold_left (fun acc h -> acc + Propagation.run_once h.h_prop) 0 t.hosts in
+  let recon =
+    Array.fold_left
+      (fun acc h ->
+        match Recon_daemon.tick h.h_recon with
+        | Some stats -> Reconcile.add_stats acc stats
+        | None -> acc)
+      Reconcile.empty_stats t.hosts
+  in
+  (pulls, recon)
+
+let any_journal_pending t =
+  t.journaled && Array.exists (fun h -> Ufs.journal_pending h.h_ufs) t.hosts
+
+let tick_daemons_indexed t =
+  let now = Clock.now t.clock in
+  if Hashtbl.length t.active = 0 && now < !(t.timer_wake) && not (any_journal_pending t)
+  then (0, Reconcile.empty_stats)
+  else begin
+    Array.iter
+      (fun h ->
+        match h.h_control with
+        | Some (r, _) when Raft.next_due r <= now -> Raft.tick r
+        | Some _ | None -> ())
+      t.hosts;
+    let (_ : int) =
+      Array.fold_left
+        (fun acc h ->
+          match h.h_gossip with
+          | Some g when Gossip.next_due g <= now -> acc + Gossip.tick g
+          | Some _ | None -> acc)
+        0 t.hosts
+    in
+    sync_peers_from_gossip t;
+    Array.iter
+      (fun h ->
+        if Ufs.journal_pending h.h_ufs then
+          match Ufs.journal_tick h.h_ufs with Ok () | Error _ -> ())
+      t.hosts;
+    let pulls =
+      Array.fold_left
+        (fun acc h ->
+          if Propagation.pending h.h_prop > 0 then acc + Propagation.run_once h.h_prop
+          else acc)
+        0 t.hosts
+    in
+    let recon =
+      Array.fold_left
+        (fun acc h ->
+          if Recon_daemon.next_due h.h_recon <= now then
+            match Recon_daemon.tick h.h_recon with
+            | Some stats -> Reconcile.add_stats acc stats
+            | None -> acc
+          else acc)
+        Reconcile.empty_stats t.hosts
+    in
+    (* Requiesce: hosts that still owe propagation work stay runnable;
+       everyone else sleeps until the earliest timer anywhere. *)
+    Hashtbl.reset t.active;
+    let wake = ref max_int in
+    Array.iter
+      (fun h ->
+        if Propagation.pending h.h_prop > 0 then Hashtbl.replace t.active h.h_index ();
+        let due = Recon_daemon.next_due h.h_recon in
+        let due =
+          match h.h_gossip with Some g -> min due (Gossip.next_due g) | None -> due
+        in
+        let due =
+          match h.h_control with
+          | Some (r, _) -> min due (Raft.next_due r)
+          | None -> due
+        in
+        if due < !wake then wake := due)
+      t.hosts;
+    t.timer_wake := !wake;
+    (pulls, recon)
+  end
+
+let tick_daemons t ticks =
+  Clock.advance t.clock ticks;
+  let (_ : int) = pump t in
+  if t.indexed then tick_daemons_indexed t else tick_daemons_linear t
+
+(* ------------------------------------------------------------------ *)
+(* Raft-routed control operations                                      *)
+
+let is_raft t = t.control_members <> []
+
+(* Submit one encoded control command from host [i]: find the leader
+   (members answer redirects, partitions answer EUNREACHABLE), then
+   drive the daemons until the command's (index, term) is committed.
+   On failure nothing local has changed, and the ticks burnt are
+   recorded as control-plane unavailability — the cost the CONSENSUS
+   experiment quantifies against the gossip arm's divergence. *)
+let raft_commit t ~src:i ?(span = Span.none) cmd =
+  let h = t.hosts.(i) in
+  let start = Clock.now t.clock in
+  let deadline = start + t.control_wait in
+  let m = t.obs.Obs.metrics in
+  Metrics.incr m "control.ops";
+  let call j msg = Sim_net.call t.net ~src:h.h_id ~dst:t.hosts.(j).h_id msg in
+  let fail () =
+    Metrics.incr m "control.failed_ops";
+    Metrics.add m "control.unavailable_ticks" (Clock.now t.clock - start);
+    Error Errno.EUNREACHABLE
+  in
+  let submit_msg = Control_submit { cs_cmd = cmd; cs_span = span } in
+  (* Phase 1: get the command accepted by a leader. *)
+  let rec find_leader () =
+    let rec try_members = function
+      | [] -> None
+      | j :: rest -> (
+        match call j submit_msg with
+        | Ok (Control_submitted { cs_index; cs_term }) -> Some (j, cs_index, cs_term)
+        | Ok _ | Error _ -> try_members rest)
+    in
+    match try_members t.control_members with
+    | Some r -> Some r
+    | None ->
+      if Clock.now t.clock >= deadline then None
+      else begin
+        let (_ : int * Reconcile.stats) = tick_daemons t 1 in
+        find_leader ()
+      end
+  in
+  match find_leader () with
+  | None -> fail ()
+  | Some (j, idx, term) ->
+    (* Phase 2: wait for commitment — confirmed by any member whose
+       commit index covers (idx, term). *)
+    let poll_msg = Control_poll { cp_index = idx; cp_term = term } in
+    let rec wait_commit () =
+      let confirmed =
+        List.exists
+          (fun k ->
+            match call k poll_msg with
+            | Ok (Control_polled { cp_committed }) -> cp_committed
+            | Ok _ | Error _ -> false)
+          (j :: List.filter (fun k -> k <> j) t.control_members)
+      in
+      if confirmed then begin
+        Metrics.observe m "control.commit_ticks" (Clock.now t.clock - start);
+        Ok idx
+      end
+      else if Clock.now t.clock >= deadline then fail ()
+      else begin
+        let (_ : int * Reconcile.stats) = tick_daemons t 1 in
+        wait_commit ()
+      end
+    in
+    wait_commit ()
+
+(* Read the committed replica set of a volume from the current leader. *)
+let raft_read_replicas t ~src:i vref =
+  let h = t.hosts.(i) in
+  let msg =
+    Control_query { cq_alloc = vref.Ids.alloc; cq_vol = vref.Ids.vol }
+  in
+  let rec try_members = function
+    | [] -> None
+    | j :: rest -> (
+      match Sim_net.call t.net ~src:h.h_id ~dst:t.hosts.(j).h_id msg with
+      | Ok (Control_replicas { cr_replicas; cr_applied }) ->
+        Some (cr_replicas, cr_applied)
+      | Ok _ | Error _ -> try_members rest)
+  in
+  try_members t.control_members
 
 let create_volume t ~on =
   match on with
   | [] -> Error Errno.EINVAL
-  | _ ->
+  | first :: _ ->
     let vref = { Ids.alloc = 0; vol = t.next_vol } in
     t.next_vol <- t.next_vol + 1;
     let peers = List.mapi (fun k i -> (k + 1, t.hosts.(i).h_name)) on in
+    (* Raft control plane: serialize the registration and its
+       graft-point binding through the coordinator log before any local
+       mechanics.  No reachable quorum within the budget fails the
+       operation with nothing changed anywhere. *)
+    let* cindex =
+      if not (is_raft t) then Ok 0
+      else
+        let reg =
+          Control_plane.encode_cmd
+            (Control_plane.Register_volume
+               {
+                 rv_alloc = vref.Ids.alloc;
+                 rv_vol = vref.Ids.vol;
+                 rv_label = Printf.sprintf "vol%d" vref.Ids.vol;
+                 rv_replicas = peers;
+               })
+        in
+        let* (_ : int) = raft_commit t ~src:first reg in
+        let gr =
+          Control_plane.encode_cmd
+            (Control_plane.Set_graft
+               {
+                 sg_path = Printf.sprintf "vol.%d.%d" vref.Ids.alloc vref.Ids.vol;
+                 sg_alloc = vref.Ids.alloc;
+                 sg_vol = vref.Ids.vol;
+               })
+        in
+        raft_commit t ~src:first gr
+    in
+    let cindex = if cindex = 0 then None else Some cindex in
     let rec place rid = function
       | [] -> Ok ()
       | i :: rest ->
@@ -279,7 +718,7 @@ let create_volume t ~on =
     in
     let* () = place 1 on in
     Hashtbl.replace t.volumes (vref.Ids.alloc, vref.Ids.vol) peers;
-    List.iter (fun i -> seed_gossip t ~label:"member:join" i) on;
+    List.iter (fun i -> seed_gossip t ~label:"member:join" ?cindex i) on;
     Ok vref
 
 let volume_peers t vref =
@@ -309,8 +748,31 @@ let add_replica t ~host:i vref =
   let h = t.hosts.(i) in
   if replica h vref <> None then Error Errno.EEXIST
   else begin
+    (* With raft control, base the change on the leader's committed set
+       when it is reachable — concurrent replica-set edits serialize
+       through the log instead of racing on local views. *)
+    let peers =
+      if not (is_raft t) then peers
+      else
+        match raft_read_replicas t ~src:i vref with
+        | Some (Some committed, _) -> committed
+        | Some (None, _) | None -> peers
+    in
     let rid = 1 + List.fold_left (fun acc (r, _) -> max acc r) 0 peers in
     let peers = peers @ [ (rid, h.h_name) ] in
+    let* cindex =
+      if not (is_raft t) then Ok 0
+      else
+        raft_commit t ~src:i
+          (Control_plane.encode_cmd
+             (Control_plane.Set_replicas
+                {
+                  sr_alloc = vref.Ids.alloc;
+                  sr_vol = vref.Ids.vol;
+                  sr_replicas = peers;
+                }))
+    in
+    let cindex = if cindex = 0 then None else Some cindex in
     let* container =
       Namei.mkdir_p ~root:(Ufs_vnode.root h.h_ufs) (container_path vref rid)
     in
@@ -331,7 +793,7 @@ let add_replica t ~host:i vref =
           via its own gossip table. *)
        Hashtbl.replace t.volumes (vref.Ids.alloc, vref.Ids.vol) peers;
        wire_notifier t h phys;
-       seed_gossip t ~label:"member:join" i);
+       seed_gossip t ~label:"member:join" ?cindex i);
     (* Populate the newcomer from the first accessible existing replica. *)
     let connect = connector t h in
     let rec populate = function
@@ -356,24 +818,162 @@ let remove_replica t ~host:i vref =
   | None -> Error Errno.ENOENT
   | Some phys ->
     let rid = Physical.rid phys in
+    let peers =
+      if not (is_raft t) then peers
+      else
+        match raft_read_replicas t ~src:i vref with
+        | Some (Some committed, _) -> committed
+        | Some (None, _) | None -> peers
+    in
+    let remaining = List.filter (fun (r, _) -> r <> rid) peers in
+    (* Raft first: the retirement only takes effect once serialized;
+       then the local drop, and — raft or not — the gossip delta, so
+       non-members converge epidemically without waiting for a full
+       anti-entropy exchange with a coordinator. *)
+    let* cindex =
+      if not (is_raft t) then Ok 0
+      else
+        raft_commit t ~src:i
+          (Control_plane.encode_cmd
+             (Control_plane.Set_replicas
+                {
+                  sr_alloc = vref.Ids.alloc;
+                  sr_vol = vref.Ids.vol;
+                  sr_replicas = remaining;
+                }))
+    in
+    let cindex = if cindex = 0 then None else Some cindex in
     h.h_replicas <- List.filter (fun (v, _) -> not (Ids.vref_equal v vref)) h.h_replicas;
     Hashtbl.remove h.h_replica_idx (vref.Ids.alloc, vref.Ids.vol);
-    let remaining = List.filter (fun (r, _) -> r <> rid) peers in
     (match h.h_gossip with
      | None -> refresh_peers t vref remaining
      | Some _ ->
        Hashtbl.replace t.volumes (vref.Ids.alloc, vref.Ids.vol) remaining;
-       seed_gossip t ~label:"member:leave" i);
+       seed_gossip t ~label:"member:leave" ?cindex i);
     Ok ()
 
+(* Pathname translation with a raft control plane resolves a (possibly
+   stale) graft point from whichever view — this host's gossip table or
+   the coordinator group's committed registry — carries the higher
+   committed index.  The coordinator answer needs a reachable leader;
+   gossip always answers, so the data plane never blocks on consensus. *)
+let resolve_graft_peers t i vref =
+  if not (is_raft t) then volume_peers t vref
+  else begin
+    let h = t.hosts.(i) in
+    let m = t.obs.Obs.metrics in
+    let gossip_view =
+      match h.h_gossip with
+      | None -> None
+      | Some g -> (
+        match Gossip.replica_peers g ~alloc:vref.Ids.alloc ~vol:vref.Ids.vol with
+        | [] -> None
+        | reps -> Some (reps, Gossip.control_index g))
+    in
+    let coord_view =
+      match h.h_control with
+      | Some (_, cp) ->
+        Option.map
+          (fun (reps, _) -> (reps, Control_plane.applied_index cp))
+          (Control_plane.volume cp ~alloc:vref.Ids.alloc ~vol:vref.Ids.vol)
+      | None -> (
+        match raft_read_replicas t ~src:i vref with
+        | Some (Some reps, applied) -> Some (reps, applied)
+        | Some (None, _) | None -> None)
+    in
+    match coord_view, gossip_view with
+    | Some (creps, ci), Some (greps, gi) ->
+      if ci >= gi then begin
+        Metrics.incr m "control.graft_from_coordinator";
+        Ok creps
+      end
+      else begin
+        Metrics.incr m "control.graft_from_gossip";
+        Ok greps
+      end
+    | Some (creps, _), None ->
+      Metrics.incr m "control.graft_from_coordinator";
+      Ok creps
+    | None, Some (greps, _) ->
+      Metrics.incr m "control.graft_from_gossip";
+      Ok greps
+    | None, None -> volume_peers t vref
+  end
+
 let graft t i vref =
-  let* peers = volume_peers t vref in
+  let* peers = resolve_graft_peers t i vref in
   Logical.graft_volume t.hosts.(i).h_logical vref ~replicas:peers;
   Ok ()
 
 let logical_root t i vref =
   let* () = graft t i vref in
   Logical.root t.hosts.(i).h_logical vref
+
+(* Decommission a host for good: retire every replica it stores, then
+   mark it [Left] in gossip.  The Left tombstone spreads epidemically,
+   drops the host from every peer's derived replica lists, and — the
+   point — shrinks the tombstone-GC dominance set, so directory
+   tombstones stop waiting for a replica that will never reconcile
+   again.  Its raft member (if any) goes permanently silent; the group
+   is static, so quorum is now counted out of the original size. *)
+let leave_host t i =
+  let h = t.hosts.(i) in
+  let vrefs = List.map fst h.h_replicas in
+  List.iter
+    (fun vref ->
+      match remove_replica t ~host:i vref with Ok () | Error _ -> ())
+    vrefs;
+  (match h.h_gossip with Some g -> Gossip.leave g | None -> ());
+  (match h.h_control with Some (r, _) -> Raft.stop r | None -> ());
+  Metrics.incr t.obs.Obs.metrics "membership.hosts_left"
+
+(* Host [i]'s current belief about who stores [vref]: a coordinator
+   member answers from the committed registry when it is at least as
+   fresh as its gossip view; everyone else answers from gossip; clusters
+   without either fall back to the harness registry.  The CONSENSUS
+   experiment measures divergence as disagreement between these views
+   across hosts. *)
+let replica_view t i vref =
+  let h = t.hosts.(i) in
+  let gossip_view =
+    match h.h_gossip with
+    | None -> None
+    | Some g -> (
+      match Gossip.replica_peers g ~alloc:vref.Ids.alloc ~vol:vref.Ids.vol with
+      | [] -> None
+      | reps -> Some (reps, Gossip.control_index g))
+  in
+  let coord_view =
+    match h.h_control with
+    | None -> None
+    | Some (_, cp) ->
+      Option.map
+        (fun (reps, _) -> (reps, Control_plane.applied_index cp))
+        (Control_plane.volume cp ~alloc:vref.Ids.alloc ~vol:vref.Ids.vol)
+  in
+  match coord_view, gossip_view with
+  | Some (creps, ci), Some (_, gi) when ci >= gi -> creps
+  | _, Some (greps, _) -> greps
+  | Some (creps, _), None -> creps
+  | None, None -> (
+    match volume_peers t vref with Ok p -> p | Error _ -> [])
+
+(* The coordinator member currently acting as leader (highest term wins
+   if a deposed leader has not yet heard better); [None] without raft or
+   during an election. *)
+let raft_leader t =
+  List.fold_left
+    (fun acc i ->
+      match t.hosts.(i).h_control with
+      | Some (r, _) when Raft.role r = Raft.Leader -> (
+        match acc with
+        | Some (_, best) when best >= Raft.term r -> acc
+        | _ -> Some (i, Raft.term r))
+      | _ -> acc)
+    None t.control_members
+  |> Option.map fst
+
+let control_members t = t.control_members
 
 (* ------------------------------------------------------------------ *)
 (* Failure and time control                                            *)
@@ -439,170 +1039,15 @@ let reboot t i =
   let* fresh_replicas = reattach [] h.h_replicas in
   h.h_replicas <- fresh_replicas;
   List.iter (fun (vref, phys) -> index_replica h vref phys) fresh_replicas;
+  (* The raft member restarts from the hard state the journal replay
+     just recovered: term, vote, log and snapshot survive; role and
+     commit progress are volatile and rebuilt by the protocol. *)
+  (match h.h_control with
+  | Some (r, _) -> Raft.crash_recover r
+  | None -> ());
   (* Journal replay / fsck may have left work; re-run this host soon. *)
   mark_active t i;
   Ok ()
-
-(* ------------------------------------------------------------------ *)
-(* Daemons                                                             *)
-
-let pump t = Sim_net.pump t.net
-
-let run_propagation t =
-  let total = ref 0 in
-  let rec loop rounds =
-    if rounds <= 0 then ()
-    else begin
-      let delivered = pump t in
-      let attempted =
-        Array.fold_left (fun acc h -> acc + Propagation.run_once h.h_prop) 0 t.hosts
-      in
-      total := !total + attempted;
-      if delivered > 0 || attempted > 0 then loop (rounds - 1)
-    end
-  in
-  loop 50;
-  !total
-
-(* After gossip has run, fold each host's membership view back into the
-   peer lists its physical layers actually use: an epidemically learned
-   join/leave changes who gets notified and who reconciliation visits,
-   with no global fan-out ever having happened. *)
-let sync_peers_from_gossip t =
-  Array.iter
-    (fun h ->
-      match h.h_gossip with
-      | None -> ()
-      | Some g ->
-        (* Deriving peer lists walks the whole membership table per
-           replica; gate it on the table's peers_version so a quiet tick
-           costs one integer compare per host instead.  The version
-           bumps on exactly the changes replica_peers can observe, so
-           the gated fold performs the same set_peers calls the ungated
-           one would. *)
-        let version = Gossip.peers_version g in
-        let seen = Hashtbl.find_opt t.peers_synced h.h_index in
-        if seen <> Some version then begin
-          Hashtbl.replace t.peers_synced h.h_index version;
-          List.iter
-            (fun (vref, phys) ->
-              let peers =
-                Gossip.replica_peers g ~alloc:vref.Ids.alloc ~vol:vref.Ids.vol
-              in
-              let current = List.sort compare (Physical.peers phys) in
-              if peers <> [] && peers <> current then begin
-                (match Physical.set_peers phys peers with Ok () | Error _ -> ());
-                wire_notifier t h phys;
-                Metrics.incr t.obs.Obs.metrics "membership.peer_updates"
-              end)
-            h.h_replicas
-        end)
-    t.hosts
-
-(* Advance time and drive every host's daemons, as a host's cron would:
-   deliver datagrams, run gossip rounds, run propagation, tick the
-   periodic reconcilers.
-
-   Linear mode (the seed behavior, kept as the oracle): every daemon of
-   every host runs every tick, relying on each being a cheap no-op when
-   idle.  Indexed mode runs the same phases but consults the
-   ready-queue: a tick on a fully quiescent cluster — no deliverable
-   datagrams, no host in [active], no timer due, no journal commit
-   staged — returns after one cheap pump and three O(1) checks, and a
-   busy tick still skips the hosts whose daemons would no-op.  Each
-   per-host skip is individually a proven no-op (empty new-version
-   cache, timer not due, nothing staged), so both modes produce
-   identical cluster state, metrics and PRNG consumption; the
-   equivalence qcheck in the test suite drives random schedules through
-   both and compares everything. *)
-
-let tick_daemons_linear t =
-  let (_ : int) =
-    Array.fold_left
-      (fun acc h ->
-        match h.h_gossip with Some g -> acc + Gossip.tick g | None -> acc)
-      0 t.hosts
-  in
-  (* Datagrams delivered by this (or an earlier) pump may have merged
-     fresh membership; apply it every tick, not just on round ticks. *)
-  sync_peers_from_gossip t;
-  (* The journal flush daemon runs off the same cron as propagation and
-     reconciliation: age out any staged group commit.  (No-op on
-     unjournaled hosts; an EIO here surfaces on the next operation.) *)
-  Array.iter
-    (fun h -> match Ufs.journal_tick h.h_ufs with Ok () | Error _ -> ())
-    t.hosts;
-  let pulls = Array.fold_left (fun acc h -> acc + Propagation.run_once h.h_prop) 0 t.hosts in
-  let recon =
-    Array.fold_left
-      (fun acc h ->
-        match Recon_daemon.tick h.h_recon with
-        | Some stats -> Reconcile.add_stats acc stats
-        | None -> acc)
-      Reconcile.empty_stats t.hosts
-  in
-  (pulls, recon)
-
-let any_journal_pending t =
-  t.journaled && Array.exists (fun h -> Ufs.journal_pending h.h_ufs) t.hosts
-
-let tick_daemons_indexed t =
-  let now = Clock.now t.clock in
-  if Hashtbl.length t.active = 0 && now < !(t.timer_wake) && not (any_journal_pending t)
-  then (0, Reconcile.empty_stats)
-  else begin
-    let (_ : int) =
-      Array.fold_left
-        (fun acc h ->
-          match h.h_gossip with
-          | Some g when Gossip.next_due g <= now -> acc + Gossip.tick g
-          | Some _ | None -> acc)
-        0 t.hosts
-    in
-    sync_peers_from_gossip t;
-    Array.iter
-      (fun h ->
-        if Ufs.journal_pending h.h_ufs then
-          match Ufs.journal_tick h.h_ufs with Ok () | Error _ -> ())
-      t.hosts;
-    let pulls =
-      Array.fold_left
-        (fun acc h ->
-          if Propagation.pending h.h_prop > 0 then acc + Propagation.run_once h.h_prop
-          else acc)
-        0 t.hosts
-    in
-    let recon =
-      Array.fold_left
-        (fun acc h ->
-          if Recon_daemon.next_due h.h_recon <= now then
-            match Recon_daemon.tick h.h_recon with
-            | Some stats -> Reconcile.add_stats acc stats
-            | None -> acc
-          else acc)
-        Reconcile.empty_stats t.hosts
-    in
-    (* Requiesce: hosts that still owe propagation work stay runnable;
-       everyone else sleeps until the earliest timer anywhere. *)
-    Hashtbl.reset t.active;
-    let wake = ref max_int in
-    Array.iter
-      (fun h ->
-        if Propagation.pending h.h_prop > 0 then Hashtbl.replace t.active h.h_index ();
-        let due = Recon_daemon.next_due h.h_recon in
-        let due =
-          match h.h_gossip with Some g -> min due (Gossip.next_due g) | None -> due
-        in
-        if due < !wake then wake := due)
-      t.hosts;
-    t.timer_wake := !wake;
-    (pulls, recon)
-  end
-
-let tick_daemons t ticks =
-  Clock.advance t.clock ticks;
-  let (_ : int) = pump t in
-  if t.indexed then tick_daemons_indexed t else tick_daemons_linear t
 
 let volume_replicas_in_order t vref =
   let* peers = volume_peers t vref in

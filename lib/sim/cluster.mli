@@ -29,6 +29,9 @@ val create :
   ?gossip:Gossip.config ->
   ?log_level:Logs.level ->
   ?indexed:bool ->
+  ?control:[ `Gossip | `Raft of int list ] ->
+  ?raft:Raft.config ->
+  ?control_wait:int ->
   nhosts:int -> unit -> t
 (** Hosts are named ["host0"], ["host1"], ….  All parameters are shared
     by every host.  [journal_blocks] (default 0) formats each host's UFS
@@ -65,7 +68,25 @@ val create :
     cache and no due timers are skipped entirely.  [~indexed:false] is
     the seed's linear scan, kept as the oracle for the equivalence
     property test and as the before arm of the SCALE benchmark; both
-    modes produce identical cluster state, metrics and PRNG draws. *)
+    modes produce identical cluster state, metrics and PRNG draws.
+
+    [control] (default [`Gossip], the seed behavior) selects how
+    control-plane metadata — the volume registry, replica sets, graft
+    bindings — is owned.  [`Raft members] gives each listed host (by
+    index; 3–5 is sensible) a {!Raft} member replicating a
+    {!Control_plane} registry, with hard state persisted on the member's
+    own journaled UFS.  {!create_volume}, {!add_replica} and
+    {!remove_replica} then serialize through the coordinator log before
+    any local mechanics (and fail with [EUNREACHABLE] when no quorum is
+    reachable within [control_wait] ticks, default 200, driving the
+    daemons while they wait), after which the change still propagates to
+    non-members epidemically — the gossip entry carries the committed
+    index it was serialized at, and pathname translation
+    ({!logical_root}) resolves a stale graft point from whichever view,
+    gossip or coordinator, carries the higher committed index.  File
+    {e data} never touches consensus: one-copy availability is
+    unchanged.  [raft] overrides timing/compaction
+    ({!Raft.default_config}). *)
 
 val clock : t -> Clock.t
 val net : t -> Sim_net.t
@@ -85,6 +106,19 @@ val propagation : host -> Propagation.t
 val reconciler : host -> Recon_daemon.t
 val nfs_server : host -> Nfs_server.t
 val gossip : host -> Gossip.t option
+val raft_node : host -> Raft.t option
+val control_plane : host -> Control_plane.t option
+(** The consensus member / replicated registry on coordinator-group
+    hosts; [None] elsewhere. *)
+
+val control_members : t -> int list
+(** Coordinator-group host indexes; [[]] without [?control:`Raft]. *)
+
+val raft_leader : t -> int option
+(** The member currently acting as leader (highest term if a deposed
+    leader hasn't heard the news yet); [None] mid-election or without
+    raft. *)
+
 val replicas : host -> (Ids.volume_ref * Physical.t) list
 val replica : host -> Ids.volume_ref -> Physical.t option
 
@@ -112,7 +146,28 @@ val add_replica : t -> host:int -> Ids.volume_ref -> (Ids.replica_id, Errno.t) r
 val remove_replica : t -> host:int -> Ids.volume_ref -> (unit, Errno.t) result
 (** Retire [host]'s replica: drop it from the host and (eagerly without
     gossip, epidemically with it) from every peer list.  Its storage is
-    abandoned (as when a host leaves). *)
+    abandoned (as when a host leaves).  With [?control:`Raft] the
+    retirement is serialized through the coordinator log {e first}, and
+    the departing host's gossip delta carries the committed index, so
+    both learning paths agree on the shrunken set. *)
+
+val leave_host : t -> int -> unit
+(** Planned, permanent departure: retire every replica the host stores
+    (via {!remove_replica}; unreachable-coordinator errors are ignored —
+    the host is leaving either way), mark its gossip entry [Left], and
+    stop its raft member if it has one.  Once the [Left] tombstone
+    spreads, the departed replicas stop counting in the tombstone-GC
+    dominance check, so the survivors' removal tombstones can finally
+    expire instead of waiting forever for a replica that will never
+    reconcile again. *)
+
+val replica_view : t -> int -> Ids.volume_ref -> (Ids.replica_id * string) list
+(** The replica set for a volume as host [i] currently believes it: the
+    coordinator's committed registry when this host can see one at least
+    as fresh as its gossip view, the gossip-learned set otherwise, the
+    static peer list on non-gossip clusters.  Two hosts whose views
+    differ are inside a control-plane divergence window — the quantity
+    the CONSENSUS experiment integrates over time. *)
 
 val graft : t -> int -> Ids.volume_ref -> (unit, Errno.t) result
 (** Explicitly graft the volume on a host's logical layer (the replica

@@ -678,18 +678,71 @@ let a2_tombstone_gc () =
     in
     (tombstones, String.length (Fdir.encode fdir))
   in
+  (* (c) the silent peer has properly retired: its [Left] tombstone and
+     replica withdrawal spread epidemically before it goes dark, the
+     survivors' peer lists shrink, and the GC dominance check stops
+     waiting for a replica that will never reconcile again. *)
+  let churn_departed () =
+    let cfg = Gossip.default_config in
+    let cluster = Cluster.create ~nhosts:3 ~gossip:cfg () in
+    let vref = get (Cluster.create_volume cluster ~on:[ 0; 1; 2 ]) in
+    let round () = ignore (Cluster.tick_daemons cluster cfg.Gossip.period) in
+    let n = ref 0 in
+    while (not (Cluster.membership_converged cluster)) && !n < 64 do
+      round ();
+      incr n
+    done;
+    Cluster.leave_host cluster 2;
+    (* Wait until host0's physical layer has re-derived its peer list
+       without the departed replica, then cut the leaver off for good. *)
+    let dropped () =
+      match Cluster.replica (Cluster.host cluster 0) vref with
+      | Some phys -> not (List.mem_assoc 3 (Physical.peers phys))
+      | None -> false
+    in
+    let m = ref 0 in
+    while (not (dropped ())) && !m < 64 do
+      round ();
+      incr m
+    done;
+    if not (dropped ()) then failwith "a2: Left tombstone never unpinned peers";
+    Cluster.partition cluster [ [ 0; 1 ]; [ 2 ] ];
+    let root0 = get (Cluster.logical_root cluster 0 vref) in
+    for i = 1 to 20 do
+      let name = Printf.sprintf "churn%d" i in
+      let f = get (root0.Vnode.create name) in
+      get (Vnode.write_all f "transient");
+      (match Cluster.converge cluster vref ~max_rounds:10 () with Ok _ | Error _ -> ());
+      get (root0.Vnode.remove name);
+      (match Cluster.converge cluster vref ~max_rounds:10 () with Ok _ | Error _ -> ())
+    done;
+    let phys0 = Option.get (Cluster.replica (Cluster.host cluster 0) vref) in
+    let fdir = get (Physical.fetch_dir phys0 []) in
+    let tombstones =
+      List.length
+        (List.filter
+           (fun e -> match e.Fdir.status with Fdir.Dead _ -> true | Fdir.Live -> false)
+           fdir.Fdir.entries)
+    in
+    (tombstones, String.length (Fdir.encode fdir))
+  in
   let gc_tombs, gc_bytes = churn ~silent_peer:false in
   let pin_tombs, pin_bytes = churn ~silent_peer:true in
+  let left_tombs, left_bytes = churn_departed () in
   Table.print ~title:"A2: tombstone GC after 20 create+delete cycles (3 replicas)"
     ~headers:[ "configuration"; "tombstones left"; "DIR file bytes" ]
     [
       [ "all peers reconcile"; string_of_int gc_tombs; string_of_int gc_bytes ];
       [ "one silent peer"; string_of_int pin_tombs; string_of_int pin_bytes ];
+      [ "silent peer retired via Left"; string_of_int left_tombs;
+        string_of_int left_bytes ];
     ];
-  verdict "A2" "two-phase GC collects tombstones only with full peer participation"
-    (gc_tombs = 0 && pin_tombs = 20 && pin_bytes > gc_bytes)
-    (Printf.sprintf "GC on: %d tombstones/%d bytes; silent peer: %d/%d" gc_tombs gc_bytes
-       pin_tombs pin_bytes)
+  verdict "A2"
+    "two-phase GC needs full participation from the current peer set — a silent peer pins tombstones unless it has properly Left"
+    (gc_tombs = 0 && pin_tombs = 20 && pin_bytes > gc_bytes && left_tombs = 0)
+    (Printf.sprintf
+       "GC on: %d tombstones/%d bytes; silent peer: %d/%d; retired peer: %d/%d"
+       gc_tombs gc_bytes pin_tombs pin_bytes left_tombs left_bytes)
 
 (* A3: replica-selection policy cost.  A client with no local replica
    reads one file repeatedly; count RPCs per read under each policy. *)
@@ -1622,6 +1675,236 @@ let member_gossip () =
        suspects)
 
 (* ------------------------------------------------------------------ *)
+(* CONSENSUS: gossip-only vs raft-backed control plane under the same  *)
+(* 3-way partition schedule                                            *)
+
+type consensus_metrics = {
+  cn_gossip_divergence_ticks : int;
+  cn_raft_divergence_ticks : int;
+  cn_gossip_rounds_to_agreement : int;
+  cn_raft_rounds_to_agreement : int;
+  cn_raft_leader_changes : int;
+  cn_raft_unavailable_ticks : int;
+  cn_raft_control_ops : int;
+  cn_raft_control_failed : int;
+  cn_data_available : bool;
+}
+
+let last_consensus_metrics : consensus_metrics option ref = ref None
+
+type consensus_arm_result = {
+  ca_minority_ok : bool;  (* control op attempted from the 2-host side *)
+  ca_quorum_ok : bool;    (* control op attempted from the 4-host side *)
+  ca_writes_ok : bool;    (* partition-time data writes, both sides *)
+  ca_divergence : int;    (* ticks with hosts disagreeing on the set *)
+  ca_rounds : int;        (* post-heal rounds to first stable agreement *)
+  ca_agreed : bool;
+  ca_final_hosts : string list;  (* hosts in the agreed replica set *)
+  ca_data_ok : bool;      (* every agreed replica holds all files *)
+  ca_leader_changes : int;
+  ca_unavailable : int;
+  ca_ops : int;
+  ca_failed : int;
+}
+
+(* One arm: an 8-host gossip cluster — coordinator group {0..4} when
+   raft is on — runs a fixed schedule.  Settle; partition
+   {0,1,3,4} | {2,5} | {6,7}; a replica-set change attempted from the
+   minority side (host5, next to coordinator host2); a second change
+   from the quorum side (host3); data-plane writes on both sides; heal;
+   wait for every host's {!Cluster.replica_view} to agree.  Divergence
+   is the integral of ticks during which any two hosts' views differ —
+   the optimistic arm starts paying it the moment the minority add is
+   accepted locally, the consensus arm only once the quorum-side commit
+   lands (the minority attempt is refused and its wait is booked as
+   control unavailability instead). *)
+let consensus_arm ~raft () =
+  let cfg = Gossip.default_config in
+  let control = if raft then `Raft [ 0; 1; 2; 3; 4 ] else `Gossip in
+  let cluster =
+    Cluster.create ~seed:90210 ~nhosts:8 ~gossip:cfg ~control ~control_wait:60
+      ~journal_blocks:32 ()
+  in
+  let clock = Cluster.clock cluster in
+  let snapshot_counter name =
+    let snap = Cluster.metrics_snapshot cluster in
+    match List.assoc_opt name snap.Cluster.ms_metrics.Metrics.snap_counters with
+    | Some v -> v
+    | None -> 0
+  in
+  let vref = get (Cluster.create_volume cluster ~on:[ 0; 1; 2 ]) in
+  let root0 = get (Cluster.logical_root cluster 0 vref) in
+  let f = get (root0.Vnode.create "base") in
+  get (Vnode.write_all f "baseline");
+  let (_ : int) = Cluster.run_propagation cluster in
+  let (_ : int) = get (Cluster.converge cluster vref ()) in
+  let round () = ignore (Cluster.tick_daemons cluster cfg.Gossip.period) in
+  let settled = ref 0 in
+  while (not (Cluster.membership_converged cluster)) && !settled < 64 do
+    round ();
+    incr settled
+  done;
+  if not (Cluster.membership_converged cluster) then
+    failwith "consensus: bootstrap membership never converged";
+  let view i = List.sort compare (Cluster.replica_view cluster i vref) in
+  let agree () =
+    let v0 = view 0 in
+    v0 <> [] && List.for_all (fun i -> view i = v0) [ 1; 2; 3; 4; 5; 6; 7 ]
+  in
+  if not (agree ()) then failwith "consensus: no agreement at bootstrap";
+  let divergence = ref 0 in
+  let last = ref (Clock.now clock) in
+  let sample () =
+    let now = Clock.now clock in
+    if not (agree ()) then divergence := !divergence + (now - !last);
+    last := now
+  in
+  Cluster.partition cluster [ [ 0; 1; 3; 4 ]; [ 2; 5 ]; [ 6; 7 ] ];
+  for _ = 1 to 3 do round (); sample () done;
+  (* Minority-side replica-set change.  The optimistic arm accepts it
+     locally (and starts diverging); the consensus arm refuses it after
+     burning its [control_wait] budget looking for a quorum. *)
+  let minority_add = Cluster.add_replica cluster ~host:5 vref in
+  sample ();
+  for _ = 1 to 6 do round (); sample () done;
+  (* Quorum-side change: partition A holds 4 of the 5 coordinators, so
+     the consensus arm re-elects there if it must and commits. *)
+  let quorum_add = Cluster.add_replica cluster ~host:3 vref in
+  sample ();
+  for _ = 1 to 12 do round (); sample () done;
+  (* One-copy data availability on both sides of the partition: file
+     data never waits for consensus. *)
+  let write_ok i name =
+    match Cluster.logical_root cluster i vref with
+    | Error _ -> false
+    | Ok root -> (
+      match root.Vnode.create name with
+      | Error _ -> false
+      | Ok file -> Result.is_ok (Vnode.write_all file name))
+  in
+  let wrote_a = write_ok 0 "part-a" in
+  let wrote_b = write_ok 2 "part-b" in
+  for _ = 1 to 4 do round (); sample () done;
+  Cluster.heal cluster;
+  let rounds = ref 0 in
+  let agreed_at = ref None in
+  let stable = ref 0 in
+  while !stable < 3 && !rounds < 96 do
+    round ();
+    incr rounds;
+    sample ();
+    if agree () then begin
+      if !stable = 0 then agreed_at := Some !rounds;
+      incr stable
+    end
+    else begin
+      stable := 0;
+      agreed_at := None
+    end
+  done;
+  let rounds_to_agreement =
+    match !agreed_at with Some r -> r | None -> !rounds
+  in
+  (* Converge the data plane over the agreed set and check every member
+     replica holds the whole history, newcomers included. *)
+  let (_ : int) = Cluster.run_propagation cluster in
+  let (_ : int) = get (Cluster.converge cluster vref ~max_rounds:50 ()) in
+  let final_view = view 0 in
+  let final_hosts = List.sort_uniq compare (List.map snd final_view) in
+  let host_index name = Scanf.sscanf name "host%d" Fun.id in
+  let data_ok =
+    List.for_all
+      (fun (_, name) ->
+        match Cluster.logical_root cluster (host_index name) vref with
+        | Error _ -> false
+        | Ok root ->
+          List.for_all
+            (fun n -> Result.is_ok (root.Vnode.lookup n))
+            [ "base"; "part-a"; "part-b" ])
+      final_view
+  in
+  {
+    ca_minority_ok = Result.is_ok minority_add;
+    ca_quorum_ok = Result.is_ok quorum_add;
+    ca_writes_ok = wrote_a && wrote_b;
+    ca_divergence = !divergence;
+    ca_rounds = rounds_to_agreement;
+    ca_agreed = !stable >= 3;
+    ca_final_hosts = final_hosts;
+    ca_data_ok = data_ok;
+    ca_leader_changes = snapshot_counter "raft.leader_changes";
+    ca_unavailable = snapshot_counter "control.unavailable_ticks";
+    ca_ops = snapshot_counter "control.ops";
+    ca_failed = snapshot_counter "control.failed_ops";
+  }
+
+let consensus_control () =
+  let g = consensus_arm ~raft:false () in
+  let r = consensus_arm ~raft:true () in
+  last_consensus_metrics :=
+    Some
+      {
+        cn_gossip_divergence_ticks = g.ca_divergence;
+        cn_raft_divergence_ticks = r.ca_divergence;
+        cn_gossip_rounds_to_agreement = g.ca_rounds;
+        cn_raft_rounds_to_agreement = r.ca_rounds;
+        cn_raft_leader_changes = r.ca_leader_changes;
+        cn_raft_unavailable_ticks = r.ca_unavailable;
+        cn_raft_control_ops = r.ca_ops;
+        cn_raft_control_failed = r.ca_failed;
+        cn_data_available =
+          g.ca_writes_ok && r.ca_writes_ok && g.ca_data_ok && r.ca_data_ok;
+      };
+  let yn b = if b then "ok" else "FAILED" in
+  Table.print
+    ~title:
+      "CONSENSUS: gossip-only vs raft-backed control plane, same 3-way partition (8 hosts)"
+    ~headers:[ "metric"; "gossip-only"; "raft-backed" ]
+    [
+      [ "minority-side replica add"; yn g.ca_minority_ok;
+        (if r.ca_minority_ok then "accepted (!)" else "refused (unavailable)") ];
+      [ "quorum-side replica add"; yn g.ca_quorum_ok; yn r.ca_quorum_ok ];
+      [ "partition-time writes, both sides"; yn g.ca_writes_ok; yn r.ca_writes_ok ];
+      [ "divergence window (ticks)"; string_of_int g.ca_divergence;
+        string_of_int r.ca_divergence ];
+      [ "post-heal rounds to agreement"; string_of_int g.ca_rounds;
+        string_of_int r.ca_rounds ];
+      [ "agreed replica hosts"; String.concat " " g.ca_final_hosts;
+        String.concat " " r.ca_final_hosts ];
+      [ "control ops refused"; string_of_int g.ca_failed;
+        string_of_int r.ca_failed ];
+      [ "control unavailable ticks"; string_of_int g.ca_unavailable;
+        string_of_int r.ca_unavailable ];
+      [ "raft leader changes"; "-"; string_of_int r.ca_leader_changes ];
+    ];
+  let holds =
+    (* Optimism accepts both edits and diverges; consensus refuses the
+       minority one and books unavailability instead. *)
+    g.ca_minority_ok && g.ca_quorum_ok
+    && (not r.ca_minority_ok)
+    && r.ca_quorum_ok && r.ca_failed = 1 && r.ca_unavailable > 0
+    && r.ca_leader_changes >= 1
+    (* Neither arm ever sacrifices one-copy data availability. *)
+    && g.ca_writes_ok && r.ca_writes_ok && g.ca_data_ok && r.ca_data_ok
+    (* Both reach one agreed set after the heal; the raft arm's window
+       is bounded and strictly smaller. *)
+    && g.ca_agreed && r.ca_agreed && r.ca_rounds <= 12
+    && r.ca_divergence < g.ca_divergence
+    (* The agreed sets reflect who owned the decision: raft excludes
+       the refused newcomer, gossip kept both sides' edits. *)
+    && (not (List.mem "host5" r.ca_final_hosts))
+    && List.mem "host5" g.ca_final_hosts
+    && List.mem "host3" r.ca_final_hosts
+  in
+  verdict "CONSENSUS"
+    "linearizable control bounds the divergence window optimistic control pays, at the price of minority-side control unavailability — data stays one-copy available in both"
+    holds
+    (Printf.sprintf
+       "divergence gossip=%d ticks vs raft=%d; post-heal rounds %d vs %d; raft refused %d op(s), %d unavailable ticks, %d leader change(s)"
+       g.ca_divergence r.ca_divergence g.ca_rounds r.ca_rounds r.ca_failed
+       r.ca_unavailable r.ca_leader_changes)
+
+(* ------------------------------------------------------------------ *)
 (* SCALE: a million-op trace over a 64-host gossip cluster             *)
 
 type scale_metrics = {
@@ -1888,6 +2171,7 @@ let registry =
     ("obslag", obslag_propagation_lag);
     ("reconscale", reconscale_incremental_recon);
     ("member", member_gossip);
+    ("consensus", consensus_control);
     ("scale", scale_trace);
   ]
 

@@ -177,6 +177,43 @@ val member_gossip : unit -> verdict
     failed RPCs — while the post-heal converge proves availability was
     never sacrificed. *)
 
+type consensus_metrics = {
+  cn_gossip_divergence_ticks : int;
+      (** ticks during which hosts disagreed on the replica set *)
+  cn_raft_divergence_ticks : int;  (** same measure, raft arm *)
+  cn_gossip_rounds_to_agreement : int;
+      (** post-heal anti-entropy rounds until stable agreement *)
+  cn_raft_rounds_to_agreement : int;
+  cn_raft_leader_changes : int;
+  cn_raft_unavailable_ticks : int;
+      (** ticks control ops spent failing to reach a quorum *)
+  cn_raft_control_ops : int;
+  cn_raft_control_failed : int;
+  cn_data_available : bool;
+      (** both arms kept one-copy data availability through the
+          partition, and every agreed replica converged on all files *)
+}
+(** Machine-readable summary of the control-plane experiment, consumed
+    by [bench --json]. *)
+
+val last_consensus_metrics : consensus_metrics option ref
+(** Filled by {!consensus_control}; [None] until it has run. *)
+
+val consensus_control : unit -> verdict
+(** Control-plane ablation: two identical 8-host clusters run the same
+    3-way partition schedule ({0,1,3,4} | {2,5} | {6,7}) with a
+    replica-set change attempted from each side, differing only in who
+    owns control metadata — gossip alone, or a 5-member {!Raft} group
+    (hosts 0–4) bridged to non-members through the gossip entries'
+    committed-index field.  The optimistic arm accepts both changes and
+    pays a divergence window from the first minority-side edit until
+    anti-entropy re-merges every view; the raft arm refuses the
+    minority-side edit (recorded as [control.unavailable_ticks]),
+    serializes the quorum-side one, and re-agrees within a bounded,
+    strictly smaller window after the heal.  Both arms must keep
+    data-plane writes succeeding on every partition side — one-copy
+    availability never waits for consensus. *)
+
 type scale_metrics = {
   sm_ops : int;
   sm_hosts : int;

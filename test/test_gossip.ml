@@ -8,13 +8,14 @@ open Util
 (* ------------------------------------------------------------------ *)
 (* entry_join laws (qcheck)                                            *)
 
-let mk_entry (host, ((inc, hb), (left, (reps, span)))) =
+let mk_entry (host, ((inc, hb), ((left, cindex), (reps, span)))) =
   {
     Gossip.e_host = host;
     e_incarnation = 1 + inc;
     e_heartbeat = hb;
     e_status = (if left then Gossip.Left else Gossip.Member);
     e_replicas = List.sort_uniq compare reps;
+    e_cindex = cindex;
     e_span = span;
   }
 
@@ -22,7 +23,8 @@ let entry_body_gen =
   QCheck.Gen.(
     pair
       (pair (int_bound 2) (int_bound 6))
-      (pair bool
+      (pair
+         (pair bool (int_bound 5))
          (pair
             (list_size (int_bound 3)
                (triple (int_bound 1) (int_bound 2) (int_range 1 4)))

@@ -28,6 +28,7 @@ let () =
       ("layers", Test_layers.suite);
       ("obs", Test_obs.suite);
       ("gossip", Test_gossip.suite);
+      ("raft", Test_raft.suite);
       ("properties", Test_props.suite);
       ("scale", Test_scale.suite);
       ("experiments", Test_experiments.suite);
