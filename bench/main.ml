@@ -12,6 +12,8 @@
      bench/main.exe --scale-ops N     trace length for the SCALE benchmark
      bench/main.exe --scale-hosts N   cluster size for the SCALE benchmark
      bench/main.exe --scale-floor F   fail SCALE below F sim-ops/sec (CI gate)
+     bench/main.exe --trace-out f     stream SCALE spans to f as Chrome
+                                      trace-event JSONL (see Trace_export)
      bench/main.exe --check-schema f  validate a previously written JSON file *)
 
 open Bechamel
@@ -192,6 +194,26 @@ let write_json path ~mode verdicts =
      Printf.fprintf oc "    \"data_available\": %b\n  }"
        m.Experiments.cn_data_available
    | None -> ());
+  (match !Experiments.last_health_metrics with
+   | Some m ->
+     Printf.fprintf oc ",\n  \"health\": {\n";
+     Printf.fprintf oc "    \"health.divergence_ticks_max\": %d,\n"
+       m.Experiments.hm_divergence_ticks_max;
+     Printf.fprintf oc "    \"health.staleness_p99\": %d,\n"
+       m.Experiments.hm_staleness_p99;
+     Printf.fprintf oc "    \"health.events_degraded\": %d,\n"
+       m.Experiments.hm_events_degraded;
+     Printf.fprintf oc "    \"health.events_stuck\": %d,\n"
+       m.Experiments.hm_events_stuck;
+     Printf.fprintf oc "    \"health.quiescent_events\": %d,\n"
+       m.Experiments.hm_quiescent_events;
+     Printf.fprintf oc "    \"health.stuck_span\": %d,\n"
+       m.Experiments.hm_stuck_span;
+     Printf.fprintf oc "    \"profile.top_daemon\": \"%s\",\n"
+       (json_escape m.Experiments.hm_top_daemon);
+     Printf.fprintf oc "    \"profile.top_activations\": %d\n  }"
+       m.Experiments.hm_top_activations
+   | None -> ());
   (match !Experiments.last_scale_metrics with
    | Some m ->
      Printf.fprintf oc ",\n  \"scale\": {\n";
@@ -208,6 +230,11 @@ let write_json path ~mode verdicts =
        m.Experiments.sm_indexed_ticks_per_sec;
      Printf.fprintf oc "    \"quiescent_speedup\": %.2f,\n"
        m.Experiments.sm_quiescent_speedup;
+     Printf.fprintf oc "    \"spans_cap\": %d,\n    \"spans_live\": %d,\n"
+       m.Experiments.sm_spans_cap m.Experiments.sm_spans_live;
+     Printf.fprintf oc "    \"spans_minted\": %d,\n    \"trace_spans\": %d,\n"
+       m.Experiments.sm_spans_minted m.Experiments.sm_trace_spans;
+     Printf.fprintf oc "    \"trace_complete\": %b,\n" m.Experiments.sm_trace_complete;
      Printf.fprintf oc "    \"floor\": %.1f\n  }" !Experiments.scale_floor
    | None -> ());
   Printf.fprintf oc "\n}\n";
@@ -241,10 +268,15 @@ let schema_keys =
     "rounds_to_agreement"; "rounds_to_agreement_gossip"; "raft.leader_changes";
     "control.unavailable_ticks"; "control.ops"; "control.failed_ops";
     "data_available";
+    (* health plane (health) *)
+    "health"; "health.divergence_ticks_max"; "health.staleness_p99";
+    "health.events_degraded"; "health.events_stuck"; "health.quiescent_events";
+    "health.stuck_span"; "profile.top_daemon"; "profile.top_activations";
     (* scale *)
     "scale"; "ops"; "hosts"; "wall_seconds"; "sim_ops_per_sec"; "errors";
     "pulls"; "deterministic"; "linear_ticks_per_sec"; "indexed_ticks_per_sec";
-    "quiescent_speedup"; "floor";
+    "quiescent_speedup"; "spans_cap"; "spans_live"; "spans_minted";
+    "trace_spans"; "trace_complete"; "floor";
   ]
 
 let check_schema path =
@@ -284,7 +316,7 @@ let check_schema path =
    the smoke artifact still carries the full JSON schema. *)
 let smoke_names =
   [ "e2"; "e3"; "e4"; "e6"; "e9"; "e10"; "f2"; "a1"; "a3"; "a5"; "chaos"; "wal";
-    "obslag"; "reconscale"; "member"; "consensus"; "scale" ]
+    "obslag"; "reconscale"; "member"; "consensus"; "health"; "scale" ]
 
 let smoke_scale_ops = 20_000
 
@@ -330,7 +362,11 @@ let () =
     | "--scale-floor" :: v :: tl ->
       Experiments.scale_floor := float_arg "--scale-floor" v;
       parse tl (json, smoke, rest)
-    | ([ "--scale-ops" ] | [ "--scale-hosts" ] | [ "--scale-floor" ]) as a ->
+    | "--trace-out" :: path :: tl ->
+      Experiments.scale_trace_out := Some path;
+      parse tl (json, smoke, rest)
+    | ([ "--scale-ops" ] | [ "--scale-hosts" ] | [ "--scale-floor" ]
+      | [ "--trace-out" ]) as a ->
       Printf.eprintf "%s requires a value\n" (List.hd a);
       exit 2
     | a :: tl -> parse tl (json, smoke, a :: rest)

@@ -195,7 +195,210 @@ let simulate_cmd =
 
 (* ------------------------------------------------------------------ *)
 
+(* `ficusctl stats`: generate some cross-host activity, then fetch the
+   `.#ficus#stats` ctl name through the interposed NFS stack — host1
+   holds no replica, so the fetch itself crosses the wire — and
+   pretty-print the line-oriented snapshot body. *)
+
+let stats () =
+  let cluster = Cluster.create ~nhosts:2 () in
+  let vref = get (Cluster.create_volume cluster ~on:[ 0 ]) in
+  let root0 = get (Cluster.logical_root cluster 0 vref) in
+  let f = get (root0.Vnode.create "stats-demo.txt") in
+  get (Vnode.write_all f "written locally on host0");
+  let root1 = get (Cluster.logical_root cluster 1 vref) in
+  get (Vnode.write_all (get (root1.Vnode.lookup "stats-demo.txt")) "written across NFS");
+  let (_ : int) = Cluster.run_propagation cluster in
+  let body = get (Remote.stats root1) in
+  let lines = String.split_on_char '\n' body |> List.filter (fun l -> l <> "") in
+  let counters = ref [] and gauges = ref [] and hists = ref [] and spans = ref [] in
+  List.iter
+    (fun line ->
+      match String.split_on_char ' ' line with
+      | [ "counter"; name; v ] -> counters := [ name; v ] :: !counters
+      | [ "gauge"; name; v ] -> gauges := [ name; v ] :: !gauges
+      | "hist" :: name :: rest -> hists := [ name; String.concat " " rest ] :: !hists
+      | "span" :: _ -> spans := line :: !spans
+      | _ -> ())
+    lines;
+  Table.print
+    ~title:"`.#ficus#stats` counters (fetched across NFS from host1)"
+    ~headers:[ "counter"; "value" ]
+    (List.rev !counters);
+  if !gauges <> [] then
+    Table.print ~title:"gauges" ~headers:[ "gauge"; "value" ] (List.rev !gauges);
+  if !hists <> [] then
+    Table.print ~title:"histograms" ~headers:[ "histogram"; "summary" ] (List.rev !hists);
+  let spans = List.rev !spans in
+  let nspans = List.length spans in
+  let tail = 8 in
+  Printf.printf "\n%d span timeline event(s)%s:\n" nspans
+    (if nspans > tail then Printf.sprintf "; last %d" tail else "");
+  List.iteri (fun i l -> if i >= nspans - tail then Printf.printf "  %s\n" l) spans;
+  0
+
+let stats_cmd =
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Fetch `.#ficus#stats` through the NFS stack and pretty-print it")
+    Term.(const stats $ const ())
+
+(* ------------------------------------------------------------------ *)
+
+(* `ficusctl trace`: run a replicated workload with a retention-capped
+   span store and the streaming Chrome trace-event exporter attached,
+   so evicted spans land in the JSONL instead of vanishing. *)
+
+let trace out ops cap =
+  let cluster = Cluster.create ~nhosts:3 () in
+  let spans = (Cluster.obs cluster).Obs.spans in
+  Span.set_retention spans cap;
+  let exporter = Trace_export.create out in
+  Trace_export.attach exporter spans;
+  let vref = get (Cluster.create_volume cluster ~on:[ 0; 1; 2 ]) in
+  let roots = List.init 3 (fun i -> get (Cluster.logical_root cluster i vref)) in
+  let cfg = { Workload.default with seed = 7 } in
+  get (Workload.setup (List.hd roots) cfg);
+  let (_ : int) = Cluster.run_propagation cluster in
+  let (_ : int) = get (Cluster.converge cluster vref ()) in
+  let errors = ref 0 in
+  List.iteri
+    (fun i root ->
+      let s = Workload.run root { cfg with seed = 100 + i } ~ops in
+      errors := !errors + s.Workload.errors;
+      let (_ : int * Reconcile.stats) = Cluster.tick_daemons cluster 50 in
+      ())
+    roots;
+  let (_ : int) = Cluster.run_propagation cluster in
+  (match Cluster.converge cluster vref ~max_rounds:50 () with Ok _ | Error _ -> ());
+  let streamed = Trace_export.exported exporter in
+  let drained = Trace_export.drain exporter spans in
+  Trace_export.close exporter;
+  Table.print ~title:"trace export"
+    ~headers:[ "metric"; "value" ]
+    [
+      [ "ops per host"; string_of_int ops ];
+      [ "op errors"; string_of_int !errors ];
+      [ "spans minted"; string_of_int (Span.minted spans) ];
+      [ "retention cap"; string_of_int cap ];
+      [ "spans live at end"; string_of_int (Span.live spans) ];
+      [ "spans streamed on eviction"; string_of_int streamed ];
+      [ "spans drained at end"; string_of_int drained ];
+      [ "JSONL lines"; string_of_int (Trace_export.lines exporter) ];
+    ];
+  Printf.printf "\nwrote %s (Chrome trace-event JSONL; load in Perfetto, 1 tick = 1us)\n"
+    (Trace_export.path exporter);
+  if Trace_export.exported exporter = Span.minted spans then 0
+  else begin
+    Printf.eprintf "trace incomplete: %d exported of %d minted\n"
+      (Trace_export.exported exporter) (Span.minted spans);
+    1
+  end
+
+let trace_cmd =
+  let out =
+    Arg.(value & opt string "ficus_trace.jsonl"
+         & info [ "o"; "out" ] ~docv:"PATH" ~doc:"Output JSONL path")
+  in
+  let ops = Arg.(value & opt int 300 & info [ "ops" ] ~docv:"N" ~doc:"Operations per host") in
+  let cap =
+    Arg.(value & opt int 256 & info [ "cap" ] ~docv:"N" ~doc:"Span-store retention cap")
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Export a workload's span timelines as Chrome trace-event JSONL")
+    Term.(const trace $ out $ ops $ cap)
+
+(* ------------------------------------------------------------------ *)
+
+(* `ficusctl top`: run a partitioned workload on a health-enabled
+   cluster and show where the simulator's cycles went (the per-daemon
+   tick profiler) next to the watchdog's gauges and any events. *)
+
+let top hosts epochs seed =
+  let cluster = Cluster.create ~health:Health.default_config ~nhosts:hosts ~seed () in
+  let all_hosts = List.init hosts Fun.id in
+  let vref = get (Cluster.create_volume cluster ~on:all_hosts) in
+  let roots = List.map (fun i -> get (Cluster.logical_root cluster i vref)) all_hosts in
+  let cfg = { Workload.default with seed } in
+  get (Workload.setup (List.hd roots) cfg);
+  let (_ : int) = Cluster.run_propagation cluster in
+  let (_ : int) = get (Cluster.converge cluster vref ()) in
+  let rng = Random.State.make [| seed |] in
+  for epoch = 1 to epochs do
+    (* A third of the epochs run minority-partitioned so the watchdog
+       has something to watch. *)
+    if epoch mod 3 = 0 && hosts > 1 then
+      Cluster.partition cluster [ [ 0 ]; List.tl all_hosts ]
+    else Cluster.heal cluster;
+    List.iter
+      (fun root ->
+        let (_ : Workload.stats) =
+          Workload.run root { cfg with seed = Random.State.int rng 100000 } ~ops:20
+        in
+        ())
+      roots;
+    let (_ : int * Reconcile.stats) = Cluster.tick_daemons cluster 25 in
+    ()
+  done;
+  Cluster.heal cluster;
+  let (_ : int) = Cluster.run_propagation cluster in
+  (match Cluster.converge cluster vref ~max_rounds:50 () with Ok _ | Error _ -> ());
+  Cluster.health_sample_now cluster;
+  let profile = Cluster.profile cluster in
+  Table.print ~title:"per-daemon tick profile (top talkers first)"
+    ~headers:[ "daemon"; "phase ticks"; "activations"; "work"; "self us" ]
+    (List.map
+       (fun r ->
+         [
+           r.Health.Profile.pr_daemon;
+           string_of_int r.Health.Profile.pr_ticks;
+           string_of_int r.Health.Profile.pr_activations;
+           string_of_int r.Health.Profile.pr_work;
+           string_of_int r.Health.Profile.pr_us;
+         ])
+       (Health.Profile.rows profile));
+  let snap = (Cluster.metrics_snapshot cluster).Cluster.ms_metrics in
+  let health_gauges =
+    List.filter (fun (k, _) -> String.length k >= 7 && String.sub k 0 7 = "health.")
+      snap.Metrics.snap_gauges
+  in
+  if health_gauges <> [] then
+    Table.print ~title:"health gauges (final sample)"
+      ~headers:[ "gauge"; "value" ]
+      (List.map (fun (k, v) -> [ k; string_of_int v ]) health_gauges);
+  (* Unresolved conflicts keep replicas mutually undominated, so a
+     nonzero final divergence age with conflicts pending is the gauge
+     being honest, not the cluster failing to converge. *)
+  let conflicts =
+    List.fold_left
+      (fun acc i ->
+        match Cluster.replica (Cluster.host cluster i) vref with
+        | Some phys -> acc + List.length (Conflict_log.pending (Physical.conflicts phys))
+        | None -> acc)
+      0 all_hosts
+  in
+  Printf.printf "\n%d unresolved conflict(s) pending\n" conflicts;
+  let events = Cluster.health_events cluster in
+  Printf.printf "%d health event(s)\n" (List.length events);
+  List.iter (fun e -> Printf.printf "  %s\n" (Fmt.str "%a" Health.pp_event e)) events;
+  0
+
+let top_cmd =
+  let hosts = Arg.(value & opt int 3 & info [ "hosts" ] ~docv:"N" ~doc:"Host count") in
+  let epochs = Arg.(value & opt int 12 & info [ "epochs" ] ~docv:"E" ~doc:"Workload epochs") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"S" ~doc:"PRNG seed") in
+  Cmd.v
+    (Cmd.info "top" ~doc:"Profile daemon self-time and show health-plane gauges and events")
+    Term.(const top $ hosts $ epochs $ seed)
+
+(* ------------------------------------------------------------------ *)
+
 let () =
   let doc = "drive the Ficus replicated file system simulation" in
   let info = Cmd.info "ficusctl" ~version:"1.0" ~doc in
-  exit (Cmd.eval' (Cmd.group info [ demo_cmd; experiment_cmd; availability_cmd; simulate_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [
+            demo_cmd; experiment_cmd; availability_cmd; simulate_cmd; stats_cmd; trace_cmd;
+            top_cmd;
+          ]))

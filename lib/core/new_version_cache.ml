@@ -64,5 +64,9 @@ let take_ready t ~now ~min_age =
 
 let requeue t e = Hashtbl.replace t.table (key_of e.vref e.fidpath) e
 
+let peek t =
+  Hashtbl.fold (fun _ e acc -> e :: acc) t.table []
+  |> List.sort (fun a b -> Int.compare a.queued_at b.queued_at)
+
 let size t = Hashtbl.length t.table
 let notes t = t.notes

@@ -44,6 +44,11 @@ val requeue : t -> entry -> unit
     [not_before] are preserved so the daemon backs off between retries
     and can eventually give up and leave the work to reconciliation. *)
 
+val peek : t -> entry list
+(** Non-destructive view of every pending entry, oldest [queued_at]
+    first — the health plane's staleness gauge reads the cache without
+    disturbing the propagation daemon's backoff state. *)
+
 val size : t -> int
 val notes : t -> int
 (** Total notifications absorbed since creation (for the burst-collapse

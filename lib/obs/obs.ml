@@ -4,7 +4,13 @@
 
 type t = { metrics : Metrics.t; spans : Span.t }
 
-let create () = { metrics = Metrics.create (); spans = Span.create () }
+let create () =
+  let metrics = Metrics.create () in
+  let spans = Span.create () in
+  (* Retention evictions surface in the registry as they happen, so a
+     capped soak's [.#ficus#stats] snapshot shows the loss rate live. *)
+  Span.set_evict_notify spans (fun () -> Metrics.incr metrics "spans.evicted");
+  { metrics; spans }
 
 (* A process-wide default, used by components constructed without an
    explicit [?obs] (unit tests building a bare Physical.t, say).  Each

@@ -19,6 +19,52 @@ val set_retention : t -> int -> unit
     replays (the SCALE benchmark) set a cap so per-update spans do not
     accumulate without bound. *)
 
+type exported = {
+  x_id : int;
+  x_label : string;
+  x_origin : string;
+  x_start : int;
+  x_events : event list;  (** oldest-first *)
+}
+(** A span's full record at the moment it is handed to an export hook
+    (or read back with [export]). *)
+
+val set_export_hook : t -> (exported -> unit) -> unit
+(** Install a hook that receives each span's complete record just
+    before retention evicts it from the table.  With a hook installed a
+    capped store loses no trace data: everything is either still live
+    or has passed through the hook. *)
+
+val clear_export_hook : t -> unit
+
+val set_evict_notify : t -> (unit -> unit) -> unit
+(** Called once per evicted span, after the export hook; [Obs.create]
+    wires this to a [spans.evicted] counter in the metrics registry. *)
+
+val export : t -> int -> exported option
+(** The full record of a still-live span (events oldest-first); [None]
+    if evicted or never minted. *)
+
+val evicted : t -> int
+(** Spans dropped by retention so far. *)
+
+val minted : t -> int
+(** Total spans ever started. *)
+
+val live : t -> int
+(** Spans currently resident ([minted] minus [evicted]). *)
+
+type status = Live | Evicted | Unknown
+
+val status : t -> int -> status
+(** Distinguish a span aged out by retention ([Evicted]) from an id
+    this registry never minted ([Unknown]).  Ids are dense from 1, so
+    anything below the allocation cursor but absent from the table was
+    evicted.  (An id minted by a {e different} registry that happens to
+    fall below this one's cursor is indistinguishable from a local
+    eviction; callers comparing across registries must carry the
+    origin.) *)
+
 val start : t -> host:string -> tick:int -> string -> int
 (** Mint a fresh span id and record its first event. *)
 

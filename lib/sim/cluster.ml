@@ -48,11 +48,27 @@ type t = {
   peers_synced : (int, int) Hashtbl.t;
       (* host index -> Gossip.peers_version last folded into its
          physical layers' peer lists *)
+  health : Health.t option;
+      (* the convergence watchdog's SLO state; None = watchdog off,
+         which is the default because sampling walks replica state *)
+  health_due : int ref; (* next tick the watchdog samples at *)
+  raft_churn_seen : int ref;
+      (* raft.leader_changes high-water mark at the last health sample,
+         so churn is a per-window delta rather than a lifetime count *)
+  diverged_since : (int * int, int) Hashtbl.t;
+      (* (alloc, vol) -> tick a volume was first seen diverged, the
+         age fallback when no update span survives as evidence *)
+  profile : Health.Profile.t;
+      (* per-daemon tick profiler; always on (a few clock reads per
+         tick), deliberately outside the metrics registry because
+         wall-clock is not part of the linear/indexed equivalence *)
 }
 
 let clock t = t.clock
 let net t = t.net
 let obs t = t.obs
+let health t = t.health
+let profile t = t.profile
 let nhosts t = Array.length t.hosts
 let host t i = t.hosts.(i)
 let host_name h = h.h_name
@@ -204,7 +220,7 @@ let create ?(seed = 11) ?(datagram_loss = 0.0) ?(faults = Sim_net.no_faults)
     ?(cache_capacity = 256) ?(propagation_delay = 0) ?(reconcile_period = 100)
     ?(selection = Logical.Most_recent) ?(journal_blocks = 0) ?gossip ?log_level
     ?(indexed = true) ?(control = `Gossip) ?(raft = Raft.default_config)
-    ?(control_wait = 200) ~nhosts () =
+    ?(control_wait = 200) ?health ~nhosts () =
   if nhosts <= 0 then invalid_arg "Cluster.create";
   let control_members =
     match control with
@@ -244,6 +260,12 @@ let create ?(seed = 11) ?(datagram_loss = 0.0) ?(faults = Sim_net.no_faults)
       active = Hashtbl.create 64;
       timer_wake = ref 0;
       peers_synced = Hashtbl.create 64;
+      health =
+        Option.map (fun cfg -> Health.create ~metrics:obs.Obs.metrics cfg) health;
+      health_due = ref 0;
+      raft_churn_seen = ref 0;
+      diverged_since = Hashtbl.create 4;
+      profile = Health.Profile.create ();
     }
   in
   let make_host i =
@@ -457,6 +479,236 @@ let sync_peers_from_gossip t =
         end)
     t.hosts
 
+(* ------------------------------------------------------------------ *)
+(* Convergence watchdog                                                *)
+
+(* Full per-replica state walk: fidpath string -> version_info for every
+   live entry, root included.  The divergence gauge compares these maps
+   pairwise rather than trusting subtree summary vectors, which are
+   deliberately lower bounds and would under-report.  Defensive on
+   errors (a graft point mid-resolution just drops out of the map). *)
+let walk_versions phys =
+  let acc = Hashtbl.create 64 in
+  (match Physical.get_version phys [] with
+  | Ok vi -> Hashtbl.replace acc "" vi
+  | Error _ -> ());
+  let rec go path =
+    match Physical.fetch_dir phys path with
+    | Error _ -> ()
+    | Ok fdir ->
+      List.iter
+        (fun (_name, (e : Fdir.entry)) ->
+          let p = path @ [ e.Fdir.fid ] in
+          (match Physical.get_version phys p with
+          | Ok vi -> Hashtbl.replace acc (Ids.fidpath_to_string p) vi
+          | Error _ -> ());
+          match e.Fdir.kind with
+          | Aux_attrs.Fdir | Aux_attrs.Fgraft -> go p
+          | Aux_attrs.Freg -> ())
+        (Fdir.live fdir)
+  in
+  go [];
+  acc
+
+(* Is any replica of [vref] holding a version some sibling has not yet
+   dominated?  Returns [None] when fewer than two replicas are locally
+   stored, otherwise [Some (diverged, evidence_span, oldest_start)]
+   where the evidence span is the undominated entry's update span with
+   the earliest start tick (the oldest update still in flight). *)
+let volume_divergence t vref =
+  let reps =
+    Option.value ~default:[]
+      (Hashtbl.find_opt t.volumes (vref.Ids.alloc, vref.Ids.vol))
+  in
+  let physes =
+    List.filter_map
+      (fun (_rid, host) ->
+        match Hashtbl.find_opt t.name_to_index host with
+        | None -> None
+        | Some i -> replica t.hosts.(i) vref)
+      reps
+  in
+  match physes with
+  | [] | [ _ ] -> None
+  | physes ->
+    let maps = List.map walk_versions physes in
+    let diverged = ref false in
+    let best_span = ref Span.none in
+    let best_start = ref max_int in
+    let spans = t.obs.Obs.spans in
+    let note_span sp =
+      if sp <> Span.none then
+        match Span.start_tick spans sp with
+        | Some s when s < !best_start ->
+          best_start := s;
+          best_span := sp
+        | Some _ -> ()
+        | None -> if !best_span = Span.none then best_span := sp
+    in
+    List.iter
+      (fun ma ->
+        List.iter
+          (fun mb ->
+            if ma != mb then
+              Hashtbl.iter
+                (fun key (vib : Physical.version_info) ->
+                  match Hashtbl.find_opt ma key with
+                  | None ->
+                    diverged := true;
+                    note_span vib.Physical.vi_span
+                  | Some (via : Physical.version_info) ->
+                    if
+                      not
+                        (Version_vector.dominates via.Physical.vi_vv
+                           vib.Physical.vi_vv)
+                    then begin
+                      diverged := true;
+                      note_span vib.Physical.vi_span
+                    end)
+                mb)
+          maps)
+      maps;
+    Some
+      (!diverged, !best_span, if !best_start = max_int then None else Some !best_start)
+
+(* One watchdog sample: derive every gauge from live cluster state, set
+   it in the registry, and feed it through the SLO classifier.  Runs
+   only when the cluster was created with [?health] — the divergence
+   walk reads every replica, which is not free. *)
+let health_sample t hd =
+  let now = Clock.now t.clock in
+  let m = t.obs.Obs.metrics in
+  (* Oldest undominated update age, max over volumes.  A diverged
+     volume always reports age >= 1 (the gauge being 0 means "all
+     replicas dominate all installed versions", and the qcheck property
+     in the test suite holds it to exactly that). *)
+  let div_age = ref 0 in
+  let div_span = ref Span.none in
+  let div_detail = ref "" in
+  Hashtbl.iter
+    (fun (alloc, vol) _reps ->
+      let vref = { Ids.alloc; vol } in
+      match volume_divergence t vref with
+      | None | Some (false, _, _) -> Hashtbl.remove t.diverged_since (alloc, vol)
+      | Some (true, sp, start) ->
+        let since =
+          match Hashtbl.find_opt t.diverged_since (alloc, vol) with
+          | Some s -> s
+          | None ->
+            Hashtbl.replace t.diverged_since (alloc, vol) now;
+            now
+        in
+        let start = match start with Some s -> min s since | None -> since in
+        let age = max 1 (now - start) in
+        if age > !div_age then begin
+          div_age := age;
+          div_span := sp;
+          div_detail := Printf.sprintf "volume %d.%d undominated" alloc vol
+        end)
+    t.volumes;
+  Metrics.gauge_set m "health.divergence_age" !div_age;
+  Health.observe hd ~tick:now ~gauge:"health.divergence_age" ~value:!div_age
+    ~span:!div_span ~detail:!div_detail;
+  (* Per-replica staleness: the oldest known-but-uninstalled version,
+     read non-destructively out of each host's new-version cache.  Only
+     nonzero samples go to the histogram, so staleness_p99 measures how
+     stale things get when they are stale at all. *)
+  let stale = ref 0 in
+  let stale_span = ref Span.none in
+  let stale_detail = ref "" in
+  Array.iter
+    (fun h ->
+      List.iter
+        (fun (e : New_version_cache.entry) ->
+          let age = now - e.New_version_cache.queued_at in
+          if age > !stale then begin
+            stale := age;
+            stale_span := e.New_version_cache.span;
+            stale_detail :=
+              Printf.sprintf "%s awaiting %s" h.h_name
+                (Ids.fidpath_to_string e.New_version_cache.fidpath)
+          end)
+        (New_version_cache.peek (Propagation.cache h.h_prop)))
+    t.hosts;
+  Metrics.gauge_set m "health.staleness" !stale;
+  if !stale > 0 then Metrics.observe m "health.staleness.ticks" !stale;
+  Health.observe hd ~tick:now ~gauge:"health.staleness" ~value:!stale
+    ~span:!stale_span ~detail:!stale_detail;
+  (* Journal flush backlog: staged-but-unflushed group-commit records. *)
+  let backlog =
+    Array.fold_left
+      (fun acc h ->
+        acc
+        + Option.value ~default:0
+            (List.assoc_opt "staged" (Ufs.journal_stats h.h_ufs)))
+      0 t.hosts
+  in
+  Metrics.gauge_set m "health.journal_backlog" backlog;
+  Health.observe hd ~tick:now ~gauge:"health.journal_backlog" ~value:backlog
+    ~span:Span.none ~detail:"staged journal records across hosts";
+  (* Gossip suspicion: how many (observer, peer) edges the failure
+     detector currently doubts. *)
+  let suspects = ref 0 in
+  let suspect_detail = ref "" in
+  Array.iter
+    (fun h ->
+      match h.h_gossip with
+      | None -> ()
+      | Some g ->
+        List.iter
+          (fun (peer, _, _, _) ->
+            if peer <> h.h_name && Gossip.liveness g peer = Gossip.Suspect
+            then begin
+              incr suspects;
+              if !suspect_detail = "" then
+                suspect_detail := Printf.sprintf "%s suspects %s" h.h_name peer
+            end)
+          (Gossip.view g))
+    t.hosts;
+  Metrics.gauge_set m "health.gossip_suspects" !suspects;
+  Health.observe hd ~tick:now ~gauge:"health.gossip_suspects" ~value:!suspects
+    ~span:Span.none ~detail:!suspect_detail;
+  (* Raft leadership churn, as a per-window delta of the registry's
+     lifetime leader_changes counter. *)
+  let changes = Metrics.counter m "raft.leader_changes" in
+  let churn = changes - !(t.raft_churn_seen) in
+  t.raft_churn_seen := changes;
+  Metrics.gauge_set m "health.raft_churn" churn;
+  Health.observe hd ~tick:now ~gauge:"health.raft_churn" ~value:churn
+    ~span:Span.none ~detail:"leader changes this window";
+  (* Propagation backlog: pending new-version-cache entries. *)
+  let pending =
+    Array.fold_left (fun acc h -> acc + Propagation.pending h.h_prop) 0 t.hosts
+  in
+  Metrics.gauge_set m "health.prop_backlog" pending;
+  Health.observe hd ~tick:now ~gauge:"health.prop_backlog" ~value:pending
+    ~span:Span.none ~detail:"new-version cache entries across hosts"
+
+(* The watchdog shares the daemons' cron: sample when the period timer
+   is due.  Driven from [tick_daemons] after the mode-specific phase
+   dispatch, so linear and indexed modes sample at identical ticks over
+   identical state and the equivalence qcheck is undisturbed. *)
+let health_tick t =
+  match t.health with
+  | None -> ()
+  | Some hd ->
+    let now = Clock.now t.clock in
+    if now >= !(t.health_due) then begin
+      t.health_due := now + (Health.config hd).Health.period;
+      health_sample t hd
+    end
+
+let health_sample_now t =
+  match t.health with None -> () | Some hd -> health_sample t hd
+
+let health_events t =
+  match t.health with None -> [] | Some hd -> Health.events hd
+
+(* Wall-clock in whole microseconds: the profiler's unit.  (Absolute
+   microseconds since the epoch still fit comfortably in 53 bits of
+   float mantissa; nanoseconds would not.) *)
+let now_us () = int_of_float (Unix.gettimeofday () *. 1e6)
+
 (* Advance time and drive every host's daemons, as a host's cron would:
    deliver datagrams, run gossip and raft rounds, run propagation, tick
    the periodic reconcilers.
@@ -475,34 +727,60 @@ let sync_peers_from_gossip t =
    both and compares everything. *)
 
 let tick_daemons_linear t =
-  Array.iter
-    (fun h ->
-      match h.h_control with Some (r, _) -> Raft.tick r | None -> ())
-    t.hosts;
-  let (_ : int) =
+  let t0 = now_us () in
+  let raft_acts =
     Array.fold_left
       (fun acc h ->
-        match h.h_gossip with Some g -> acc + Gossip.tick g | None -> acc)
+        match h.h_control with
+        | Some (r, _) ->
+          Raft.tick r;
+          acc + 1
+        | None -> acc)
       0 t.hosts
+  in
+  let t1 = now_us () in
+  let gossip_acts, gossip_work =
+    Array.fold_left
+      (fun (n, w) h ->
+        match h.h_gossip with Some g -> (n + 1, w + Gossip.tick g) | None -> (n, w))
+      (0, 0) t.hosts
   in
   (* Datagrams delivered by this (or an earlier) pump may have merged
      fresh membership; apply it every tick, not just on round ticks. *)
   sync_peers_from_gossip t;
+  let t2 = now_us () in
   (* The journal flush daemon runs off the same cron as propagation and
      reconciliation: age out any staged group commit.  (No-op on
      unjournaled hosts; an EIO here surfaces on the next operation.) *)
   Array.iter
     (fun h -> match Ufs.journal_tick h.h_ufs with Ok () | Error _ -> ())
     t.hosts;
+  let t3 = now_us () in
   let pulls = Array.fold_left (fun acc h -> acc + Propagation.run_once h.h_prop) 0 t.hosts in
+  let t4 = now_us () in
+  let recon_acts = ref 0 in
   let recon =
     Array.fold_left
       (fun acc h ->
         match Recon_daemon.tick h.h_recon with
-        | Some stats -> Reconcile.add_stats acc stats
+        | Some stats ->
+          incr recon_acts;
+          Reconcile.add_stats acc stats
         | None -> acc)
       Reconcile.empty_stats t.hosts
   in
+  let t5 = now_us () in
+  let prof = t.profile in
+  Health.Profile.record prof ~daemon:"raft" ~activations:raft_acts ~work:0 ~us:(t1 - t0);
+  Health.Profile.record prof ~daemon:"gossip" ~activations:gossip_acts ~work:gossip_work
+    ~us:(t2 - t1);
+  Health.Profile.record prof ~daemon:"journal" ~activations:(Array.length t.hosts) ~work:0
+    ~us:(t3 - t2);
+  Health.Profile.record prof ~daemon:"prop" ~activations:(Array.length t.hosts) ~work:pulls
+    ~us:(t4 - t3);
+  Health.Profile.record prof ~daemon:"recon" ~activations:!recon_acts
+    ~work:(recon.Reconcile.dirs_merged + recon.Reconcile.files_pulled)
+    ~us:(t5 - t4);
   (pulls, recon)
 
 let any_journal_pending t =
@@ -513,43 +791,74 @@ let tick_daemons_indexed t =
   if Hashtbl.length t.active = 0 && now < !(t.timer_wake) && not (any_journal_pending t)
   then (0, Reconcile.empty_stats)
   else begin
-    Array.iter
-      (fun h ->
-        match h.h_control with
-        | Some (r, _) when Raft.next_due r <= now -> Raft.tick r
-        | Some _ | None -> ())
-      t.hosts;
-    let (_ : int) =
+    let t0 = now_us () in
+    let raft_acts =
       Array.fold_left
         (fun acc h ->
-          match h.h_gossip with
-          | Some g when Gossip.next_due g <= now -> acc + Gossip.tick g
+          match h.h_control with
+          | Some (r, _) when Raft.next_due r <= now ->
+            Raft.tick r;
+            acc + 1
           | Some _ | None -> acc)
         0 t.hosts
     in
+    let t1 = now_us () in
+    let gossip_acts, gossip_work =
+      Array.fold_left
+        (fun (n, w) h ->
+          match h.h_gossip with
+          | Some g when Gossip.next_due g <= now -> (n + 1, w + Gossip.tick g)
+          | Some _ | None -> (n, w))
+        (0, 0) t.hosts
+    in
     sync_peers_from_gossip t;
+    let t2 = now_us () in
+    let journal_acts = ref 0 in
     Array.iter
       (fun h ->
-        if Ufs.journal_pending h.h_ufs then
-          match Ufs.journal_tick h.h_ufs with Ok () | Error _ -> ())
+        if Ufs.journal_pending h.h_ufs then begin
+          incr journal_acts;
+          match Ufs.journal_tick h.h_ufs with Ok () | Error _ -> ()
+        end)
       t.hosts;
+    let t3 = now_us () in
+    let prop_acts = ref 0 in
     let pulls =
       Array.fold_left
         (fun acc h ->
-          if Propagation.pending h.h_prop > 0 then acc + Propagation.run_once h.h_prop
+          if Propagation.pending h.h_prop > 0 then begin
+            incr prop_acts;
+            acc + Propagation.run_once h.h_prop
+          end
           else acc)
         0 t.hosts
     in
+    let t4 = now_us () in
+    let recon_acts = ref 0 in
     let recon =
       Array.fold_left
         (fun acc h ->
           if Recon_daemon.next_due h.h_recon <= now then
             match Recon_daemon.tick h.h_recon with
-            | Some stats -> Reconcile.add_stats acc stats
+            | Some stats ->
+              incr recon_acts;
+              Reconcile.add_stats acc stats
             | None -> acc
           else acc)
         Reconcile.empty_stats t.hosts
     in
+    let t5 = now_us () in
+    let prof = t.profile in
+    Health.Profile.record prof ~daemon:"raft" ~activations:raft_acts ~work:0 ~us:(t1 - t0);
+    Health.Profile.record prof ~daemon:"gossip" ~activations:gossip_acts ~work:gossip_work
+      ~us:(t2 - t1);
+    Health.Profile.record prof ~daemon:"journal" ~activations:!journal_acts ~work:0
+      ~us:(t3 - t2);
+    Health.Profile.record prof ~daemon:"prop" ~activations:!prop_acts ~work:pulls
+      ~us:(t4 - t3);
+    Health.Profile.record prof ~daemon:"recon" ~activations:!recon_acts
+      ~work:(recon.Reconcile.dirs_merged + recon.Reconcile.files_pulled)
+      ~us:(t5 - t4);
     (* Requiesce: hosts that still owe propagation work stay runnable;
        everyone else sleeps until the earliest timer anywhere. *)
     Hashtbl.reset t.active;
@@ -575,7 +884,9 @@ let tick_daemons_indexed t =
 let tick_daemons t ticks =
   Clock.advance t.clock ticks;
   let (_ : int) = pump t in
-  if t.indexed then tick_daemons_indexed t else tick_daemons_linear t
+  let r = if t.indexed then tick_daemons_indexed t else tick_daemons_linear t in
+  health_tick t;
+  r
 
 (* ------------------------------------------------------------------ *)
 (* Raft-routed control operations                                      *)
@@ -1171,6 +1482,9 @@ let metrics_snapshot t =
     (fun k v -> Metrics.gauge_set t.obs.Obs.metrics ("journal." ^ k) v)
     totals;
   let spans = t.obs.Obs.spans in
+  (* Span-store occupancy rides along as a gauge (the eviction counter
+     is maintained live by Obs.create's evict notify). *)
+  Metrics.gauge_set t.obs.Obs.metrics "spans.live" (Span.live spans);
   {
     ms_metrics = Metrics.snapshot t.obs.Obs.metrics;
     ms_spans = List.map (fun id -> (id, Span.timeline spans id)) (Span.ids spans);

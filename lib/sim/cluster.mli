@@ -32,6 +32,7 @@ val create :
   ?control:[ `Gossip | `Raft of int list ] ->
   ?raft:Raft.config ->
   ?control_wait:int ->
+  ?health:Health.config ->
   nhosts:int -> unit -> t
 (** Hosts are named ["host0"], ["host1"], ….  All parameters are shared
     by every host.  [journal_blocks] (default 0) formats each host's UFS
@@ -86,7 +87,20 @@ val create :
     gossip or coordinator, carries the higher committed index.  File
     {e data} never touches consensus: one-copy availability is
     unchanged.  [raft] overrides timing/compaction
-    ({!Raft.default_config}). *)
+    ({!Raft.default_config}).
+
+    [health] (default: absent) arms the convergence watchdog: every
+    [config.period] ticks of {!tick_daemons} the cluster derives live
+    gauges — oldest undominated update age per volume
+    ([health.divergence_age], a full pairwise version-vector walk of
+    every stored replica), per-replica staleness from the new-version
+    caches ([health.staleness], plus a [health.staleness.ticks]
+    histogram of nonzero samples), journal flush backlog, gossip
+    suspect count, raft leadership churn and propagation backlog — sets
+    them in the metrics registry and classifies each against its SLO
+    ({!Health.observe}), raising edge-triggered [Degraded]/[Stuck]
+    events with span-linked evidence.  Off by default because the
+    divergence walk reads every replica's full state each sample. *)
 
 val clock : t -> Clock.t
 val net : t -> Sim_net.t
@@ -267,6 +281,27 @@ type metrics_snapshot = {
 
 val metrics_snapshot : t -> metrics_snapshot
 (** One consistent view of the whole cluster: every counter, gauge and
-    histogram (journal statistics folded in as [journal.*] gauges), plus
-    the complete per-update span timelines — enough to reconstruct an
-    update's write → notify → pull → install path across hosts. *)
+    histogram (journal statistics folded in as [journal.*] gauges, span
+    store occupancy as [spans.live]), plus the complete per-update span
+    timelines — enough to reconstruct an update's write → notify → pull
+    → install path across hosts. *)
+
+(** {1 Health plane} *)
+
+val health : t -> Health.t option
+(** The convergence watchdog, when the cluster was created with
+    [?health]. *)
+
+val health_events : t -> Health.event list
+(** Every [Degraded]/[Stuck] event the watchdog has raised, oldest
+    first ([[]] when the watchdog is off). *)
+
+val health_sample_now : t -> unit
+(** Force one watchdog sample immediately, off-period — for tests that
+    need gauge values at an exact point in a schedule.  No-op when the
+    watchdog is off. *)
+
+val profile : t -> Health.Profile.t
+(** The per-daemon tick profiler (always on): per-phase activation
+    counts, daemon-reported work, and wall-clock self-time for the
+    raft/gossip/journal/prop/recon phases of {!tick_daemons}. *)

@@ -214,6 +214,35 @@ val consensus_control : unit -> verdict
     data-plane writes succeeding on every partition side — one-copy
     availability never waits for consensus. *)
 
+type health_metrics = {
+  hm_divergence_ticks_max : int;
+      (** peak of the divergence-age gauge while partitioned *)
+  hm_staleness_p99 : int;
+      (** p99 of nonzero staleness samples (health.staleness.ticks) *)
+  hm_events_degraded : int;
+  hm_events_stuck : int;
+  hm_quiescent_events : int;  (** must be 0: no false positives *)
+  hm_stuck_span : int;  (** evidence span on the first stuck event *)
+  hm_top_daemon : string;  (** profiler's top talker by self-time *)
+  hm_top_activations : int;
+}
+(** Machine-readable summary of the health-plane experiment, consumed
+    by [bench --json]. *)
+
+val last_health_metrics : health_metrics option ref
+(** Filled by {!health_watchdog}; [None] until it has run. *)
+
+val health_watchdog : unit -> verdict
+(** The convergence watchdog, two arms on identical 3-host journaled
+    gossip clusters with [?health] armed (sample every 20 ticks;
+    divergence/staleness degraded at 200 ticks, stuck at 600).
+    Partitioned arm: isolate host0, update the shared file there, and
+    the divergence-age gauge must climb from 0 through [degraded] to a
+    [Stuck] event whose evidence span is the very update that cannot
+    propagate; after the heal a write burst exercises the staleness
+    gauge (nonzero p99) and everything must return to exactly 0.
+    Quiescent arm: 3000 idle ticks must raise zero events. *)
+
 type scale_metrics = {
   sm_ops : int;
   sm_hosts : int;
@@ -225,6 +254,12 @@ type scale_metrics = {
   sm_linear_ticks_per_sec : float;
   sm_indexed_ticks_per_sec : float;
   sm_quiescent_speedup : float;  (** indexed / linear, quiescent cluster *)
+  sm_spans_cap : int;          (** span-store retention cap during replay *)
+  sm_spans_live : int;         (** spans resident at end; must be <= cap *)
+  sm_spans_minted : int;       (** spans ever started *)
+  sm_trace_spans : int;        (** spans present in the exported JSONL *)
+  sm_trace_complete : bool;
+      (** live <= cap and the JSONL accounts for every minted span *)
 }
 (** Machine-readable summary of the scale benchmark, consumed by
     [bench --json]. *)
@@ -243,6 +278,12 @@ val scale_floor : float ref
 (** Throughput regression floor in sim-ops/sec (default 0 = no floor).
     When positive, the SCALE verdict fails if the replay runs slower —
     this is the gate CI's bench-perf job enforces (--scale-floor). *)
+
+val scale_trace_out : string option ref
+(** Where the SCALE determinism arm writes its streaming trace export
+    (--trace-out).  [None] (the default) still runs the export — the
+    lossless-export invariant is part of the SCALE verdict — but into a
+    temp file that is deleted afterwards. *)
 
 val scale_trace : unit -> verdict
 (** The SCALE benchmark, three arms.  (1) Throughput: a Zipfian

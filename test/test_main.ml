@@ -31,5 +31,6 @@ let () =
       ("raft", Test_raft.suite);
       ("properties", Test_props.suite);
       ("scale", Test_scale.suite);
+      ("health", Test_health.suite);
       ("experiments", Test_experiments.suite);
     ]

@@ -193,6 +193,61 @@ let test_stats_ctl_local_and_nfs () =
   Alcotest.(check bool) "stats op counted" true
     (contains_sub body_nfs "phys.ctl.stats")
 
+(* ---------------- retention, eviction status, export hook ---------------- *)
+
+let test_span_status_evicted_vs_unknown () =
+  let s = Span.create () in
+  Span.set_retention s 2;
+  let a = Span.start s ~host:"h" ~tick:1 "first" in
+  let b = Span.start s ~host:"h" ~tick:2 "second" in
+  let c = Span.start s ~host:"h" ~tick:3 "third" in
+  (* Cap 2: minting [c] evicted [a]. *)
+  Alcotest.(check int) "one eviction" 1 (Span.evicted s);
+  Alcotest.(check int) "two live" 2 (Span.live s);
+  Alcotest.(check bool) "oldest evicted" true (Span.status s a = Span.Evicted);
+  Alcotest.(check bool) "newer live" true (Span.status s b = Span.Live);
+  Alcotest.(check bool) "newest live" true (Span.status s c = Span.Live);
+  Alcotest.(check bool) "never minted: unknown" true (Span.status s (c + 1) = Span.Unknown);
+  Alcotest.(check bool) "id 0 (none): unknown" true (Span.status s Span.none = Span.Unknown);
+  Alcotest.(check bool) "negative: unknown" true (Span.status s (-3) = Span.Unknown);
+  (* Lookups on the evicted id degrade quietly rather than lying. *)
+  Alcotest.(check bool) "no timeline for evicted" true (Span.timeline s a = []);
+  Alcotest.(check bool) "no export for evicted" true (Span.export s a = None);
+  Span.event s a ~host:"h" ~tick:9 "late";
+  Alcotest.(check int) "event on evicted is a no-op" 1 (Span.evicted s)
+
+let test_export_hook_sees_full_record () =
+  let s = Span.create () in
+  Span.set_retention s 1;
+  let seen = ref [] in
+  Span.set_export_hook s (fun x -> seen := x :: !seen);
+  let a = Span.start s ~host:"h0" ~tick:5 "victim" in
+  Span.event s a ~host:"h1" ~tick:7 "hop";
+  let (_ : int) = Span.start s ~host:"h0" ~tick:8 "evictor" in
+  (match !seen with
+  | [ x ] ->
+    Alcotest.(check int) "hook got the evicted span" a x.Span.x_id;
+    Alcotest.(check string) "label" "victim" x.Span.x_label;
+    Alcotest.(check string) "origin" "h0" x.Span.x_origin;
+    Alcotest.(check int) "start tick" 5 x.Span.x_start;
+    Alcotest.(check (list string)) "events oldest-first" [ "victim"; "hop" ]
+      (List.map (fun e -> e.Span.e_label) x.Span.x_events)
+  | l -> Alcotest.failf "expected 1 exported span, got %d" (List.length l));
+  Span.clear_export_hook s;
+  let (_ : int) = Span.start s ~host:"h0" ~tick:9 "unwatched" in
+  Alcotest.(check int) "cleared hook fires no more" 1 (List.length !seen);
+  Alcotest.(check int) "evictions continue regardless" 2 (Span.evicted s)
+
+let test_evictions_counted_in_registry () =
+  let obs = Obs.create () in
+  Span.set_retention obs.Obs.spans 3;
+  for i = 1 to 10 do
+    ignore (Span.start obs.Obs.spans ~host:"h" ~tick:i "s")
+  done;
+  Alcotest.(check int) "spans.evicted counter tracks the store" 7
+    (Metrics.counter obs.Obs.metrics "spans.evicted");
+  Alcotest.(check int) "store agrees" 7 (Span.evicted obs.Obs.spans)
+
 let suite =
   [
     case "histogram: exact nearest-rank quantiles" test_hist_known_distribution;
@@ -200,4 +255,7 @@ let suite =
     case "snapshot and text rendering" test_snapshot_render;
     case "span timeline: cross-host update under faults" test_span_timeline_cross_host;
     case "stats ctl-name: local and NFS-interposed" test_stats_ctl_local_and_nfs;
+    case "span status: evicted vs unknown" test_span_status_evicted_vs_unknown;
+    case "export hook: full record before eviction" test_export_hook_sees_full_record;
+    case "spans.evicted surfaces in the metrics registry" test_evictions_counted_in_registry;
   ]
