@@ -214,6 +214,18 @@ let write_json path ~mode verdicts =
      Printf.fprintf oc "    \"profile.top_activations\": %d\n  }"
        m.Experiments.hm_top_activations
    | None -> ());
+  (match !Experiments.last_delta_metrics with
+   | Some m ->
+     Printf.fprintf oc ",\n  \"delta\": {\n";
+     Printf.fprintf oc "    \"file_size\": %d,\n" m.Experiments.dm_file_size;
+     Printf.fprintf oc "    \"prop.bytes_whole\": %d,\n" m.Experiments.dm_whole_bytes;
+     Printf.fprintf oc "    \"prop.bytes\": %d,\n" m.Experiments.dm_delta_bytes;
+     Printf.fprintf oc "    \"prop.bytes_saved\": %d,\n" m.Experiments.dm_saved;
+     Printf.fprintf oc "    \"prop.chunks_hit\": %d,\n" m.Experiments.dm_chunks_hit;
+     Printf.fprintf oc "    \"prop.chunks_miss\": %d,\n" m.Experiments.dm_chunks_miss;
+     Printf.fprintf oc "    \"delta.ratio\": %.1f,\n" m.Experiments.dm_ratio;
+     Printf.fprintf oc "    \"digests_equal\": %b\n  }" m.Experiments.dm_digests_equal
+   | None -> ());
   (match !Experiments.last_scale_metrics with
    | Some m ->
      Printf.fprintf oc ",\n  \"scale\": {\n";
@@ -272,6 +284,9 @@ let schema_keys =
     "health"; "health.divergence_ticks_max"; "health.staleness_p99";
     "health.events_degraded"; "health.events_stuck"; "health.quiescent_events";
     "health.stuck_span"; "profile.top_daemon"; "profile.top_activations";
+    (* delta propagation (delta) *)
+    "delta"; "file_size"; "prop.bytes_whole"; "prop.bytes"; "prop.bytes_saved";
+    "prop.chunks_hit"; "prop.chunks_miss"; "delta.ratio"; "digests_equal";
     (* scale *)
     "scale"; "ops"; "hosts"; "wall_seconds"; "sim_ops_per_sec"; "errors";
     "pulls"; "deterministic"; "linear_ticks_per_sec"; "indexed_ticks_per_sec";
@@ -316,7 +331,7 @@ let check_schema path =
    the smoke artifact still carries the full JSON schema. *)
 let smoke_names =
   [ "e2"; "e3"; "e4"; "e6"; "e9"; "e10"; "f2"; "a1"; "a3"; "a5"; "chaos"; "wal";
-    "obslag"; "reconscale"; "member"; "consensus"; "health"; "scale" ]
+    "obslag"; "reconscale"; "member"; "consensus"; "health"; "delta"; "scale" ]
 
 let smoke_scale_ops = 20_000
 

@@ -8,6 +8,7 @@ type t = {
   graft_target : Ids.volume_ref option;
   span : int;
   summary : Version_vector.t option;
+  digest : string option;
 }
 
 let make kind =
@@ -19,6 +20,7 @@ let make kind =
     graft_target = None;
     span = 0;
     summary = None;
+    digest = None;
   }
 
 let kind_to_string = function Freg -> "reg" | Fdir -> "dir" | Fgraft -> "graft"
@@ -49,6 +51,7 @@ let encode t =
     @ (match t.summary with
        | None -> []
        | Some s -> [ "summary=" ^ Version_vector.encode s ])
+    @ (match t.digest with None -> [] | Some d -> [ "digest=" ^ d ])
   in
   String.concat "\n" lines ^ "\n"
 
@@ -85,7 +88,8 @@ let decode s =
        let summary =
          match find "summary" with None -> None | Some s -> Version_vector.decode s
        in
-       Some { kind; vv; uid; conflict = conflict = "1"; graft_target; span; summary }
+       let digest = find "digest" in
+       Some { kind; vv; uid; conflict = conflict = "1"; graft_target; span; summary; digest }
      | _, _, _ -> None)
   | _, _, _, _ -> None
 

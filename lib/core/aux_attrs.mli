@@ -26,6 +26,13 @@ type t = {
           subtree rooted here, keyed by originating replica.  [None] in
           pre-summary encodings (recomputed at attach time) and for
           regular files. *)
+  digest : string option;
+      (** regular files: hex MD5 of the stored contents, recorded by the
+          install path and {e cleared} by every local write (which goes
+          through the version bump) — so a [Some] is never stale.  Served
+          in the chunk-map header and checked by the delta puller after
+          reassembly; [None] (old encodings, locally written files) makes
+          the server recompute it from the contents. *)
 }
 
 val make : fkind -> t

@@ -6,6 +6,7 @@ type entry = {
   origin_rid : Ids.replica_id;
   origin_host : string;
   span : int;
+  vv : Version_vector.t;
   queued_at : int;
   mutable attempts : int;
   mutable not_before : int;  (* backoff: ignore until the clock reaches this *)
@@ -13,9 +14,9 @@ type entry = {
 
 type key = int * int * string (* alloc, vol, fidpath *)
 
-type t = { table : (key, entry) Hashtbl.t; mutable notes : int }
+type t = { table : (key, entry) Hashtbl.t; mutable notes : int; mutable deduped : int }
 
-let create () = { table = Hashtbl.create 32; notes = 0 }
+let create () = { table = Hashtbl.create 32; notes = 0; deduped = 0 }
 
 let key_of vref fidpath =
   (vref.Ids.alloc, vref.Ids.vol, Ids.fidpath_to_string fidpath)
@@ -25,7 +26,10 @@ let note t (e : Notify.event) ~now =
   let key = key_of e.Notify.vref e.Notify.fidpath in
   match Hashtbl.find_opt t.table key with
   | Some pending ->
-    (* Absorb: keep the earliest queue time, follow the newest origin. *)
+    (* Absorb: keep the earliest queue time, follow the newest origin,
+       and merge the advertised histories — the pull must satisfy every
+       notification it collapses. *)
+    t.deduped <- t.deduped + 1;
     Hashtbl.replace t.table key
       {
         pending with
@@ -33,7 +37,9 @@ let note t (e : Notify.event) ~now =
         origin_host = e.Notify.origin_host;
         kind = e.Notify.kind;
         span = (if e.Notify.span <> 0 then e.Notify.span else pending.span);
-      }
+        vv = Version_vector.merge pending.vv e.Notify.vv;
+      };
+    true
   | None ->
     Hashtbl.replace t.table key
       {
@@ -44,10 +50,12 @@ let note t (e : Notify.event) ~now =
         origin_rid = e.Notify.origin_rid;
         origin_host = e.Notify.origin_host;
         span = e.Notify.span;
+        vv = e.Notify.vv;
         queued_at = now;
         attempts = 0;
         not_before = 0;
-      }
+      };
+    false
 
 let take_ready t ~now ~min_age =
   let ready, _ =
@@ -70,3 +78,4 @@ let peek t =
 
 let size t = Hashtbl.length t.table
 let notes t = t.notes
+let deduped t = t.deduped

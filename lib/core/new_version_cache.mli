@@ -19,6 +19,10 @@ type entry = {
   origin_rid : Ids.replica_id;
   origin_host : string;
   span : int;            (** trace span of the newest absorbed update *)
+  vv : Version_vector.t;
+      (** merge of every absorbed notification's advertised version
+          vector ([empty] when no notification carried one); the pull
+          may be skipped only if the local history dominates this *)
   queued_at : int;       (** simulated time of first pending notification *)
   mutable attempts : int;
   mutable not_before : int;
@@ -30,9 +34,12 @@ type t
 
 val create : unit -> t
 
-val note : t -> Notify.event -> now:int -> unit
+val note : t -> Notify.event -> now:int -> bool
 (** Record a notification.  A pending entry for the same object absorbs
-    it (keeping the earliest [queued_at], adopting the newest origin). *)
+    it — keeping the earliest [queued_at], adopting the newest origin and
+    non-zero span, and merging the advertised version vectors — and
+    [true] is returned (the collapse the ["prop.nvc_deduped"] counter
+    tracks); [false] means a fresh entry was created. *)
 
 val take_ready : t -> now:int -> min_age:int -> entry list
 (** Remove and return entries that have been pending at least [min_age]
@@ -53,3 +60,7 @@ val size : t -> int
 val notes : t -> int
 (** Total notifications absorbed since creation (for the burst-collapse
     measurement). *)
+
+val deduped : t -> int
+(** How many of those notifications collapsed into an already-pending
+    entry instead of creating a new one. *)

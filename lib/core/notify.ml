@@ -6,6 +6,7 @@ type event = {
   origin_rid : Ids.replica_id;
   origin_host : string;
   span : int;
+  vv : Version_vector.t;
 }
 
 type Sim_net.payload += Ficus_notify of event

@@ -25,6 +25,14 @@ type event = {
           the update was not traced); receivers thread it through the
           new-version cache into the propagation pull so the whole
           cross-host flow lands on one timeline *)
+  vv : Version_vector.t;
+      (** the origin replica's version vector for the updated file at
+          notification time ([empty] for directory events, follow-up
+          pulls and events from pre-delta origins).  A receiver whose own
+          history already dominates a non-empty [vv] skips the pull
+          outright — a duplicate or raced notification costs no RPC at
+          all instead of a whole-file transfer that installs as
+          up-to-date. *)
 }
 
 type Sim_net.payload += Ficus_notify of event

@@ -34,6 +34,11 @@ type t = {
      are immutable, so sharing the decoded structure is safe.  Bounded;
      see [load_fdir]. *)
   fdir_cache : (string, Fdir.t) Hashtbl.t;
+  (* Chunk-map cache for delta propagation, content-keyed like
+     [fdir_cache] (same structural-staleness-freedom argument: new
+     contents are a new key) and write-through from the install path, so
+     serving a chunk map for a just-installed file never re-chunks. *)
+  chunk_cache : (string, Chunking.chunk list) Hashtbl.t;
 }
 
 type version_info = {
@@ -181,6 +186,26 @@ let load_fdir t ufs_dir =
      | Some d ->
        fdir_cache_put t contents d;
        Ok d)
+
+(* Chunk maps are far larger per entry than decoded directories (the
+   whole file contents is the key), so the cap is small; the working set
+   is the files currently moving through propagation. *)
+let chunk_cache_cap = 64
+
+let chunk_cache_put t contents chunks =
+  if Hashtbl.length t.chunk_cache >= chunk_cache_cap then Hashtbl.reset t.chunk_cache;
+  Hashtbl.replace t.chunk_cache contents chunks
+
+let chunks_of_content t contents =
+  match Hashtbl.find_opt t.chunk_cache contents with
+  | Some chunks ->
+    Counters.incr t.counters "phys.chunkmap.hit";
+    chunks
+  | None ->
+    Counters.incr t.counters "phys.chunkmap.miss";
+    let chunks = Chunking.split contents in
+    chunk_cache_put t contents chunks;
+    chunks
 
 (* Write-through: seeding the cache with the bytes just written means
    the next load after an update hits. *)
@@ -346,7 +371,7 @@ let ignore_enoent = function
 (* ------------------------------------------------------------------ *)
 (* Notifications                                                       *)
 
-let emit t ~fidpath ~fid ~kind =
+let emit ?(vv = Vv.empty) t ~fidpath ~fid ~kind =
   match t.notifier with
   | None -> ()
   | Some f ->
@@ -364,13 +389,16 @@ let emit t ~fidpath ~fid ~kind =
         origin_rid = t.rid;
         origin_host = t.host;
         span;
+        vv;
       }
 
 let dir_event t path =
   let fid = match List.rev path with [] -> Ids.root_fid | fid :: _ -> fid in
   emit t ~fidpath:path ~fid ~kind:Aux_attrs.Fdir
 
-let file_event t path fid = emit t ~fidpath:path ~fid ~kind:Aux_attrs.Freg
+(* [vv] is the file's post-update version vector; receivers whose local
+   history already dominates it drop the notification without an RPC. *)
+let file_event ?vv t path fid = emit ?vv t ~fidpath:path ~fid ~kind:Aux_attrs.Freg
 
 (* ------------------------------------------------------------------ *)
 (* Version info                                                        *)
@@ -854,8 +882,14 @@ and bump_file_version t parent_ufs fid =
   let span =
     match Span.ambient_id () with 0 -> aux.Aux_attrs.span | s -> s
   in
-  let aux = { aux with Aux_attrs.vv = Vv.bump aux.Aux_attrs.vv t.rid; span } in
-  Aux_attrs.store ~dir:parent_ufs fid aux
+  (* The recorded content digest is only ever valid for installed
+     contents; a local write invalidates it (recomputed lazily when a
+     chunk map is next served). *)
+  let aux =
+    { aux with Aux_attrs.vv = Vv.bump aux.Aux_attrs.vv t.rid; span; digest = None }
+  in
+  let* () = Aux_attrs.store ~dir:parent_ufs fid aux in
+  Ok aux.Aux_attrs.vv
 
 and reg_getattr t path =
   let* data, parent_ufs, fid = data_vnode t path in
@@ -874,13 +908,13 @@ and reg_setattr t path sa =
   in
   let* () = data.Vnode.setattr sa in
   if sa.Vnode.set_size <> None then begin
-    let* () = bump_file_version t parent_ufs fid in
+    let* vv = bump_file_version t parent_ufs fid in
     Counters.incr t.counters "phys.update";
     Span.emit "phys:update";
     (match split_file_path path with
      | Ok (parent, fid) ->
        note_summary_event t parent;
-       file_event t path fid
+       file_event ~vv t path fid
      | Error _ -> ());
     Ok ()
   end
@@ -893,13 +927,13 @@ and reg_read t path ~off ~len =
 and reg_write t path ~off payload =
   let* data, parent_ufs, fid = data_vnode t path in
   let* () = data.Vnode.write ~off payload in
-  let* () = bump_file_version t parent_ufs fid in
+  let* vv = bump_file_version t parent_ufs fid in
   Counters.incr t.counters "phys.update";
   Span.emit "phys:update";
   (match split_file_path path with
    | Ok (parent, _) -> note_summary_event t parent
    | Error _ -> ());
-  file_event t path fid;
+  file_event ~vv t path fid;
   Ok ()
 
 (* ---------------- control requests over lookup ---------------- *)
@@ -939,6 +973,23 @@ and encode_version_info vi =
     (match vi.vi_summary with
      | None -> ""
      | Some s -> Printf.sprintf "summary=%s\n" (Vv.encode s))
+
+(* Whole-content digest for the chunk-map header: trust the aux record
+   when present (the install path writes it, every local write clears
+   it — a [Some] is never stale), else compute from the contents. *)
+and stored_digest t path data =
+  let from_aux =
+    match split_file_path path with
+    | Error _ -> None
+    | Ok (parent, fid) ->
+      (match resolve_dir t parent with
+       | Error _ -> None
+       | Ok parent_ufs ->
+         (match Aux_attrs.load ~dir:parent_ufs fid with
+          | Ok aux -> aux.Aux_attrs.digest
+          | Error _ -> None))
+  in
+  match from_aux with Some d -> d | None -> Chunking.digest_hex data
 
 (* The `.#ficus#stats` body: the whole observability snapshot in the
    same line-oriented style as the other ctl responses — metrics first,
@@ -1015,6 +1066,54 @@ and ctl_lookup t path name =
                Buffer.add_string buf (encode_version_info cvi))
            (Fdir.live_fids fdir);
          Ok (ctl_vnode (Buffer.contents buf))
+     | "getchunkmap", who :: _ ->
+       (* Delta negotiation, step 1: the file's version info, whole-file
+          digest and content-defined chunk map — a header-sized answer
+          from which the puller works out which bodies it is missing. *)
+       Counters.incr t.counters "phys.ctl.getchunkmap";
+       let* target, vi = ctl_target t path who in
+       if vi.vi_kind <> Aux_attrs.Freg then Error Errno.EISDIR
+       else
+         let* vi, data = fetch_file t target in
+         let digest = stored_digest t target data in
+         let chunks = chunks_of_content t data in
+         Ok
+           (ctl_vnode
+              (encode_version_info vi ^ "digest=" ^ digest ^ "\n--\n"
+               ^ Chunking.encode_map chunks))
+     | "readchunks", who :: wanted :: _ ->
+       (* Delta negotiation, step 2: the bodies of the comma-separated
+          digests.  A digest we no longer hold means the file changed
+          between the map fetch and this call: EAGAIN tells the puller
+          to fall back to a whole-file fetch rather than mix
+          generations. *)
+       Counters.incr t.counters "phys.ctl.readchunks";
+       let* target, vi = ctl_target t path who in
+       if vi.vi_kind <> Aux_attrs.Freg then Error Errno.EISDIR
+       else
+         let* _vi, data = fetch_file t target in
+         let chunks = chunks_of_content t data in
+         let by_digest = Hashtbl.create 16 in
+         List.iter
+           (fun c ->
+             if not (Hashtbl.mem by_digest c.Chunking.digest) then
+               Hashtbl.add by_digest c.Chunking.digest c)
+           chunks;
+         let buf = Buffer.create 4096 in
+         let rec serve = function
+           | [] -> Ok ()
+           | d :: rest ->
+             (match Hashtbl.find_opt by_digest d with
+              | None -> Error Errno.EAGAIN
+              | Some c ->
+                Buffer.add_string buf
+                  (Printf.sprintf "chunk=%s %d\n" c.Chunking.digest c.Chunking.len);
+                Buffer.add_string buf (Chunking.slice data c);
+                Buffer.add_char buf '\n';
+                serve rest)
+         in
+         let* () = serve (String.split_on_char ',' wanted) in
+         Ok (ctl_vnode (Buffer.contents buf))
      | "stats", _ ->
        Counters.incr t.counters "phys.ctl.stats";
        Metrics.incr t.obs.Obs.metrics "phys.ctl.stats";
@@ -1066,9 +1165,18 @@ let install_file ?(span = 0) ?(via = "prop") t path ~vv ~uid ~data ~origin_rid =
       | Some aux -> Vv.merge aux.Aux_attrs.vv vv
     in
     let aux =
-      { (Aux_attrs.make Aux_attrs.Freg) with Aux_attrs.vv = merged_vv; uid; span }
+      {
+        (Aux_attrs.make Aux_attrs.Freg) with
+        Aux_attrs.vv = merged_vv;
+        uid;
+        span;
+        digest = Some (Chunking.digest_hex data);
+      }
     in
     let* () = Aux_attrs.store ~dir:parent_ufs fid aux in
+    (* Write-through: the next chunk-map request for these contents (a
+       peer pulling them onward) is a cache probe, not a re-chunk. *)
+    chunk_cache_put t data (Chunking.split data);
     Span.event t.obs.Obs.spans span ~host:t.host ~tick:now ("install:" ^ via);
     (* The convergence measurement: ticks from the originating write
        (the span's first event) to this replica holding the version. *)
@@ -1133,11 +1241,18 @@ let force_install t path ~vv ~uid ~data =
   let* parent_ufs = resolve_dir t parent in
   let* () = Shadow.install ~dir:parent_ufs fid ~data in
   let aux =
-    { (Aux_attrs.make Aux_attrs.Freg) with Aux_attrs.vv = vv; uid; conflict = false }
+    {
+      (Aux_attrs.make Aux_attrs.Freg) with
+      Aux_attrs.vv = vv;
+      uid;
+      conflict = false;
+      digest = Some (Chunking.digest_hex data);
+    }
   in
   let* () = Aux_attrs.store ~dir:parent_ufs fid aux in
+  chunk_cache_put t data (Chunking.split data);
   note_summary_event t parent;
-  file_event t path fid;
+  file_event ~vv t path fid;
   Ok ()
 
 (* Apply one Fdir merge action to local storage.  [merged] is the
@@ -1340,6 +1455,7 @@ let create ?(obs = Obs.default) ~container ~clock ~host ~vref ~rid ~peers () =
       open_count = 0;
       pending_summaries = Hashtbl.create 64;
       fdir_cache = Hashtbl.create 64;
+      chunk_cache = Hashtbl.create 16;
     }
   in
   let* () = store_meta t in
@@ -1420,6 +1536,7 @@ let attach ?(obs = Obs.default) ~container ~clock ~host () =
       open_count = 0;
       pending_summaries = Hashtbl.create 64;
       fdir_cache = Hashtbl.create 64;
+      chunk_cache = Hashtbl.create 16;
     }
   in
   let* () = load_meta t in

@@ -94,6 +94,14 @@ val get_version : t -> fidpath -> (version_info, Errno.t) result
 val fetch_file : t -> fidpath -> (version_info * string, Errno.t) result
 val fetch_dir : t -> fidpath -> (Fdir.t, Errno.t) result
 
+val chunks_of_content : t -> string -> Chunking.chunk list
+(** The content-defined chunk map of [contents], served from the
+    content-keyed chunk cache (write-through from the install path;
+    computed and cached on miss).  Content addressing makes a stale map
+    structurally impossible — changed contents are a different key.  The
+    delta puller uses this for its {e local} copy; remote maps travel via
+    the ["getchunkmap"] ctl op. *)
+
 type install_outcome =
   | Installed       (** remote version adopted atomically *)
   | Up_to_date      (** local history already includes the remote one *)

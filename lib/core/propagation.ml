@@ -14,6 +14,7 @@ type t = {
   connect : Remote.connector;
   local_replica : Ids.volume_ref -> Physical.t option;
   liveness : string -> Gossip.liveness;
+  delta : bool;
   delay : int;
   max_attempts : int;
   backoff_base : int;
@@ -25,7 +26,7 @@ type t = {
 }
 
 let create ?(delay = 0) ?(max_attempts = 5) ?(backoff_base = 2) ?(backoff_max = 64)
-    ?(deadline = 500) ?seed ?(obs = Obs.default)
+    ?(deadline = 500) ?seed ?(obs = Obs.default) ?(delta = true)
     ?(liveness = fun _ -> Gossip.Alive) ~clock ~host ~connect ~local_replica () =
   if backoff_base < 0 || backoff_max < 0 || deadline < 0 then
     invalid_arg "Propagation.create";
@@ -37,6 +38,7 @@ let create ?(delay = 0) ?(max_attempts = 5) ?(backoff_base = 2) ?(backoff_max = 
     connect;
     local_replica;
     liveness;
+    delta;
     delay;
     max_attempts;
     backoff_base;
@@ -57,18 +59,6 @@ let backoff t attempts =
   let jitter = if base > 1 then Random.State.int t.rng base else 0 in
   base + jitter
 
-let on_notify t (e : Notify.event) =
-  match t.local_replica e.Notify.vref with
-  | None -> ()
-  | Some phys ->
-    (* Our own updates come back via the multicast; ignore them. *)
-    if e.Notify.origin_rid <> Physical.rid phys then begin
-      let now = Clock.now t.clock in
-      Span.event t.obs.Obs.spans e.Notify.span ~host:t.host ~tick:now "nvc:note";
-      Metrics.incr t.obs.Obs.metrics "notify.received";
-      New_version_cache.note t.nvc e ~now
-    end
-
 let ( let* ) = Result.bind
 
 (* Per-daemon private counter plus the shared cluster-wide registry, so
@@ -81,44 +71,116 @@ let count_n t key n =
   Counters.add t.counters key n;
   Metrics.add t.obs.Obs.metrics key n
 
+let on_notify t (e : Notify.event) =
+  match t.local_replica e.Notify.vref with
+  | None -> ()
+  | Some phys ->
+    (* Our own updates come back via the multicast; ignore them. *)
+    if e.Notify.origin_rid <> Physical.rid phys then begin
+      let now = Clock.now t.clock in
+      Span.event t.obs.Obs.spans e.Notify.span ~host:t.host ~tick:now "nvc:note";
+      Metrics.incr t.obs.Obs.metrics "notify.received";
+      if New_version_cache.note t.nvc e ~now then count t "prop.nvc_deduped"
+    end
+
+(* Record one delta-fetch outcome in the counters ("prop.bytes" now
+   covers every byte the pull put on the wire: file bodies, directory
+   fetches, chunk maps and negotiation requests alike). *)
+let count_fetch t (stats : Delta.stats) =
+  count_n t "prop.bytes" stats.Delta.wire_bytes;
+  if stats.Delta.saved_bytes > 0 then
+    count_n t "prop.bytes_saved" stats.Delta.saved_bytes;
+  if stats.Delta.chunks_hit > 0 then count_n t "prop.chunks_hit" stats.Delta.chunks_hit;
+  if stats.Delta.chunks_miss > 0 then
+    count_n t "prop.chunks_miss" stats.Delta.chunks_miss;
+  match stats.Delta.mode with
+  | Delta.Delta -> count t "prop.pull.delta"
+  | Delta.Fallback -> count t "prop.delta_fallback"
+  | Delta.Whole -> ()
+
 let pull t phys (e : New_version_cache.entry) =
+  match e.New_version_cache.kind with
+  | Aux_attrs.Freg
+    when (not (Version_vector.equal e.New_version_cache.vv Version_vector.empty))
+         && (match Physical.get_version phys e.New_version_cache.fidpath with
+             | Ok lvi ->
+               lvi.Physical.vi_stored
+               && Version_vector.dominates lvi.Physical.vi_vv e.New_version_cache.vv
+             | Error _ -> false) ->
+    (* The notification carried the origin's version vector and our local
+       history already dominates it: the pull is provably redundant —
+       drop it without an RPC. *)
+    count t "prop.skipped_dominated";
+    Span.event t.obs.Obs.spans e.New_version_cache.span ~host:t.host
+      ~tick:(Clock.now t.clock) "prop:skip-dominated";
+    Ok []
+  | _ ->
   let* remote_root =
     t.connect ~host:e.New_version_cache.origin_host ~vref:e.New_version_cache.vref
       ~rid:e.New_version_cache.origin_rid
   in
   match e.New_version_cache.kind with
   | Aux_attrs.Freg ->
-    let* vi, data = Remote.fetch_file remote_root e.New_version_cache.fidpath in
-    (* Prefer the span carried by the notification; fall back to the one
-       stored in the origin's aux attributes (a reconciled hint). *)
-    let span =
-      if e.New_version_cache.span <> 0 then e.New_version_cache.span
-      else vi.Physical.vi_span
+    let* outcome, stats =
+      if t.delta then
+        Delta.fetch_file ~local:phys ~remote_root e.New_version_cache.fidpath
+      else
+        (* Whole-copy mode: the measurement baseline for the DELTA
+           experiment, and an escape hatch if chunking misbehaves. *)
+        let* vi, data, wire =
+          Remote.fetch_file_sized remote_root e.New_version_cache.fidpath
+        in
+        Ok
+          ( Delta.Data (vi, data),
+            {
+              Delta.mode = Delta.Whole;
+              wire_bytes = wire;
+              saved_bytes = 0;
+              chunks_hit = 0;
+              chunks_miss = 0;
+            } )
     in
-    Span.event t.obs.Obs.spans span ~host:t.host ~tick:(Clock.now t.clock) "prop:pull";
-    let ctx =
-      Span.make_ctx ~spans:t.obs.Obs.spans ~id:span ~host:t.host
-        ~now:(fun () -> Clock.now t.clock)
-    in
-    let* outcome =
-      Span.with_ctx ctx @@ fun () ->
-      Physical.install_file ~span ~via:"prop" phys e.New_version_cache.fidpath
-        ~vv:vi.Physical.vi_vv ~uid:vi.Physical.vi_uid ~data
-        ~origin_rid:e.New_version_cache.origin_rid
-    in
-    count t "prop.pull.file";
-    count_n t "prop.bytes" (String.length data);
+    count_fetch t stats;
     (match outcome with
-     | Physical.Conflict _ -> count t "prop.conflicts"
-     | Physical.Installed | Physical.Up_to_date -> ());
-    Ok []
+     | Delta.Up_to_date _ ->
+       (* A header-sized answer: the advertised version was already ours
+          (stale notification, or raced with reconciliation). *)
+       count t "prop.uptodate_header";
+       Ok []
+     | Delta.Data (vi, data) ->
+       (* Prefer the span carried by the notification; fall back to the
+          one stored in the origin's aux attributes (a reconciled hint). *)
+       let span =
+         if e.New_version_cache.span <> 0 then e.New_version_cache.span
+         else vi.Physical.vi_span
+       in
+       Span.event t.obs.Obs.spans span ~host:t.host ~tick:(Clock.now t.clock)
+         (if stats.Delta.mode = Delta.Delta then "prop:pull-delta" else "prop:pull");
+       let ctx =
+         Span.make_ctx ~spans:t.obs.Obs.spans ~id:span ~host:t.host
+           ~now:(fun () -> Clock.now t.clock)
+       in
+       let* outcome =
+         Span.with_ctx ctx @@ fun () ->
+         Physical.install_file ~span ~via:"prop" phys e.New_version_cache.fidpath
+           ~vv:vi.Physical.vi_vv ~uid:vi.Physical.vi_uid ~data
+           ~origin_rid:e.New_version_cache.origin_rid
+       in
+       count t "prop.pull.file";
+       (match outcome with
+        | Physical.Conflict _ -> count t "prop.conflicts"
+        | Physical.Installed | Physical.Up_to_date -> ());
+       Ok [])
   | Aux_attrs.Fdir | Aux_attrs.Fgraft ->
-    let* remote_fdir = Remote.fetch_dir remote_root e.New_version_cache.fidpath in
+    let* remote_fdir, dir_wire =
+      Remote.fetch_dir_sized remote_root e.New_version_cache.fidpath
+    in
     let* result =
       Physical.merge_dir phys e.New_version_cache.fidpath
         ~remote_rid:e.New_version_cache.origin_rid remote_fdir
     in
     count t "prop.pull.dir";
+    count_n t "prop.bytes" dir_wire;
     (* Entries the merge materialized need their own contents pulled. *)
     let followups =
       List.filter_map
@@ -134,6 +196,7 @@ let pull t phys (e : New_version_cache.entry) =
                 origin_rid = e.New_version_cache.origin_rid;
                 origin_host = e.New_version_cache.origin_host;
                 span = e.New_version_cache.span;
+                vv = Version_vector.empty;
               }
           | Fdir.Unmaterialize _ | Fdir.Expire _ -> None)
         result.Fdir.actions
@@ -183,7 +246,10 @@ let run_once t =
              m ~tags:(log_tags t.host) "%s pulled %s from %s" t.host
                (Ids.fidpath_to_string e.New_version_cache.fidpath)
                e.New_version_cache.origin_host);
-         List.iter (fun ev -> New_version_cache.note t.nvc ev ~now) followups
+         List.iter
+           (fun ev ->
+             if New_version_cache.note t.nvc ev ~now then count t "prop.nvc_deduped")
+           followups
        | Error err ->
          e.New_version_cache.attempts <- e.New_version_cache.attempts + 1;
          let now = Clock.now t.clock in

@@ -26,6 +26,7 @@ val create :
   ?deadline:int ->
   ?seed:int ->
   ?obs:Obs.t ->
+  ?delta:bool ->
   ?liveness:(string -> Gossip.liveness) ->
   clock:Clock.t ->
   host:string ->
@@ -35,6 +36,11 @@ val create :
 (** [delay] (default 0) is the minimum age before a cache entry is acted
     on — the "later, more convenient time"; larger delays batch bursty
     updates.  [max_attempts] (default 5) bounds retries per entry.
+
+    [delta] (default [true]) selects the chunk-negotiation fetch path
+    ({!Delta.fetch_file}) for regular files; [false] forces plain
+    whole-file fetches — the measurement baseline for the DELTA
+    experiment and an escape hatch if chunking misbehaves.
 
     A pull that fails with [EUNREACHABLE] is requeued with exponential
     backoff plus jitter (other failures — typically ordering, a parent
@@ -64,7 +70,18 @@ val run_once : t -> int
 val pending : t -> int
 val cache : t -> New_version_cache.t
 val counters : t -> Counters.t
-(** ["prop.pull.file"], ["prop.pull.dir"], ["prop.bytes"],
-    ["prop.conflicts"], ["prop.retries"], ["prop.backoff_ticks"]
-    (cumulative sleep imposed by backoff), ["prop.abandoned"],
-    ["prop.rpcs_skipped_dead"]. *)
+(** ["prop.pull.file"], ["prop.pull.dir"], ["prop.pull.delta"] (file
+    pulls that travelled as chunk deltas), ["prop.bytes"] (every byte a
+    pull put on the wire: file bodies, directory fetches, chunk maps and
+    negotiation requests), ["prop.bytes_saved"] (remote file size the
+    delta path did {e not} ship), ["prop.chunks_hit"] /
+    ["prop.chunks_miss"] (map chunks resolved locally vs fetched),
+    ["prop.delta_fallback"] (delta path degraded to a whole-file fetch:
+    pre-chunking peer, raced contents or failed verification),
+    ["prop.skipped_dominated"] (pulls dropped with no RPC because the
+    notification's version vector was already dominated locally),
+    ["prop.uptodate_header"] (pulls answered by the chunk-map header
+    alone), ["prop.nvc_deduped"] (notifications collapsed into pending
+    entries), ["prop.conflicts"], ["prop.retries"],
+    ["prop.backoff_ticks"] (cumulative sleep imposed by backoff),
+    ["prop.abandoned"], ["prop.rpcs_skipped_dead"]. *)

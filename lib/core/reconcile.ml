@@ -94,9 +94,20 @@ let pull_file ~local ~remote_root ~remote_rid path remote_vi =
     in
     if not needs_pull then Ok empty_stats
     else
-      let* vi, data = Remote.fetch_file remote_root path in
-      let span = vi.Physical.vi_span in
+      (* Same delta negotiation as the propagation daemon: a replica
+         that already stores most of the file's chunks ships only the
+         missing ones. *)
+      let* fetched, dstats = Delta.fetch_file ~local ~remote_root path in
       let obs = Physical.obs local in
+      Metrics.add obs.Obs.metrics "recon.bytes" dstats.Delta.wire_bytes;
+      if dstats.Delta.saved_bytes > 0 then
+        Metrics.add obs.Obs.metrics "recon.bytes_saved" dstats.Delta.saved_bytes;
+      match fetched with
+      | Delta.Up_to_date _ ->
+        (* The chunk-map header showed we raced ahead of [remote_vi]. *)
+        Ok { empty_stats with rpcs = 1 }
+      | Delta.Data (vi, data) ->
+      let span = vi.Physical.vi_span in
       Span.event obs.Obs.spans span
         ~host:(Physical.host local)
         ~tick:(Clock.now (Physical.clock local))

@@ -18,21 +18,34 @@ let walk root path =
    §2.2).  A per-call serial number makes every request name unique. *)
 let ctl_serial = ref 0
 
-let ctl dir ~op ~args =
+(* The sized variant also reports the bytes the exchange put on the wire
+   (request name + response body — the walk to the parent directory is
+   not charged), so callers can account transfer costs honestly. *)
+let ctl_sized dir ~op ~args =
   incr ctl_serial;
   let args = args @ [ Printf.sprintf "n%d" !ctl_serial ] in
   let* name = Ctl_name.encode ~op ~args in
   let* response_vnode = dir.Vnode.lookup name in
-  Vnode.read_all response_vnode
+  let* body = Vnode.read_all response_vnode in
+  Ok (body, String.length name + String.length body)
+
+let ctl dir ~op ~args =
+  let* body, _wire = ctl_sized dir ~op ~args in
+  Ok body
 
 (* A control op addressed to [path]: issued on the parent directory with
-   the final component as "@hex" argument, or on the root with ".". *)
-let ctl_at root path ~op =
+   the final component as "@hex" argument, or on the root with ".";
+   [extra] args follow the target. *)
+let ctl_at_sized root path ~op ~extra =
   match List.rev path with
-  | [] -> ctl root ~op ~args:[ "." ]
+  | [] -> ctl_sized root ~op ~args:("." :: extra)
   | fid :: rev_parent ->
     let* parent = walk root (List.rev rev_parent) in
-    ctl parent ~op ~args:[ Ids.fid_to_at_name fid ]
+    ctl_sized parent ~op ~args:(Ids.fid_to_at_name fid :: extra)
+
+let ctl_at root path ~op =
+  let* body, _wire = ctl_at_sized root path ~op ~extra:[] in
+  Ok body
 
 let parse_fields s =
   String.split_on_char '\n' s
@@ -101,8 +114,8 @@ let find_sep response i =
   in
   if i >= n then None else go i
 
-let fetch_file root path =
-  let* response = ctl_at root path ~op:"readfile" in
+let fetch_file_sized root path =
+  let* response, wire = ctl_at_sized root path ~op:"readfile" ~extra:[] in
   (* Header lines, then a "--" separator line, then the raw contents. *)
   match find_sep response 0 with
   | None -> Error Errno.EIO
@@ -111,11 +124,100 @@ let fetch_file root path =
     let data_start = i + 4 in
     let data = String.sub response data_start (String.length response - data_start) in
     let* vi = parse_version_info (header ^ "\n") in
-    Ok (vi, data)
+    Ok (vi, data, wire)
+
+let fetch_file root path =
+  let* vi, data, _wire = fetch_file_sized root path in
+  Ok (vi, data)
+
+let fetch_dir_sized root path =
+  let* response, wire = ctl_at_sized root path ~op:"getdir" ~extra:[] in
+  match Fdir.decode response with None -> Error Errno.EIO | Some d -> Ok (d, wire)
 
 let fetch_dir root path =
-  let* response = ctl_at root path ~op:"getdir" in
-  match Fdir.decode response with None -> Error Errno.EIO | Some d -> Ok d
+  let* d, _wire = fetch_dir_sized root path in
+  Ok d
+
+(* ---------------- delta negotiation (content-defined chunks) -------- *)
+
+type chunk_map = {
+  cm_vi : Physical.version_info;
+  cm_digest : string option;
+      (* whole-content digest from the header; absent from peers that
+         predate it *)
+  cm_chunks : Chunking.chunk list;
+}
+
+let fetch_chunk_map root path =
+  let* response, wire = ctl_at_sized root path ~op:"getchunkmap" ~extra:[] in
+  match find_sep response 0 with
+  | None -> Error Errno.EIO
+  | Some i ->
+    let header = String.sub response 0 i ^ "\n" in
+    let data_start = i + 4 in
+    let body = String.sub response data_start (String.length response - data_start) in
+    let* cm_vi = parse_version_info header in
+    let cm_digest = List.assoc_opt "digest" (parse_fields header) in
+    (match Chunking.decode_map body with
+     | None -> Error Errno.EIO
+     | Some cm_chunks -> Ok ({ cm_vi; cm_digest; cm_chunks }, wire))
+
+(* How many digests ride in one "readchunks" request: the 255-byte
+   ctl-name component budget, minus the op, "@hex" target, percent
+   escapes and serial, leaves room for five 33-byte digest+comma runs. *)
+let readchunks_batch = 5
+
+(* Response framing: per requested chunk, a "chunk=<digest> <len>" line,
+   then [len] raw bytes, then a newline separator. *)
+let parse_chunk_bodies response table =
+  let n = String.length response in
+  let rec go i =
+    if i >= n then Ok ()
+    else
+      match String.index_from_opt response i '\n' with
+      | None -> Error Errno.EIO
+      | Some j ->
+        let line = String.sub response i (j - i) in
+        if String.length line > 6 && String.sub line 0 6 = "chunk=" then (
+          match String.index_opt line ' ' with
+          | None -> Error Errno.EIO
+          | Some sp ->
+            let digest = String.sub line 6 (sp - 6) in
+            (match
+               int_of_string_opt (String.sub line (sp + 1) (String.length line - sp - 1))
+             with
+             | None -> Error Errno.EIO
+             | Some len when len >= 0 && j + 1 + len <= n ->
+               let body = String.sub response (j + 1) len in
+               (* Verify before trusting: a corrupt or mismatched body
+                  must not be assembled into the shadow file. *)
+               if Chunking.digest_hex body <> digest then Error Errno.EIO
+               else begin
+                 Hashtbl.replace table digest body;
+                 go (j + 1 + len + 1)
+               end
+             | Some _ -> Error Errno.EIO))
+        else Error Errno.EIO
+  in
+  go 0
+
+let fetch_chunks root path digests =
+  let table = Hashtbl.create (List.length digests * 2) in
+  let rec take k acc = function
+    | rest when k = 0 -> (List.rev acc, rest)
+    | [] -> (List.rev acc, [])
+    | d :: rest -> take (k - 1) (d :: acc) rest
+  in
+  let rec batches wire = function
+    | [] -> Ok (table, wire)
+    | ds ->
+      let batch, rest = take readchunks_batch [] ds in
+      let csv = String.concat "," batch in
+      let* response, w = ctl_at_sized root path ~op:"readchunks" ~extra:[ csv ] in
+      let* () = parse_chunk_bodies response table in
+      batches (wire + w) rest
+  in
+  batches 0 digests
 
 type dir_versions = {
   dv_summary : Version_vector.t option;

@@ -23,6 +23,45 @@ val fetch_file :
   Vnode.t -> Physical.fidpath -> (Physical.version_info * string, Errno.t) result
 val fetch_dir : Vnode.t -> Physical.fidpath -> (Fdir.t, Errno.t) result
 
+val fetch_file_sized :
+  Vnode.t -> Physical.fidpath -> (Physical.version_info * string * int, Errno.t) result
+(** {!fetch_file} plus the bytes the exchange put on the wire (request
+    name + response body), for honest transfer accounting. *)
+
+val fetch_dir_sized : Vnode.t -> Physical.fidpath -> (Fdir.t * int, Errno.t) result
+
+(** {1 Delta negotiation}
+
+    The chunk protocol is pull-shaped to fit the 255-byte ctl-name
+    budget: the puller cannot enumerate the digests it holds in one
+    request name, so instead it fetches the origin's (compact) chunk
+    map, diffs it against its own locally computed map, and batch-fetches
+    only the missing bodies a handful of digests per request. *)
+
+type chunk_map = {
+  cm_vi : Physical.version_info;
+  cm_digest : string option;
+      (** whole-content MD5 from the header — the puller's end-to-end
+          check after reassembly; [None] from peers that predate it *)
+  cm_chunks : Chunking.chunk list;
+}
+
+val fetch_chunk_map :
+  Vnode.t -> Physical.fidpath -> (chunk_map * int, Errno.t) result
+(** The ["getchunkmap"] ctl op: version info + whole-file digest +
+    content-defined chunk map, plus wire bytes.  Peers that predate
+    chunking answer [EINVAL]; callers fall back to {!fetch_file}
+    (mirroring the [getdirvvs] fallback). *)
+
+val fetch_chunks :
+  Vnode.t -> Physical.fidpath -> string list ->
+  ((string, string) Hashtbl.t * int, Errno.t) result
+(** Fetch the bodies of the listed chunk digests via batched
+    ["readchunks"] calls; returns digest → body plus total wire bytes.
+    Every body is digest-verified before it is returned ([EIO] on
+    mismatch); [EAGAIN] means the origin's contents changed since the
+    map was served — fall back to a whole-file fetch. *)
+
 type dir_versions = {
   dv_summary : Version_vector.t option;
       (** the directory's subtree summary; [None] from pre-summary peers *)

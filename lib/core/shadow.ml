@@ -2,7 +2,13 @@ let shadow_name fid = Ids.fid_to_hex fid ^ ".shadow"
 
 let ( let* ) = Result.bind
 
-let install ~dir fid ~data =
+(* Write the new contents — possibly arriving as a list of delta-fetch
+   parts — into the shadow file, then substitute it for the original by
+   one directory-reference change (the commit point).  Writing part by
+   part keeps the reassembly path on the exact same write points the
+   crash sweep covers: nothing is visible under the real name until the
+   rename. *)
+let install_parts ~dir fid ~parts =
   let shadow = shadow_name fid in
   let target = Ids.fid_to_hex fid in
   let* shadow_vnode =
@@ -11,9 +17,18 @@ let install ~dir fid ~data =
     | Error Errno.ENOENT -> dir.Vnode.create shadow
     | Error _ as e -> e
   in
-  let* () = Vnode.write_all shadow_vnode data in
+  let* () = shadow_vnode.Vnode.setattr { Vnode.setattr_none with Vnode.set_size = Some 0 } in
+  let rec write_from off = function
+    | [] -> Ok ()
+    | part :: rest ->
+      let* () = shadow_vnode.Vnode.write ~off part in
+      write_from (off + String.length part) rest
+  in
+  let* () = write_from 0 parts in
   (* Commit point: one low-level directory-reference change. *)
   dir.Vnode.rename shadow dir target
+
+let install ~dir fid ~data = install_parts ~dir fid ~parts:[ data ]
 
 let recover ~dir fid =
   match dir.Vnode.remove (shadow_name fid) with Ok () | Error _ -> ()

@@ -56,13 +56,16 @@ let rpc m req =
      "nfs.client.backoff_ticks". *)
   let rec go tries =
     Counters.incr m.counters "nfs.client.calls";
+    Counters.add m.counters "nfs.client.bytes_out" (wire_size_request req);
     match Sim_net.call m.net ~src:m.client ~dst:m.server (Nfs_request req) with
     | Error Errno.EUNREACHABLE when idempotent req && tries < m.max_retries ->
       Counters.incr m.counters "nfs.client.retries";
       Counters.add m.counters "nfs.client.backoff_ticks" (1 lsl tries);
       go (tries + 1)
     | Error _ as e -> e
-    | Ok (Nfs_response resp) -> Ok resp
+    | Ok (Nfs_response resp) ->
+      Counters.add m.counters "nfs.client.bytes_in" (wire_size_response resp);
+      Ok resp
     | Ok _ -> Error Errno.EINVAL
   in
   go 0

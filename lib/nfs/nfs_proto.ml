@@ -38,6 +38,43 @@ let rec is_update = function
   | Root _ | Getattr _ | Lookup _ | Readdir _ | Read _ -> false
   | Traced (_, req) -> is_update req
 
+(* Wire-size estimates for the simulated transport: a fixed per-message
+   framing overhead (opcode + XID, roughly what an RPC header costs)
+   plus every variable-length field.  The simulator never marshals, so
+   these are the protocol's honest sizing of what WOULD travel — the
+   transport-level cross-check for the propagation layer's own
+   "prop.bytes" accounting. *)
+let header_size = 16
+
+let rec wire_size_request = function
+  | Root e -> header_size + String.length e
+  | Getattr fh | Readdir fh -> header_size + String.length fh
+  | Setattr (fh, _) -> header_size + String.length fh + 16
+  | Lookup (fh, n) | Create (fh, n) | Mkdir (fh, n) | Remove (fh, n) | Rmdir (fh, n)
+    ->
+    header_size + String.length fh + String.length n
+  | Rename (s, sn, d, dn) ->
+    header_size + String.length s + String.length sn + String.length d
+    + String.length dn
+  | Link (d, t, n) ->
+    header_size + String.length d + String.length t + String.length n
+  | Read (fh, _, _) -> header_size + String.length fh + 16
+  | Write (fh, _, data) -> header_size + String.length fh + 8 + String.length data
+  | Traced (_, req) -> 8 + wire_size_request req
+
+let attrs_size = 32 (* kind + size + three timestamps, fixed-width *)
+
+let wire_size_response = function
+  | R_ok -> header_size
+  | R_attrs _ -> header_size + attrs_size
+  | R_node (fh, _) -> header_size + String.length fh + attrs_size
+  | R_dirents entries ->
+    List.fold_left
+      (fun acc (e : Vnode.dirent) -> acc + String.length e.Vnode.entry_name + 8)
+      header_size entries
+  | R_data data -> header_size + String.length data
+  | R_error _ -> header_size + 4
+
 let rec pp_request ppf = function
   | Root e -> Fmt.pf ppf "ROOT %s" e
   | Getattr fh -> Fmt.pf ppf "GETATTR %s" fh

@@ -43,4 +43,13 @@ type Sim_net.payload +=
 val is_update : request -> bool
 (** The request mutates server state (unwraps {!Traced}). *)
 
+val wire_size_request : request -> int
+val wire_size_response : response -> int
+(** Wire-size estimates: a fixed framing overhead per message plus every
+    variable-length field.  The simulator never marshals, so these size
+    what {e would} travel; {!Nfs_client} feeds them into
+    ["nfs.client.bytes_out"] / ["nfs.client.bytes_in"] as the
+    transport-level cross-check of the propagation layer's own
+    ["prop.bytes"] accounting. *)
+
 val pp_request : Format.formatter -> request -> unit

@@ -217,7 +217,8 @@ let control_rpc raft cp payload =
 let create ?(seed = 11) ?(datagram_loss = 0.0) ?(faults = Sim_net.no_faults)
     ?(disk_blocks = 4096) ?(block_size = 1024) ?ninodes ?disk_blocks_for
     ?ninodes_for
-    ?(cache_capacity = 256) ?(propagation_delay = 0) ?(reconcile_period = 100)
+    ?(cache_capacity = 256) ?(propagation_delay = 0) ?(prop_delta = true)
+    ?(reconcile_period = 100)
     ?(selection = Logical.Most_recent) ?(journal_blocks = 0) ?gossip ?log_level
     ?(indexed = true) ?(control = `Gossip) ?(raft = Raft.default_config)
     ?(control_wait = 200) ?health ~nhosts () =
@@ -334,8 +335,8 @@ let create ?(seed = 11) ?(datagram_loss = 0.0) ?(faults = Sim_net.no_faults)
            Logical.create ~selection ~obs ~liveness ~host:h_name ~clock ~connect ()
          in
          let h_prop =
-           Propagation.create ~delay:propagation_delay ~obs ~liveness ~clock
-             ~host:h_name ~connect ~local_replica ()
+           Propagation.create ~delay:propagation_delay ~delta:prop_delta ~obs
+             ~liveness ~clock ~host:h_name ~connect ~local_replica ()
          in
          let h_recon =
            Recon_daemon.create ~period:reconcile_period ~obs ~liveness ~clock

@@ -23,6 +23,7 @@ val create :
   ?ninodes_for:(int -> int) ->
   ?cache_capacity:int ->
   ?propagation_delay:int ->
+  ?prop_delta:bool ->
   ?reconcile_period:int ->
   ?selection:Logical.selection ->
   ?journal_blocks:int ->
@@ -40,6 +41,10 @@ val create :
     daemon is then driven by {!tick_daemons}.  [log_level] installs the
     shared {!Obs.reporter} (host-tagged, simulated-time-stamped) at that
     level; by default logging is left alone.
+
+    [prop_delta] (default [true]) is forwarded to every host's
+    {!Propagation.create} [?delta]: [false] forces whole-file fetches on
+    the propagation path — the before arm of the DELTA experiment.
 
     [gossip] (default: absent, the seed behavior) gives every host a
     {!Gossip} membership daemon driven by {!tick_daemons}.  Hosts are

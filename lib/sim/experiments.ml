@@ -2400,6 +2400,133 @@ let scale_trace () =
        (tr.st_live <= tr.st_cap))
 
 (* ------------------------------------------------------------------ *)
+(* DELTA: content-defined chunking on the propagation path             *)
+
+type delta_metrics = {
+  dm_file_size : int;
+  dm_whole_bytes : int;
+  dm_delta_bytes : int;
+  dm_ratio : float;
+  dm_saved : int;
+  dm_chunks_hit : int;
+  dm_chunks_miss : int;
+  dm_digests_equal : bool;
+}
+
+let last_delta_metrics : delta_metrics option ref = ref None
+
+(* Deterministic full-entropy contents (an MD5 counter stream):
+   identical in both arms, with no short period, so every chunk digest
+   is distinct and boundaries spread naturally. *)
+let delta_synth n =
+  let buf = Buffer.create (n + 16) in
+  let i = ref 0 in
+  while Buffer.length buf < n do
+    Buffer.add_string buf (Digest.string (Printf.sprintf "delta-%d" !i));
+    incr i
+  done;
+  Buffer.sub buf 0 n
+
+(* One arm: a 2-host volume, a multi-MB file written on host0 and
+   propagated, then a one-block in-place edit propagated again.  Returns
+   what the edit's propagation put on the wire plus both replicas' final
+   content digests. *)
+let delta_arm ~delta ~size =
+  let cluster =
+    (* 4 KiB blocks: the UFS block map (12 direct + one indirect) tops
+       out at ~268 KiB on 1 KiB blocks — too small for a multi-MB file. *)
+    Cluster.create ~prop_delta:delta ~selection:Logical.Prefer_local
+      ~disk_blocks:4096 ~block_size:4096 ~cache_capacity:4096 ~nhosts:2 ()
+  in
+  let vref = get (Cluster.create_volume cluster ~on:[ 0; 1 ]) in
+  let root0 = get (Cluster.logical_root cluster 0 vref) in
+  let fv = get (root0.Vnode.create "big") in
+  get (Vnode.write_all fv (delta_synth size));
+  let (_ : int) = Cluster.run_propagation cluster in
+  let counter name =
+    let snap = Cluster.metrics_snapshot cluster in
+    match List.assoc_opt name snap.Cluster.ms_metrics.Metrics.snap_counters with
+    | Some v -> v
+    | None -> 0
+  in
+  let before = counter "prop.bytes" in
+  (* The one-block edit: overwrite 100 bytes in the middle; everything
+     else is bit-identical to what host1 already stores. *)
+  get (fv.Vnode.write ~off:(size / 2) (String.make 100 '!'));
+  let (_ : int) = Cluster.run_propagation cluster in
+  let edit_bytes = counter "prop.bytes" - before in
+  let content i =
+    let root = get (Cluster.logical_root cluster i vref) in
+    get (Vnode.read_all (get (root.Vnode.lookup "big")))
+  in
+  let d0 = Chunking.digest_hex (content 0) and d1 = Chunking.digest_hex (content 1) in
+  ( edit_bytes,
+    counter "prop.bytes_saved",
+    counter "prop.chunks_hit",
+    counter "prop.chunks_miss",
+    counter "prop.pull.delta",
+    counter "prop.delta_fallback",
+    (d0, d1) )
+
+let delta_propagation () =
+  let size = 2 * 1024 * 1024 in
+  let w_bytes, _, _, _, w_delta_pulls, _, (w_d0, w_d1) =
+    delta_arm ~delta:false ~size
+  in
+  let d_bytes, d_saved, d_hit, d_miss, d_delta_pulls, d_fallbacks, (d_d0, d_d1) =
+    delta_arm ~delta:true ~size
+  in
+  let ratio =
+    if d_bytes = 0 then float_of_int w_bytes
+    else float_of_int w_bytes /. float_of_int d_bytes
+  in
+  (* Both arms must converge to the same bits: each replica pair agrees,
+     and the two arms agree with each other (same seed, same edit). *)
+  let digests_equal = w_d0 = w_d1 && d_d0 = d_d1 && w_d0 = d_d0 in
+  last_delta_metrics :=
+    Some
+      {
+        dm_file_size = size;
+        dm_whole_bytes = w_bytes;
+        dm_delta_bytes = d_bytes;
+        dm_ratio = ratio;
+        dm_saved = d_saved;
+        dm_chunks_hit = d_hit;
+        dm_chunks_miss = d_miss;
+        dm_digests_equal = digests_equal;
+      };
+  Table.print
+    ~title:
+      (Printf.sprintf
+         "DELTA: bytes on the wire to propagate a 100-byte edit of a %d KiB file"
+         (size / 1024))
+    ~headers:[ "arm"; "edit bytes"; "saved"; "chunks hit"; "chunks miss" ]
+    [
+      [ "whole copy"; string_of_int w_bytes; "0"; "-"; "-" ];
+      [
+        "chunk delta";
+        string_of_int d_bytes;
+        string_of_int d_saved;
+        string_of_int d_hit;
+        string_of_int d_miss;
+      ];
+    ];
+  let holds =
+    ratio >= 20.0
+    && digests_equal
+    && d_delta_pulls > 0
+    && d_fallbacks = 0
+    && w_delta_pulls = 0
+    && d_hit > d_miss (* most chunks resolved locally, only the edit travelled *)
+  in
+  verdict "DELTA"
+    "a one-block edit ships chunks, not the file: >= 20x fewer bytes than the whole-copy baseline, same final bits"
+    holds
+    (Printf.sprintf
+       "whole=%d B, delta=%d B (%.0fx), saved=%d B, chunks %d hit / %d miss, digests equal=%b"
+       w_bytes d_bytes ratio d_saved d_hit d_miss digests_equal)
+
+(* ------------------------------------------------------------------ *)
 
 let registry =
   [
@@ -2426,6 +2553,7 @@ let registry =
     ("member", member_gossip);
     ("consensus", consensus_control);
     ("health", health_watchdog);
+    ("delta", delta_propagation);
     ("scale", scale_trace);
   ]
 

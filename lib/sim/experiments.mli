@@ -243,6 +243,35 @@ val health_watchdog : unit -> verdict
     gauge (nonzero p99) and everything must return to exactly 0.
     Quiescent arm: 3000 idle ticks must raise zero events. *)
 
+type delta_metrics = {
+  dm_file_size : int;
+  dm_whole_bytes : int;   (** edit-propagation wire bytes, whole-copy arm *)
+  dm_delta_bytes : int;   (** same edit, chunk-delta arm *)
+  dm_ratio : float;       (** whole / delta *)
+  dm_saved : int;         (** "prop.bytes_saved" in the delta arm *)
+  dm_chunks_hit : int;    (** map chunks resolved from the local copy *)
+  dm_chunks_miss : int;   (** map chunks whose bodies travelled *)
+  dm_digests_equal : bool;
+      (** both replicas in both arms digest to the same final bits *)
+}
+(** Machine-readable summary of the delta-propagation experiment,
+    consumed by [bench --json]. *)
+
+val last_delta_metrics : delta_metrics option ref
+(** Filled by {!delta_propagation}; [None] until it has run. *)
+
+val delta_propagation : unit -> verdict
+(** Content-defined chunking on the propagation path, two arms on
+    identical 2-host clusters: a 2 MiB file is written on host0 and
+    propagated, then 100 bytes in the middle are overwritten and
+    propagated again.  The whole-copy arm ([~prop_delta:false], the
+    seed's shadow-commit economics — see {!e8_shadow_commit}) reships
+    the file; the delta arm negotiates the chunk map and fetches only
+    the chunks the edit dirtied.  The edit must travel with >= 20x
+    fewer bytes than the baseline, with zero fallbacks, most chunks
+    resolved locally, and bit-identical final contents on every
+    replica in both arms. *)
+
 type scale_metrics = {
   sm_ops : int;
   sm_hosts : int;

@@ -1,0 +1,159 @@
+(* Content-defined chunking laws (qcheck) plus deterministic unit
+   checks of the boundary-stability claim the delta path rests on. *)
+
+let prop name ?(count = 100) arb f = QCheck.Test.make ~name ~count arb f
+
+(* Arbitrary byte strings over the full alphabet; sizes up to a few
+   dozen chunks so boundary logic (min/max clamps, remainders) is
+   exercised, not just the trivial single-chunk case. *)
+let arb_bytes =
+  QCheck.make
+    ~print:(fun s -> Printf.sprintf "<%d bytes>" (String.length s))
+    QCheck.Gen.(string_size ~gen:char (int_bound 60_000))
+
+(* Deterministic full-entropy bytes for the unit tests: an MD5 counter
+   stream.  (A naive LCG repeats its low bits every few KiB, which
+   collapses the distinct-digest counts these tests rely on.) *)
+let synth ?(seed = "chunk") n =
+  let buf = Buffer.create (n + 16) in
+  let i = ref 0 in
+  while Buffer.length buf < n do
+    Buffer.add_string buf (Digest.string (Printf.sprintf "%s-%d" seed !i));
+    incr i
+  done;
+  Buffer.sub buf 0 n
+
+let digests chunks = List.map (fun c -> c.Chunking.digest) chunks
+
+(* Longest common suffix length of two lists. *)
+let common_suffix a b =
+  let rec go a b n =
+    match (a, b) with
+    | x :: a', y :: b' when x = y -> go a' b' (n + 1)
+    | _ -> n
+  in
+  go (List.rev a) (List.rev b) 0
+
+let qcheck_props =
+  [
+    prop "reassembly identity: chunks tile the input" arb_bytes (fun s ->
+        let chunks = Chunking.split s in
+        Chunking.total_length chunks = String.length s
+        && String.concat "" (List.map (Chunking.slice s) chunks) = s);
+    prop "chunk sizes respect the clamps" arb_bytes (fun s ->
+        let rec check off = function
+          | [] -> off = String.length s
+          | [ last ] ->
+            (* Only the final remainder may undershoot min_size. *)
+            last.Chunking.off = off
+            && last.Chunking.len > 0
+            && last.Chunking.len <= Chunking.max_size
+            && off + last.Chunking.len = String.length s
+          | c :: rest ->
+            c.Chunking.off = off
+            && c.Chunking.len >= Chunking.min_size
+            && c.Chunking.len <= Chunking.max_size
+            && check (off + c.Chunking.len) rest
+        in
+        String.length s = 0 || check 0 (Chunking.split s));
+    prop "splitting is deterministic" arb_bytes (fun s ->
+        Chunking.split s = Chunking.split s);
+    prop "chunk digests match their slices" arb_bytes (fun s ->
+        List.for_all
+          (fun c -> Chunking.digest_hex (Chunking.slice s c) = c.Chunking.digest)
+          (Chunking.split s));
+    prop "map codec roundtrip" arb_bytes (fun s ->
+        let chunks = Chunking.split s in
+        match Chunking.decode_map (Chunking.encode_map chunks) with
+        | Some chunks' -> chunks = chunks'
+        | None -> false);
+    prop "prefix insert re-syncs within a few chunks"
+      (QCheck.make
+         ~print:(fun (p, s) ->
+           Printf.sprintf "<%d + %d bytes>" (String.length p) (String.length s))
+         QCheck.Gen.(
+           pair
+             (string_size ~gen:char (int_range 1 64))
+             (string_size ~gen:char (int_range 30_000 60_000))))
+      (fun (p, s) ->
+        (* The gear hash's boundary decision only sees a trailing window
+           of bytes, so an insert near the front re-syncs quickly: all
+           but a bounded number of leading chunks keep their digests.
+           (Measured worst case over 10k random trials is 3 dirtied
+           chunks; 6 leaves slack without admitting a reshuffle.) *)
+        let d1 = digests (Chunking.split s) in
+        let d2 = digests (Chunking.split (p ^ s)) in
+        let shared = common_suffix d1 d2 in
+        List.length d1 - shared <= 6);
+    prop "reassemble resolves from either source" arb_bytes (fun s ->
+        let chunks = Chunking.split s in
+        (* Serve even-indexed chunks as "local", the rest as "fetched". *)
+        let tbl = Hashtbl.create 16 in
+        List.iteri
+          (fun i c ->
+            if i mod 2 = 1 then
+              Hashtbl.replace tbl c.Chunking.digest (Chunking.slice s c))
+          chunks;
+        let have d =
+          if Hashtbl.mem tbl d then None
+          else
+            List.find_opt (fun c -> c.Chunking.digest = d) chunks
+            |> Option.map (Chunking.slice s)
+        in
+        Chunking.reassemble chunks ~have ~fetched:(Hashtbl.find_opt tbl)
+        = Some s);
+  ]
+
+(* ---------------- deterministic unit checks ---------------- *)
+
+let test_boundary_resync () =
+  (* A one-block edit in the middle dirties only the chunks it touches:
+     every other chunk digest survives. *)
+  let n = 512 * 1024 in
+  let s = synth n in
+  let edited =
+    String.sub s 0 (n / 2) ^ String.make 100 '!'
+    ^ String.sub s ((n / 2) + 100) (n - (n / 2) - 100)
+  in
+  let d1 = digests (Chunking.split s) and d2 = digests (Chunking.split edited) in
+  let module SS = Set.Make (String) in
+  let shared = SS.cardinal (SS.inter (SS.of_list d1) (SS.of_list d2)) in
+  Alcotest.(check bool)
+    (Printf.sprintf "%d of %d chunks survive the edit" shared (List.length d1))
+    true
+    (shared >= List.length d1 - 3);
+  (* And a front insert shifts offsets without reshuffling the tail. *)
+  let front = digests (Chunking.split ("HEADER" ^ s)) in
+  Alcotest.(check bool) "front insert keeps a long common suffix" true
+    (common_suffix d1 front >= List.length d1 - 3)
+
+let test_malformed_maps_rejected () =
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) ("rejects " ^ String.escaped s) true
+        (Chunking.decode_map s = None))
+    [
+      "chunk=xyz 10\n";                 (* not a hex digest *)
+      "chunk=" ^ String.make 32 'a';    (* missing length *)
+      "chunk=" ^ String.make 32 'a' ^ " -5\n";  (* negative length *)
+      "banana\n";
+    ];
+  Alcotest.(check bool) "empty map is valid" true (Chunking.decode_map "" = Some [])
+
+let test_reassemble_missing_chunk () =
+  let s = synth 20_000 in
+  let chunks = Chunking.split s in
+  Alcotest.(check bool) "unresolvable digest yields None" true
+    (Chunking.reassemble chunks ~have:(fun _ -> None) ~fetched:(fun _ -> None)
+     = None)
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest qcheck_props
+  @ [
+      Alcotest.test_case "one-block edit dirties few chunks" `Quick
+        test_boundary_resync;
+      Alcotest.test_case "malformed maps rejected" `Quick
+        test_malformed_maps_rejected;
+      Alcotest.test_case "reassemble fails closed on missing chunks" `Quick
+        test_reassemble_missing_chunk;
+    ]

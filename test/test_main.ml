@@ -15,6 +15,8 @@ let () =
       ("shadow", Test_shadow.suite);
       ("physical", Test_physical.suite);
       ("logical", Test_logical.suite);
+      ("chunking", Test_chunking.suite);
+      ("delta", Test_delta.suite);
       ("propagation", Test_propagation.suite);
       ("reconcile", Test_reconcile.suite);
       ("baselines", Test_baselines.suite);

@@ -83,20 +83,23 @@ let event ?(fid = 7) ?(rid = 2) ?(host = "hostB") () =
     origin_rid = rid;
     origin_host = host;
     span = 0;
+    vv = Version_vector.empty;
   }
+
+let note nvc e ~now = ignore (New_version_cache.note nvc e ~now : bool)
 
 let test_nvc_dedupes_per_object () =
   let nvc = New_version_cache.create () in
-  New_version_cache.note nvc (event ()) ~now:0;
-  New_version_cache.note nvc (event ()) ~now:3;
-  New_version_cache.note nvc (event ~fid:8 ()) ~now:4;
+  note nvc (event ()) ~now:0;
+  note nvc (event ()) ~now:3;
+  note nvc (event ~fid:8 ()) ~now:4;
   Alcotest.(check int) "two objects" 2 (New_version_cache.size nvc);
   Alcotest.(check int) "three notes" 3 (New_version_cache.notes nvc)
 
 let test_nvc_keeps_earliest_age_and_newest_origin () =
   let nvc = New_version_cache.create () in
-  New_version_cache.note nvc (event ~rid:2 ~host:"hostB" ()) ~now:0;
-  New_version_cache.note nvc (event ~rid:3 ~host:"hostC" ()) ~now:9;
+  note nvc (event ~rid:2 ~host:"hostB" ()) ~now:0;
+  note nvc (event ~rid:3 ~host:"hostC" ()) ~now:9;
   (* Not yet old enough if age counts from the second note... it must
      count from the first. *)
   let ready = New_version_cache.take_ready nvc ~now:10 ~min_age:10 in
@@ -107,14 +110,29 @@ let test_nvc_keeps_earliest_age_and_newest_origin () =
 
 let test_nvc_min_age_filter () =
   let nvc = New_version_cache.create () in
-  New_version_cache.note nvc (event ~fid:1 ()) ~now:0;
-  New_version_cache.note nvc (event ~fid:2 ()) ~now:8;
+  note nvc (event ~fid:1 ()) ~now:0;
+  note nvc (event ~fid:2 ()) ~now:8;
   let ready = New_version_cache.take_ready nvc ~now:10 ~min_age:5 in
   Alcotest.(check int) "only the old one" 1 (List.length ready);
   Alcotest.(check int) "younger still parked" 1 (New_version_cache.size nvc);
   (* Requeue puts it back for a later retry. *)
   New_version_cache.requeue nvc (List.hd ready);
   Alcotest.(check int) "requeued" 2 (New_version_cache.size nvc)
+
+let test_nvc_dedup_counter_and_vv_merge () =
+  let nvc = New_version_cache.create () in
+  let e1 = { (event ()) with Notify.vv = Vv.singleton 1 1 } in
+  let e2 = { (event ~rid:3 ~host:"hostC" ()) with Notify.vv = Vv.singleton 1 2 } in
+  Alcotest.(check bool) "fresh entry is not a dup" false
+    (New_version_cache.note nvc e1 ~now:0);
+  Alcotest.(check bool) "second note absorbed" true
+    (New_version_cache.note nvc e2 ~now:1);
+  Alcotest.(check int) "dedup counted" 1 (New_version_cache.deduped nvc);
+  Alcotest.(check int) "one entry" 1 (New_version_cache.size nvc);
+  (* The collapsed entry carries the merged version vector, so the
+     dominated-pull check sees everything the notifications advertised. *)
+  let e = List.hd (New_version_cache.take_ready nvc ~now:5 ~min_age:0) in
+  Alcotest.check vv_testable "vvs merged" (Vv.singleton 1 2) e.New_version_cache.vv
 
 (* ---------------- workload generator ---------------- *)
 
@@ -174,6 +192,7 @@ let suite =
     case "nvc dedupes per object" test_nvc_dedupes_per_object;
     case "nvc keeps earliest age, newest origin" test_nvc_keeps_earliest_age_and_newest_origin;
     case "nvc min-age filter and requeue" test_nvc_min_age_filter;
+    case "nvc dedup counter and vv merge" test_nvc_dedup_counter_and_vv_merge;
     case "workload deterministic" test_workload_deterministic;
     case "workload op counts" test_workload_op_counts;
     case "workload zipf skew" test_workload_zipf_skew;

@@ -99,6 +99,7 @@ let test_backoff_grows_and_reconciliation_converges () =
       origin_rid = 1;
       origin_host = "origin";
       span = 0;
+      vv = Version_vector.empty;
     };
   let attempt_ticks = ref [] in
   for tick = 0 to 599 do
