@@ -226,6 +226,31 @@ let write_json path ~mode verdicts =
      Printf.fprintf oc "    \"delta.ratio\": %.1f,\n" m.Experiments.dm_ratio;
      Printf.fprintf oc "    \"digests_equal\": %b\n  }" m.Experiments.dm_digests_equal
    | None -> ());
+  (match !Experiments.last_merge_metrics with
+   | Some m ->
+     Printf.fprintf oc ",\n  \"merge\": {\n";
+     Printf.fprintf oc "    \"merge.converged\": %b,\n" m.Experiments.gm_crdt_converged;
+     Printf.fprintf oc "    \"merge.digest_equal\": %b,\n"
+       m.Experiments.gm_crdt_digest_equal;
+     Printf.fprintf oc "    \"crdt.unreachable_dirs\": %d,\n"
+       m.Experiments.gm_crdt_unreachable;
+     Printf.fprintf oc "    \"crdt.cycles\": %d,\n" m.Experiments.gm_crdt_cycles;
+     Printf.fprintf oc "    \"crdt.cycles_broken\": %d,\n"
+       m.Experiments.gm_cycles_broken;
+     Printf.fprintf oc "    \"crdt.orphans\": %d,\n" m.Experiments.gm_orphans_attached;
+     Printf.fprintf oc "    \"crdt.losers_demoted\": %d,\n"
+       m.Experiments.gm_losers_demoted;
+     Printf.fprintf oc "    \"merge.payload_kept\": %b,\n"
+       m.Experiments.gm_crdt_payload_kept;
+     Printf.fprintf oc "    \"legacy.converged\": %b,\n"
+       m.Experiments.gm_legacy_converged;
+     Printf.fprintf oc "    \"legacy.digest_equal\": %b,\n"
+       m.Experiments.gm_legacy_digest_equal;
+     Printf.fprintf oc "    \"legacy.payload_kept\": %b,\n"
+       m.Experiments.gm_legacy_payload_kept;
+     Printf.fprintf oc "    \"legacy.conflicts\": %d\n  }"
+       m.Experiments.gm_legacy_conflicts
+   | None -> ());
   (match !Experiments.last_scale_metrics with
    | Some m ->
      Printf.fprintf oc ",\n  \"scale\": {\n";
@@ -287,6 +312,11 @@ let schema_keys =
     (* delta propagation (delta) *)
     "delta"; "file_size"; "prop.bytes_whole"; "prop.bytes"; "prop.bytes_saved";
     "prop.chunks_hit"; "prop.chunks_miss"; "delta.ratio"; "digests_equal";
+    (* directory merge (merge) *)
+    "merge"; "merge.converged"; "merge.digest_equal"; "crdt.unreachable_dirs";
+    "crdt.cycles"; "crdt.cycles_broken"; "crdt.orphans"; "crdt.losers_demoted";
+    "merge.payload_kept"; "legacy.converged"; "legacy.digest_equal";
+    "legacy.payload_kept"; "legacy.conflicts";
     (* scale *)
     "scale"; "ops"; "hosts"; "wall_seconds"; "sim_ops_per_sec"; "errors";
     "pulls"; "deterministic"; "linear_ticks_per_sec"; "indexed_ticks_per_sec";
@@ -331,7 +361,8 @@ let check_schema path =
    the smoke artifact still carries the full JSON schema. *)
 let smoke_names =
   [ "e2"; "e3"; "e4"; "e6"; "e9"; "e10"; "f2"; "a1"; "a3"; "a5"; "chaos"; "wal";
-    "obslag"; "reconscale"; "member"; "consensus"; "health"; "delta"; "scale" ]
+    "obslag"; "reconscale"; "member"; "consensus"; "health"; "delta"; "merge";
+    "scale" ]
 
 let smoke_scale_ops = 20_000
 

@@ -392,6 +392,163 @@ let top_cmd =
 
 (* ------------------------------------------------------------------ *)
 
+(* `ficusctl conflicts` / `ficusctl resolve`: the owner-facing side of
+   the CRDT directory-merge subsystem.  Both commands drive the same
+   deterministic scenario — a 2-host `Crdt-mode cluster in Owner_report
+   mode, partitioned so both sides edit one file and cross-rename two
+   directories into each other — so `conflicts` shows what the repair
+   left for the owner, and `resolve <fid> <winner>` picks a winner for
+   one register and reconverges the cluster. *)
+
+let conflict_scenario () =
+  let cluster =
+    Cluster.create ~nhosts:2 ~dir_merge:`Crdt ~resolver:Resolver.Owner_report ()
+  in
+  let vref = get (Cluster.create_volume cluster ~on:[ 0; 1 ]) in
+  let root0 = get (Cluster.logical_root cluster 0 vref) in
+  ignore (get (root0.Vnode.mkdir "a"));
+  ignore (get (root0.Vnode.mkdir "b"));
+  let f = get (root0.Vnode.create "report.txt") in
+  get (Vnode.write_all f "base revision");
+  let (_ : int) = Cluster.run_propagation cluster in
+  let (_ : int) = get (Cluster.converge cluster vref ()) in
+  let root1 = get (Cluster.logical_root cluster 1 vref) in
+  Cluster.partition cluster [ [ 0 ]; [ 1 ] ];
+  get (Vnode.write_all (get (root0.Vnode.lookup "report.txt")) "edited on host0, offline");
+  get (Vnode.write_all (get (root1.Vnode.lookup "report.txt")) "edited on host1, offline");
+  get (root0.Vnode.rename "a" (get (root0.Vnode.lookup "b")) "x");
+  get (root1.Vnode.rename "b" (get (root1.Vnode.lookup "a")) "y");
+  Cluster.heal cluster;
+  (match Cluster.converge cluster vref ~max_rounds:60 () with Ok _ | Error _ -> ());
+  (cluster, vref)
+
+let preview s =
+  let s = String.map (fun c -> if c = '\n' then ' ' else c) s in
+  if String.length s <= 24 then s else String.sub s 0 21 ^ "..."
+
+let print_conflicts cluster vref =
+  let phys0 = Option.get (Cluster.replica (Cluster.host cluster 0) vref) in
+  let pending = Crdt_merge.pending_registers phys0 in
+  let rows =
+    List.concat_map
+      (fun p ->
+        List.mapi
+          (fun i (v : Mv_register.version) ->
+            [
+              Ids.fid_to_hex p.Crdt_merge.p_fid;
+              string_of_int p.Crdt_merge.p_span;
+              (if i = 0 then "winner" else Printf.sprintf "rival %d" i);
+              Fmt.str "%a" Version_vector.pp v.Mv_register.mv_vv;
+              preview v.Mv_register.mv_data;
+            ])
+          (Mv_register.versions p.Crdt_merge.p_register))
+      pending
+  in
+  if rows = [] then Printf.printf "no pending file conflicts\n"
+  else
+    Table.print
+      ~title:"pending file conflicts on host0 (multi-value registers, LWW order)"
+      ~headers:[ "fid"; "span"; "rank"; "version vector"; "contents" ]
+      rows;
+  (* The conflict orphanage: subtrees the tree repair re-parented after
+     losing every live path. *)
+  (match Physical.fetch_dir phys0 [] with
+   | Error _ -> ()
+   | Ok root_fdir ->
+     (match Fdir.find_live root_fdir Physical.lost_found_name with
+      | None -> Printf.printf "lost+found is empty\n"
+      | Some lf ->
+        (match Physical.fetch_dir phys0 [ lf.Fdir.fid ] with
+         | Error _ -> ()
+         | Ok lf_fdir ->
+           Table.print ~title:"lost+found (re-parented by the CRDT tree repair)"
+             ~headers:[ "name"; "fid"; "kind" ]
+             (List.map
+                (fun (name, (e : Fdir.entry)) ->
+                  [
+                    name;
+                    Ids.fid_to_hex e.Fdir.fid;
+                    (match e.Fdir.kind with
+                     | Aux_attrs.Freg -> "file"
+                     | Aux_attrs.Fdir -> "dir"
+                     | Aux_attrs.Fgraft -> "graft");
+                  ])
+                (Fdir.live lf_fdir)))));
+  pending
+
+let conflicts () =
+  let cluster, vref = conflict_scenario () in
+  let pending = print_conflicts cluster vref in
+  if pending <> [] then
+    Printf.printf
+      "\nresolve one with: ficusctl resolve <fid> <local|remote|merged>\n";
+  0
+
+let conflicts_cmd =
+  Cmd.v
+    (Cmd.info "conflicts"
+       ~doc:"List pending file-conflict registers and the lost+found orphanage")
+    Term.(const conflicts $ const ())
+
+let resolve fid_hex winner =
+  let keep =
+    match String.lowercase_ascii winner with
+    | "local" -> `Local
+    | "remote" -> `Remote
+    | "merged" -> `Merged "merged by the owner: both offline edits kept"
+    | w ->
+      Printf.eprintf "unknown winner %S (expected local, remote or merged)\n" w;
+      exit 2
+  in
+  let cluster, vref = conflict_scenario () in
+  let phys0 = Option.get (Cluster.replica (Cluster.host cluster 0) vref) in
+  let matching =
+    List.filter
+      (fun (e : Conflict_log.entry) -> Ids.fid_to_hex e.Conflict_log.fid = fid_hex)
+      (Conflict_log.pending (Physical.conflicts phys0))
+  in
+  match matching with
+  | [] ->
+    Printf.eprintf "no pending conflict for fid %s on host0; run `ficusctl conflicts`\n"
+      fid_hex;
+    let (_ : Crdt_merge.pending list) = print_conflicts cluster vref in
+    1
+  | entry :: _ ->
+    get (Reconcile.resolve_file_conflict ~local:phys0 entry ~keep);
+    let (_ : int) = Cluster.run_propagation cluster in
+    (match Cluster.converge cluster vref ~max_rounds:40 () with Ok _ | Error _ -> ());
+    let remaining i =
+      let p = Option.get (Cluster.replica (Cluster.host cluster i) vref) in
+      List.length (Crdt_merge.pending_registers p)
+    in
+    let digest i =
+      get (Crdt_merge.digest (Option.get (Cluster.replica (Cluster.host cluster i) vref)))
+    in
+    let contents i =
+      let root = get (Cluster.logical_root cluster i vref) in
+      get (Vnode.read_all (get (root.Vnode.lookup "report.txt")))
+    in
+    Table.print ~title:(Printf.sprintf "resolved %s keeping %s" fid_hex winner)
+      ~headers:[ "check"; "host0"; "host1" ]
+      [
+        [ "contents"; preview (contents 0); preview (contents 1) ];
+        [ "pending registers"; string_of_int (remaining 0); string_of_int (remaining 1) ];
+        [ "tree digests equal"; string_of_bool (digest 0 = digest 1); "" ];
+      ];
+    if remaining 0 = 0 && remaining 1 = 0 && digest 0 = digest 1 then 0 else 1
+
+let resolve_cmd =
+  let fid = Arg.(required & pos 0 (some string) None & info [] ~docv:"FID") in
+  let winner =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"WINNER")
+  in
+  Cmd.v
+    (Cmd.info "resolve"
+       ~doc:"Resolve a pending file conflict by fid, keeping local, remote or merged")
+    Term.(const resolve $ fid $ winner)
+
+(* ------------------------------------------------------------------ *)
+
 let () =
   let doc = "drive the Ficus replicated file system simulation" in
   let info = Cmd.info "ficusctl" ~version:"1.0" ~doc in
@@ -400,5 +557,5 @@ let () =
        (Cmd.group info
           [
             demo_cmd; experiment_cmd; availability_cmd; simulate_cmd; stats_cmd; trace_cmd;
-            top_cmd;
+            top_cmd; conflicts_cmd; resolve_cmd;
           ]))

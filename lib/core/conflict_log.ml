@@ -49,11 +49,20 @@ let find t id = List.find_opt (fun e -> e.id = id) t.entries
 let mark_resolved t id =
   match find t id with None -> () | Some e -> e.resolved <- true
 
+let same_path fidpath e =
+  List.length e.fidpath = List.length fidpath
+  && List.for_all2 Ids.fid_equal e.fidpath fidpath
+
+let has_pending t ~fidpath =
+  List.exists
+    (fun e ->
+      (not e.resolved)
+      && (match e.detail with File_update _ -> true | _ -> false)
+      && same_path fidpath e)
+    t.entries
+
 let resolve_matching t ~fidpath =
-  let same_path e =
-    List.length e.fidpath = List.length fidpath
-    && List.for_all2 Ids.fid_equal e.fidpath fidpath
-  in
+  let same_path e = same_path fidpath e in
   List.fold_left
     (fun n e ->
       match e.detail with

@@ -45,6 +45,13 @@ val all : t -> entry list
 val mark_resolved : t -> int -> unit
 val find : t -> int -> entry option
 
+val has_pending : t -> fidpath:Ids.file_id list -> bool
+(** Is there an unresolved [File_update] entry for this object?  The
+    install path consults this so a conflict whose in-memory report was
+    lost to a crash (the on-disk aux conflict flag survives; the log
+    does not) is re-reported on the next exchange instead of staying
+    invisible to the owner forever. *)
+
 val resolve_matching : t -> fidpath:Ids.file_id list -> int
 (** Mark every pending [File_update] entry for this object resolved —
     used when a dominating version arrives from elsewhere, superseding

@@ -158,7 +158,7 @@ let collisions t =
     groups []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
-let merge ~local_rid ~remote_rid ~peers local remote =
+let merge ?(may_expire = fun _ -> true) ~local_rid ~remote_rid ~peers local remote =
   (* Entry union: a tombstone on either side wins for its birth. *)
   let table = Hashtbl.create 32 in
   let note e =
@@ -168,6 +168,12 @@ let merge ~local_rid ~remote_rid ~peers local remote =
     | Some prev ->
       let chosen =
         match prev.status, e.status with
+        | Dead { death_vv = d1 }, Dead { death_vv = d2 } ->
+          (* Both sides killed this birth, possibly at divergent vvs.
+             Join the death vectors so the tombstone itself converges
+             byte-wise (and GC waits for the later of the two kills). *)
+          if Vv.equal d1 d2 then prev
+          else { prev with status = Dead { death_vv = Vv.merge d1 d2 } }
         | Dead _, _ -> prev
         | _, Dead _ -> e
         | Live, Live -> prev
@@ -212,7 +218,7 @@ let merge ~local_rid ~remote_rid ~peers local remote =
       (fun e ->
         match e.status with
         | Live -> true
-        | Dead { death_vv } -> not (everyone_knows death_vv))
+        | Dead { death_vv } -> not (everyone_knows death_vv && may_expire e))
       union
   in
   let merged = { entries = kept; vv = merged_vv; known } in

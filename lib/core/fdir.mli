@@ -109,6 +109,7 @@ type merge_result = {
 }
 
 val merge :
+  ?may_expire:(entry -> bool) ->
   local_rid:Ids.replica_id ->
   remote_rid:Ids.replica_id ->
   peers:Ids.replica_id list ->
@@ -116,7 +117,15 @@ val merge :
 (** One-way pull: merge the remote replica's state into the local one.
     Idempotent; applying [merge a b] at A and [merge b a] at B leaves
     both with identical entries, vv and (eventually, after gossip)
-    [known] maps. *)
+    [known] maps.
+
+    [may_expire] (default: always) is consulted before a fully-known
+    tombstone is dropped; answering [false] defers the expiry to a later
+    merge.  The CRDT directory-merge mode uses it to keep a dead
+    directory's entry discoverable while its stored subtree still holds
+    live entries awaiting tree repair — a deferred tombstone is still a
+    tombstone, so replicas that expired it earlier re-converge on the
+    next exchange. *)
 
 (** {1 Serialization} *)
 

@@ -24,6 +24,16 @@ type t = {
   counters : Counters.t;
   obs : Obs.t;
   mutable open_count : int;
+  (* Directory-merge discipline.  [`Legacy] is the seed behavior: a
+     directory tombstoned remotely while it holds live content here is
+     moved to the replica-local UFS ORPHANS dir (preserved, but outside
+     the replicated namespace).  [`Crdt] keeps the subtree's storage in
+     place behind the tombstone; the CRDT repair pass ({!Crdt_merge})
+     then re-parents it into the replicated lost+found directory as
+     ordinary joinable Fdir operations, so every replica converges on
+     the same repaired tree.  Volatile: the cluster wiring re-applies
+     the mode after attach/reboot. *)
+  mutable dir_merge : [ `Legacy | `Crdt ];
   (* Subtree-summary bumps not yet written to the aux files: path key ->
      (path, pending vector).  Purely an I/O batching device — losing it
      in a crash only under-claims, which is always safe. *)
@@ -69,6 +79,17 @@ let clock t = t.clock
 let conflicts t = t.conflicts
 let open_files t = t.open_count
 let set_notifier t f = t.notifier <- Some f
+let dir_merge_mode t = t.dir_merge
+let set_dir_merge t m = t.dir_merge <- m
+
+(* The conflict orphanage: a reserved, deterministic directory every
+   replica can create independently and still converge on — issuer 0 is
+   the reserved allocator the root fid (0,1) comes from, so (0,2) can
+   never collide with a replica-allocated fid, and giving the entry the
+   birth (0,2) makes concurrent creations of it the *same* entry under
+   the OR-set union. *)
+let lost_found_fid = { Ids.issuer = 0; uniq = 2 }
+let lost_found_name = "lost+found"
 
 (* ------------------------------------------------------------------ *)
 (* META                                                                *)
@@ -809,6 +830,14 @@ and dir_rename t path sname dst dname =
     Ok ()
   end
   else begin
+    (* Moving a directory relocates its subtree's aux files.  Flush
+       pending summary events first, while their recorded fidpaths
+       still resolve — flushed later they would miss the moved aux and
+       the subtree's own summary would lose them, letting peers prune
+       it as already incorporated. *)
+    let* _ =
+      if entry.Fdir.kind = Aux_attrs.Freg then Ok 0 else flush_summaries t
+    in
     let* src_fdir = Fdir.kill src_fdir ~rid:t.rid entry.Fdir.birth in
     let* dst_fdir =
       Fdir.add dst_fdir ~rid:t.rid ~name:dname ~fid:entry.Fdir.fid ~kind:entry.Fdir.kind ~birth
@@ -1212,8 +1241,15 @@ let install_file ?(span = 0) ?(via = "prop") t path ~vv ~uid ~data ~origin_rid =
        | Vv.Equal | Vv.Dominated -> Ok Up_to_date
        | Vv.Concurrent ->
          (* Report once: periodic reconciliation re-detects the same
-            conflict every pass until the owner resolves it. *)
-         if not aux.Aux_attrs.conflict then begin
+            conflict every pass until the owner resolves it.  The aux
+            flag alone is not enough to suppress the report — it
+            survives a crash while the in-memory log does not, and a
+            flag with no pending entry would leave the conflict
+            invisible to the owner forever. *)
+         if
+           (not aux.Aux_attrs.conflict)
+           || not (Conflict_log.has_pending t.conflicts ~fidpath:path)
+         then begin
            (match
               Aux_attrs.store ~dir:parent_ufs fid { aux with Aux_attrs.conflict = true }
             with
@@ -1281,6 +1317,10 @@ let apply_action t path ufs_dir merged action =
   | Fdir.Unmaterialize e ->
     (match e.Fdir.kind with
      | Aux_attrs.Freg -> drop_file_storage merged ufs_dir e.Fdir.fid
+     | Aux_attrs.Fdir | Aux_attrs.Fgraft when Fdir.find_by_fid merged e.Fdir.fid <> None ->
+       (* A rename left a dead birth and a live one for the same fid in
+          this directory; the storage belongs to the surviving name. *)
+       Ok ()
      | Aux_attrs.Fdir | Aux_attrs.Fgraft ->
        let hex = Ids.fid_to_hex e.Fdir.fid in
        (match ufs_dir.Vnode.lookup hex with
@@ -1291,6 +1331,15 @@ let apply_action t path ufs_dir merged action =
           if Fdir.live child_fdir = [] then begin
             let* () = rm_tree ufs_dir hex in
             ignore_enoent (ufs_dir.Vnode.remove (Ids.aux_name e.Fdir.fid))
+          end
+          else if t.dir_merge = `Crdt then begin
+            (* CRDT mode: leave the subtree's storage in place behind
+               the tombstone.  The repair pass re-parents it into the
+               replicated lost+found as joinable Fdir ops, so every
+               replica converges on the same placement — unlike the
+               replica-local ORPHANS move below. *)
+            Counters.incr t.counters "phys.crdt.kept_dead_dir";
+            Ok ()
           end
           else begin
             (* Remove/update conflict: the directory died remotely while
@@ -1317,7 +1366,32 @@ let merge_dir t path ~remote_rid remote =
   let* ufs_dir = resolve_dir t path in
   let* local = load_fdir t ufs_dir in
   let peer_rids = List.map fst t.peers in
-  let result = Fdir.merge ~local_rid:t.rid ~remote_rid ~peers:peer_rids local remote in
+  (* CRDT mode keeps a tombstoned directory's storage in place for the
+     repair pass — so its tombstone must stay discoverable too.  Defer
+     expiry while the stored subtree still holds live entries; once
+     repair re-parents it (the storage moves away or empties out) the
+     tombstone expires on the next exchange. *)
+  let may_expire (e : Fdir.entry) =
+    t.dir_merge <> `Crdt
+    ||
+    match e.Fdir.kind with
+    | Aux_attrs.Freg -> true
+    | Aux_attrs.Fdir | Aux_attrs.Fgraft ->
+      (match ufs_dir.Vnode.lookup (Ids.fid_to_hex e.Fdir.fid) with
+       | Error _ -> true
+       | Ok child ->
+         (match load_fdir t child with
+          | Error _ -> true
+          | Ok f ->
+            if Fdir.live f = [] then true
+            else begin
+              Counters.incr t.counters "phys.crdt.expire_deferred";
+              false
+            end))
+  in
+  let result =
+    Fdir.merge ~may_expire ~local_rid:t.rid ~remote_rid ~peers:peer_rids local remote
+  in
   let rec apply = function
     | [] -> Ok ()
     | a :: rest ->
@@ -1349,6 +1423,190 @@ let merge_dir t path ~remote_rid remote =
     result.Fdir.new_collisions;
   Counters.incr t.counters "phys.merge_dir";
   Ok result
+
+(* ------------------------------------------------------------------ *)
+(* CRDT tree-repair primitives
+
+   The repair pass ({!Crdt_merge}) works over *storage*, not the live
+   namespace: in [`Crdt] mode tombstoned directories keep their UFS
+   subtree in place, so a dir that lost every live link (concurrent
+   cross-renames) is still addressable here.  These primitives expose
+   exactly the mutations the repair needs, each expressed as an
+   ordinary joinable Fdir operation so partial-knowledge replicas
+   converge by merge. *)
+
+(* Visit every directory whose storage is reachable under the
+   namespace-parallel layout — dead entries included — exactly once. *)
+let walk_stored_dirs t f =
+  let visited = Hashtbl.create 32 in
+  let rec go path ufs_dir =
+    match load_fdir t ufs_dir with
+    | Error Errno.ENOENT -> Ok () (* half-built storage; skip *)
+    | Error _ as e -> e
+    | Ok fdir ->
+      f path fdir;
+      let rec children = function
+        | [] -> Ok ()
+        | (e : Fdir.entry) :: rest ->
+          (match e.Fdir.kind with
+           | Aux_attrs.Freg -> children rest
+           | Aux_attrs.Fdir | Aux_attrs.Fgraft ->
+             let hex = Ids.fid_to_hex e.Fdir.fid in
+             if Hashtbl.mem visited hex then children rest
+             else begin
+               Hashtbl.replace visited hex ();
+               match ufs_dir.Vnode.lookup hex with
+               | Error Errno.ENOENT -> children rest
+               | Error _ as err -> err
+               | Ok child ->
+                 let* () = go (path @ [ e.Fdir.fid ]) child in
+                 children rest
+             end)
+      in
+      children fdir.Fdir.entries
+  in
+  Hashtbl.replace visited (Ids.fid_to_hex Ids.root_fid) ();
+  let* root_ufs = t.container.Vnode.lookup (Ids.fid_to_hex Ids.root_fid) in
+  go [] root_ufs
+
+(* The UFS directory currently holding [fid]'s storage, if any. *)
+let find_dir_storage t fid =
+  let target = Ids.fid_to_hex fid in
+  let found = ref None in
+  let rec go ufs_dir =
+    match ufs_dir.Vnode.lookup target with
+    | Ok _ ->
+      found := Some ufs_dir;
+      Ok ()
+    | Error _ ->
+      let* entries = ufs_dir.Vnode.readdir () in
+      let rec descend = function
+        | [] -> Ok ()
+        | (e : Vnode.dirent) :: rest ->
+          if !found <> None then Ok ()
+          else if
+            e.Vnode.entry_kind <> Vnode.VDIR && e.Vnode.entry_kind <> Vnode.VGRAFT
+          then descend rest
+          else
+            let* child = ufs_dir.Vnode.lookup e.Vnode.entry_name in
+            let* () = go child in
+            descend rest
+      in
+      descend entries
+  in
+  let* root_ufs = t.container.Vnode.lookup (Ids.fid_to_hex Ids.root_fid) in
+  let* () = go root_ufs in
+  Ok !found
+
+(* Tombstone a live entry of the directory stored at [path] (a storage
+   path — the directory itself may be behind a tombstone).  Idempotent:
+   an already-dead or expired entry is a no-op. *)
+let demote_entry t path birth =
+  let* ufs_dir = resolve_dir t path in
+  let* fdir = load_fdir t ufs_dir in
+  match Fdir.kill fdir ~rid:t.rid birth with
+  | Error Errno.ENOENT -> Ok false
+  | Error _ as e -> e
+  | Ok fdir ->
+    let* () = store_fdir t ufs_dir fdir in
+    note_summary_event t path;
+    dir_event t path;
+    Counters.incr t.counters "phys.crdt.demote";
+    Ok true
+
+(* Ensure the lost+found entry and storage exist under the root.
+   Returns its UFS dir, or [None] when an unrelated live "lost+found"
+   already claims the name (user-created; repair then skips attaches). *)
+let ensure_lost_found t =
+  let* root_ufs = resolve_dir t [] in
+  let* root_fdir = load_fdir t root_ufs in
+  let birth = { Fdir.b_rid = lost_found_fid.Ids.issuer; b_seq = lost_found_fid.Ids.uniq } in
+  let storage () =
+    match root_ufs.Vnode.lookup (Ids.fid_to_hex lost_found_fid) with
+    | Ok v -> Ok v
+    | Error Errno.ENOENT ->
+      make_dir_storage t root_ufs lost_found_fid (Aux_attrs.make Aux_attrs.Fdir)
+    | Error _ as e -> e
+  in
+  match Fdir.find_birth root_fdir birth with
+  | Some { Fdir.status = Fdir.Live; _ } ->
+    let* v = storage () in
+    Ok (Some v)
+  | Some _ -> Ok None (* the orphanage itself was removed; honor that *)
+  | None ->
+    (match
+       Fdir.add root_fdir ~rid:t.rid ~name:lost_found_name ~fid:lost_found_fid
+         ~kind:Aux_attrs.Fdir ~birth
+     with
+     | Error _ -> Ok None (* a user-created "lost+found" holds the name *)
+     | Ok root_fdir ->
+       let* v = storage () in
+       let* () = store_fdir t root_ufs root_fdir in
+       note_summary_event t [];
+       dir_event t [];
+       Ok (Some v))
+
+(* Re-parent an unplaced directory into lost+found: add a live entry
+   with a purely fid-derived name and the directory's own creation
+   birth — both computable from the fid alone, so concurrent repairs on
+   different replicas produce the *same* entry and join cleanly — then
+   move its storage (subtree and aux) underneath.  Returns whether
+   anything changed. *)
+let attach_to_lost_found t ~fid ~kind =
+  if Ids.fid_equal fid lost_found_fid || Ids.fid_equal fid Ids.root_fid then Ok false
+  else
+    let* lf = ensure_lost_found t in
+    match lf with
+    | None -> Ok false
+    | Some lf_ufs ->
+      let* lf_fdir = load_fdir t lf_ufs in
+      let hex = Ids.fid_to_hex fid in
+      let birth = { Fdir.b_rid = fid.Ids.issuer; b_seq = fid.Ids.uniq } in
+      let lf_path = [ lost_found_fid ] in
+      let* entry_added =
+        match Fdir.find_birth lf_fdir birth with
+        | Some _ -> Ok false (* attached before (possibly since removed by a user) *)
+        | None ->
+          (match Fdir.add lf_fdir ~rid:t.rid ~name:hex ~fid ~kind ~birth with
+           | Error _ -> Ok false
+           | Ok lf_fdir ->
+             let* () = store_fdir t lf_ufs lf_fdir in
+             note_summary_event t lf_path;
+             dir_event t lf_path;
+             Ok true)
+      in
+      let* storage_moved =
+        match lf_ufs.Vnode.lookup hex with
+        | Ok _ -> Ok false
+        | Error Errno.ENOENT ->
+          let* holder = find_dir_storage t fid in
+          (match holder with
+           | Some parent_ufs ->
+             (* Same rule as dir_rename: flush pending summary events
+                before relocating the subtree's aux files. *)
+             let* _ = flush_summaries t in
+             let* () = parent_ufs.Vnode.rename hex lf_ufs hex in
+             let* () =
+               match Aux_attrs.load ~dir:parent_ufs fid with
+               | Ok aux ->
+                 let* () = Aux_attrs.store ~dir:lf_ufs fid aux in
+                 ignore_enoent (parent_ufs.Vnode.remove (Ids.aux_name fid))
+               | Error Errno.ENOENT -> Aux_attrs.store ~dir:lf_ufs fid (Aux_attrs.make kind)
+               | Error _ as e -> e
+             in
+             Ok true
+           | None ->
+             (* Entry known, storage never materialized here. *)
+             let* _v = make_dir_storage t lf_ufs fid (Aux_attrs.make kind) in
+             Ok true)
+        | Error _ as e -> e
+      in
+      if entry_added || storage_moved then begin
+        note_summary_event t lf_path;
+        Counters.incr t.counters "phys.crdt.attach";
+        Ok true
+      end
+      else Ok false
 
 (* ------------------------------------------------------------------ *)
 (* Graft points (paper §4.3)                                           *)
@@ -1453,6 +1711,7 @@ let create ?(obs = Obs.default) ~container ~clock ~host ~vref ~rid ~peers () =
       counters = Counters.create ();
       obs;
       open_count = 0;
+      dir_merge = `Legacy;
       pending_summaries = Hashtbl.create 64;
       fdir_cache = Hashtbl.create 64;
       chunk_cache = Hashtbl.create 16;
@@ -1534,6 +1793,7 @@ let attach ?(obs = Obs.default) ~container ~clock ~host () =
       counters = Counters.create ();
       obs;
       open_count = 0;
+      dir_merge = `Legacy;
       pending_summaries = Hashtbl.create 64;
       fdir_cache = Hashtbl.create 64;
       chunk_cache = Hashtbl.create 16;

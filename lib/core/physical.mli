@@ -65,6 +65,17 @@ val set_notifier : t -> (Notify.event -> unit) -> unit
 (** Called after every locally applied update; the host runtime turns
     events into best-effort datagrams to the peer replicas. *)
 
+val dir_merge_mode : t -> [ `Legacy | `Crdt ]
+val set_dir_merge : t -> [ `Legacy | `Crdt ] -> unit
+(** Directory-merge discipline.  [`Legacy] (default) preserves the seed
+    behavior: a directory tombstoned remotely while holding live content
+    here is moved into the replica-local ["ORPHANS"] UFS directory.
+    [`Crdt] keeps such subtrees' storage in place behind the tombstone
+    and lets the {!Crdt_merge} repair pass re-parent them into the
+    replicated [lost+found] directory as joinable operations, so all
+    replicas converge on the same repaired tree.  The mode is volatile;
+    re-apply it after {!attach}. *)
+
 (** {1 The vnode stack} *)
 
 val root : t -> Vnode.t
@@ -169,6 +180,41 @@ val flush_summaries : t -> (int, Errno.t) result
     automatically when serving a [getdirvvs] request); returns how many
     directories were updated.  Pending bumps lost in a crash only
     under-claim, costing a wider walk, never correctness. *)
+
+(** {1 CRDT tree-repair primitives}
+
+    Building blocks for the {!Crdt_merge} repair pass ([`Crdt] mode
+    only).  Each repair is an ordinary joinable Fdir operation —
+    tombstones and adds with deterministic, fid-derived identity — so
+    replicas that repair independently still converge by merge. *)
+
+val lost_found_fid : Ids.file_id
+(** The reserved fid [(0,2)] of the conflict orphanage.  Issuer 0 is the
+    reserved allocator the root fid (0,1) comes from, so no replica can
+    mint a colliding fid, and every replica creating the orphanage
+    independently creates the {e same} entry. *)
+
+val lost_found_name : string
+
+val walk_stored_dirs : t -> (fidpath -> Fdir.t -> unit) -> (unit, Errno.t) result
+(** Visit every directory whose storage exists under the
+    namespace-parallel layout — including directories reachable only
+    through tombstoned entries — exactly once each, with its storage
+    path and decoded directory file. *)
+
+val demote_entry : t -> fidpath -> Fdir.birth -> (bool, Errno.t) result
+(** Tombstone a live entry (a cycle-losing or duplicate link) of the
+    directory stored at [fidpath].  Returns whether anything changed;
+    already-dead entries are a no-op. *)
+
+val attach_to_lost_found :
+  t -> fid:Ids.file_id -> kind:Aux_attrs.fkind -> (bool, Errno.t) result
+(** Re-parent an unplaced directory into [lost+found]: ensure the
+    orphanage exists, add a live entry named [<hex-fid>] with the
+    directory's own creation birth (both derived from the fid alone, so
+    concurrent repairs at different replicas join cleanly), and move the
+    directory's storage subtree underneath.  Returns whether anything
+    changed. *)
 
 (** {1 Maintenance} *)
 

@@ -63,13 +63,8 @@ let ( let* ) = Result.bind
 
 (* Per-daemon private counter plus the shared cluster-wide registry, so
    propagation activity shows up in Cluster.metrics_snapshot. *)
-let count t key =
-  Counters.incr t.counters key;
-  Metrics.incr t.obs.Obs.metrics key
-
-let count_n t key n =
-  Counters.add t.counters key n;
-  Metrics.add t.obs.Obs.metrics key n
+let count t key = Obs.count t.obs t.counters key
+let count_n t key n = Obs.count ~n t.obs t.counters key
 
 let on_notify t (e : Notify.event) =
   match t.local_replica e.Notify.vref with

@@ -8,11 +8,14 @@ type t = {
   rotation : (int * int, int) Hashtbl.t;  (* volume -> peer cursor *)
   counters : Counters.t;
   obs : Obs.t;
+  dir_merge : [ `Legacy | `Crdt ] option;  (* None: each replica's sticky mode *)
+  resolver : Resolver.t;
   mutable next_due : int;
 }
 
 let create ?(period = 100) ?(obs = Obs.default)
-    ?(liveness = fun _ -> Gossip.Alive) ~clock ~host ~connect ~replicas () =
+    ?(liveness = fun _ -> Gossip.Alive) ?dir_merge ?(resolver = Resolver.Owner_report)
+    ~clock ~host ~connect ~replicas () =
   {
     period;
     clock;
@@ -23,6 +26,8 @@ let create ?(period = 100) ?(obs = Obs.default)
     rotation = Hashtbl.create 8;
     counters = Counters.create ();
     obs;
+    dir_merge;
+    resolver;
     next_due = Clock.now clock + period;
   }
 
@@ -31,13 +36,8 @@ let next_due t = t.next_due
 
 (* Per-daemon private counter plus the shared cluster-wide registry, so
    recon activity shows up in Cluster.metrics_snapshot. *)
-let count t key =
-  Counters.incr t.counters key;
-  Metrics.incr t.obs.Obs.metrics key
-
-let count_n t key n =
-  Counters.add t.counters key n;
-  Metrics.add t.obs.Obs.metrics key n
+let count t key = Obs.count t.obs t.counters key
+let count_n t key n = Obs.count ~n t.obs t.counters key
 
 (* Reconcile one local replica against its next rotation peer.  An
    unreachable peer is skipped — the daemon fails over to the following
@@ -93,7 +93,10 @@ let reconcile_one t (vref, phys) =
             (* A healthy peer took the pass; every doubtful peer behind
                it was spared a connect this period. *)
             count_n t "recon.skipped_doubtful" doubtful;
-          (match Reconcile.reconcile_volume ~local:phys ~remote_root ~remote_rid with
+          (match
+             Reconcile.reconcile_volume ?dir_merge:t.dir_merge ~resolver:t.resolver
+               ~local:phys ~remote_root ~remote_rid ()
+           with
            | Ok stats -> stats
            | Error _ ->
              (* Mid-reconcile failure (e.g. the link died): no failover —

@@ -17,6 +17,8 @@ val create :
   ?period:int ->
   ?obs:Obs.t ->
   ?liveness:(string -> Gossip.liveness) ->
+  ?dir_merge:[ `Legacy | `Crdt ] ->
+  ?resolver:Resolver.t ->
   clock:Clock.t ->
   host:string ->
   connect:Remote.connector ->
@@ -33,7 +35,11 @@ val create :
     after every healthy one; when a healthy peer then absorbs the pass,
     the doubtful peers it spared are counted in
     ["recon.skipped_doubtful"].  Doubtful peers are deprioritized, never
-    excluded, so all-pairs convergence is preserved. *)
+    excluded, so all-pairs convergence is preserved.
+
+    [dir_merge]/[resolver] are forwarded to every
+    {!Reconcile.reconcile_volume} pass; when [dir_merge] is omitted each
+    replica's own sticky mode applies. *)
 
 val tick : t -> Reconcile.stats option
 (** Run a pass if the period has elapsed; [None] when not yet due.

@@ -245,7 +245,13 @@ let note_metrics local s =
   if s.rpcs > 0 then Metrics.add m "recon.rpcs" s.rpcs;
   if s.subtrees_pruned > 0 then Metrics.add m "recon.pruned_subtrees" s.subtrees_pruned
 
-let reconcile_volume ~local ~remote_root ~remote_rid =
+let reconcile_volume ?dir_merge ?(resolver = Resolver.Owner_report) ~local ~remote_root
+    ~remote_rid () =
+  (* An explicit mode overrides the replica's sticky one; either way the
+     physical layer must agree with the pass (its Unmaterialize behavior
+     depends on it). *)
+  (match dir_merge with Some m -> Physical.set_dir_merge local m | None -> ());
+  let mode = Physical.dir_merge_mode local in
   let result =
     match Remote.fetch_dir_versions remote_root [] with
     | Error Errno.EINVAL ->
@@ -279,7 +285,35 @@ let reconcile_volume ~local ~remote_root ~remote_rid =
       Log.info (fun m ->
           m ~tags:(log_tags (Physical.host local)) "%s reconciled with r%d: %a" (Physical.host local) remote_rid pp_stats s)
   | Error _ -> ());
-  result
+  match result with
+  | Error _ -> result
+  | Ok s when mode <> `Crdt -> Ok s
+  | Ok s ->
+    (* CRDT mode: the walk converged every *directory*; now converge the
+       *tree* (re-parent orphans, cut cycles) and apply the session's
+       file-conflict resolver.  Quiescent passes (nothing merged, pulled
+       or conflicted) are already at the fixpoint — skip the storage
+       walk so a quiet volume stays one RPC per pass. *)
+    let active =
+      s.dirs_merged + s.files_pulled + s.files_conflicted + s.entries_materialized
+      + s.entries_unmaterialized
+      > 0
+    in
+    if not active then Ok s
+    else begin
+      let resolved = Crdt_merge.resolve_pending ~local ~resolver in
+      match Crdt_merge.repair local with
+      | Error _ -> Ok { s with errors = s.errors + 1 }
+      | Ok r ->
+        if r.Crdt_merge.rs_demoted + r.Crdt_merge.rs_attached + resolved > 0 then
+          Log.info (fun m ->
+              m
+                ~tags:(log_tags (Physical.host local))
+                "%s crdt repair: %d demoted, %d attached, %d cycles broken, %d conflicts resolved"
+                (Physical.host local) r.Crdt_merge.rs_demoted r.Crdt_merge.rs_attached
+                r.Crdt_merge.rs_cycles_broken resolved);
+        Ok s
+    end
 
 let resolve_file_conflict ~local (entry : Conflict_log.entry) ~keep =
   match entry.Conflict_log.detail with

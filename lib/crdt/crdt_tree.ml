@@ -1,0 +1,198 @@
+(* Deterministic tree repair over join-stable link facts.  See the mli
+   for the model; the algorithm:
+
+     1. group live links by child; pick one winner per child by
+        [compare_link] (orphanage-priority, then birth order);
+     2. fixpoint reachability from {root, orphanage} over winner links;
+     3. unreached nodes with no candidate at all -> Attach (orphan);
+        their subtrees attach through them;
+     4. anything still unreached is on or behind a cycle in the winner
+        graph: walk the winner chain to find the cycle, attach its
+        smallest node to the orphanage and demote the winner link that
+        closed the cycle; repeat until everything is reached.
+
+   Every choice reads only data that joins identically on all replicas
+   (link sets, births, fids), so two replicas with the same knowledge
+   emit the same decisions, and the decisions themselves (tombstones,
+   orphanage adds with births derived from the child fid) are joinable
+   directory operations — partial-knowledge replicas converge by
+   merging each other's repairs. *)
+
+type node = int * int
+
+type link = {
+  l_parent : node;
+  l_child : node;
+  l_name : string;
+  l_birth : int * int;
+}
+
+type decision = Keep of link | Demote of link | Attach of node
+
+type resolution = {
+  decisions : decision list;
+  cycles_broken : int;
+  orphans : int;
+  losers : int;
+}
+
+let node_compare (a1, a2) (b1, b2) =
+  match Int.compare a1 b1 with 0 -> Int.compare a2 b2 | c -> c
+
+let compare_link a b =
+  (* Winner-first order.  Orphanage priority is handled inside
+     [resolve] (it knows the orphanage id); here: descending birth seq,
+     then ascending origin rid, then parent fid — a strict total order
+     because births are unique per entry. *)
+  let a_rid, a_seq = a.l_birth and b_rid, b_seq = b.l_birth in
+  match Int.compare b_seq a_seq with
+  | 0 ->
+    (match Int.compare a_rid b_rid with
+     | 0 -> node_compare a.l_parent b.l_parent
+     | c -> c)
+  | c -> c
+
+module NodeMap = Map.Make (struct
+  type t = node
+
+  let compare = node_compare
+end)
+
+module NodeSet = Set.Make (struct
+  type t = node
+
+  let compare = node_compare
+end)
+
+let resolve ~root ~orphanage ~nodes ~links =
+  (* Universe: declared nodes plus every link endpoint, minus the two
+     fixed points. *)
+  let universe =
+    List.fold_left
+      (fun acc l -> NodeSet.add l.l_parent (NodeSet.add l.l_child acc))
+      (NodeSet.of_list nodes) links
+  in
+  let universe = NodeSet.remove root (NodeSet.remove orphanage universe) in
+  (* Candidates per child, winner-first. *)
+  let by_child =
+    List.fold_left
+      (fun acc l ->
+        if node_compare l.l_child root = 0 || node_compare l.l_child orphanage = 0
+        then acc (* the root and the orphanage are never re-parented *)
+        else
+          NodeMap.update l.l_child
+            (function None -> Some [ l ] | Some ls -> Some (l :: ls))
+            acc)
+      NodeMap.empty links
+  in
+  let order ls =
+    let orph, rest =
+      List.partition (fun l -> node_compare l.l_parent orphanage = 0) ls
+    in
+    List.sort compare_link orph @ List.sort compare_link rest
+  in
+  let by_child = NodeMap.map order by_child in
+  let winner = ref (NodeMap.map List.hd by_child) in
+  (* Nodes whose parent is (or becomes) the orphanage are anchors, as
+     are the root and the orphanage themselves: descendants place
+     through them. *)
+  let anchors = ref (NodeSet.add root (NodeSet.singleton orphanage)) in
+  let demoted = ref [] in
+  let attached = ref [] in
+  let cycles = ref 0 in
+  let orphans = ref 0 in
+  let attach_to_orphanage n =
+    attached := n :: !attached;
+    anchors := NodeSet.add n !anchors;
+    (match NodeMap.find_opt n !winner with
+     | Some l -> demoted := l :: !demoted
+     | None -> ());
+    winner := NodeMap.remove n !winner
+  in
+  (* Fixpoint: a node is placed iff it is an anchor or its winner's
+     parent is placed. *)
+  let placed () =
+    let placed = ref !anchors in
+    let again = ref true in
+    while !again do
+      again := false;
+      NodeMap.iter
+        (fun child l ->
+          if (not (NodeSet.mem child !placed)) && NodeSet.mem l.l_parent !placed
+          then begin
+            placed := NodeSet.add child !placed;
+            again := true
+          end)
+        !winner
+    done;
+    !placed
+  in
+  (* Pass 1: nodes with no live parent link at all are orphans. *)
+  NodeSet.iter
+    (fun n ->
+      if not (NodeMap.mem n !winner) then begin
+        incr orphans;
+        attached := n :: !attached;
+        anchors := NodeSet.add n !anchors
+      end)
+    universe;
+  (* Pass 2: cut cycles until the winner graph places everything.  Each
+     iteration removes one node from the cyclic part, so it
+     terminates. *)
+  let continue = ref true in
+  while !continue do
+    let p = placed () in
+    let unplaced = NodeSet.filter (fun n -> not (NodeSet.mem n p)) universe in
+    if NodeSet.is_empty unplaced then continue := false
+    else begin
+      (* Walk a winner chain from some unplaced node: it must revisit a
+         node (a chain reaching an anchor would have been placed). *)
+      let start = NodeSet.min_elt unplaced in
+      let rec chase seen n =
+        if NodeSet.mem n seen then
+          (* [n] closes a cycle; collect the cycle's members by walking
+             the winners from [n] around back to [n]. *)
+          let rec members acc m =
+            let l = NodeMap.find m !winner in
+            if node_compare l.l_parent n = 0 then m :: acc
+            else members (m :: acc) l.l_parent
+          in
+          members [] n
+        else chase (NodeSet.add n seen) (NodeMap.find n !winner).l_parent
+      in
+      let cycle = chase NodeSet.empty start in
+      let victim =
+        List.fold_left
+          (fun a b -> if node_compare b a < 0 then b else a)
+          (List.hd cycle) cycle
+      in
+      incr cycles;
+      attach_to_orphanage victim
+    end
+  done;
+  (* Every non-winning live link is a loser. *)
+  NodeMap.iter
+    (fun child ls ->
+      match NodeMap.find_opt child !winner with
+      | Some w -> List.iter (fun l -> if l != w then demoted := l :: !demoted) ls
+      | None ->
+        (* [child] was attached to the orphanage; every non-orphanage
+           link loses (the one its cycle entered by is already in). *)
+        List.iter
+          (fun l ->
+            if node_compare l.l_parent orphanage <> 0 && not (List.memq l !demoted)
+            then demoted := l :: !demoted)
+          ls)
+    by_child;
+  let keeps = NodeMap.fold (fun _ l acc -> Keep l :: acc) !winner [] in
+  let decisions =
+    List.map (fun n -> Attach n) (List.sort_uniq node_compare !attached)
+    @ List.map (fun l -> Demote l) (List.rev !demoted)
+    @ keeps
+  in
+  {
+    decisions;
+    cycles_broken = !cycles;
+    orphans = !orphans;
+    losers = List.length !demoted;
+  }

@@ -1,0 +1,47 @@
+module Vv = Version_vector
+
+type version = { mv_vv : Vv.t; mv_data : string }
+
+type t = version list (* invariant: pairwise concurrent *)
+
+let empty = []
+
+let digest s = Digest.to_hex (Digest.string s)
+
+let lww_compare a b =
+  match Int.compare (Vv.sum b.mv_vv) (Vv.sum a.mv_vv) with
+  | 0 ->
+    (match String.compare (digest a.mv_data) (digest b.mv_data) with
+     | 0 -> String.compare (Vv.encode a.mv_vv) (Vv.encode b.mv_vv)
+     | c -> c)
+  | c -> c
+
+let add t v =
+  let rec go acc = function
+    | [] -> List.rev (v :: acc)
+    | w :: rest ->
+      (match Vv.compare_vv v.mv_vv w.mv_vv with
+       | Vv.Dominated -> List.rev_append acc (w :: rest) (* v adds nothing *)
+       | Vv.Equal ->
+         (* Same history: keep one representative, deterministically. *)
+         let keep = if lww_compare v w <= 0 then v else w in
+         List.rev_append acc (keep :: rest)
+       | Vv.Dominates -> go acc rest (* w is superseded *)
+       | Vv.Concurrent -> go (w :: acc) rest)
+  in
+  go [] t
+
+let join a b = List.fold_left add a b
+let versions t = List.sort lww_compare t
+let cardinal = List.length
+let winner t = match versions t with [] -> None | v :: _ -> Some v
+
+let merge_all f t =
+  match versions t with
+  | [] -> None
+  | first :: rest ->
+    List.fold_left
+      (fun acc v ->
+        { mv_vv = Vv.merge acc.mv_vv v.mv_vv; mv_data = f acc.mv_data v.mv_data })
+      first rest
+    |> Option.some

@@ -35,6 +35,12 @@ type t = {
   control_wait : int;
       (* tick budget a control op may spend finding a leader and
          waiting for its command to commit before failing *)
+  dir_merge : [ `Legacy | `Crdt ];
+      (* directory-merge discipline applied to every physical replica
+         this cluster creates, attaches or reboots *)
+  resolver : Resolver.t;
+      (* file-conflict resolver forwarded to every reconciliation pass
+         (only consulted in `Crdt mode) *)
   (* The ready-queue (shared mutable containers, not mutable fields: the
      record is functionally updated once during create and closures hold
      the early copy). *)
@@ -221,7 +227,8 @@ let create ?(seed = 11) ?(datagram_loss = 0.0) ?(faults = Sim_net.no_faults)
     ?(reconcile_period = 100)
     ?(selection = Logical.Most_recent) ?(journal_blocks = 0) ?gossip ?log_level
     ?(indexed = true) ?(control = `Gossip) ?(raft = Raft.default_config)
-    ?(control_wait = 200) ?health ~nhosts () =
+    ?(control_wait = 200) ?health ?(dir_merge = `Legacy)
+    ?(resolver = Resolver.Owner_report) ~nhosts () =
   if nhosts <= 0 then invalid_arg "Cluster.create";
   let control_members =
     match control with
@@ -258,6 +265,8 @@ let create ?(seed = 11) ?(datagram_loss = 0.0) ?(faults = Sim_net.no_faults)
       journaled = journal_blocks > 0;
       control_members;
       control_wait;
+      dir_merge;
+      resolver;
       active = Hashtbl.create 64;
       timer_wake = ref 0;
       peers_synced = Hashtbl.create 64;
@@ -340,7 +349,8 @@ let create ?(seed = 11) ?(datagram_loss = 0.0) ?(faults = Sim_net.no_faults)
          in
          let h_recon =
            Recon_daemon.create ~period:reconcile_period ~obs ~liveness ~clock
-             ~host:h_name ~connect ~replicas:(fun () -> (Lazy.force h).h_replicas) ()
+             ~dir_merge ~resolver ~host:h_name ~connect
+             ~replicas:(fun () -> (Lazy.force h).h_replicas) ()
          in
          {
            h_index = i;
@@ -1020,6 +1030,7 @@ let create_volume t ~on =
           Physical.create ~obs:t.obs ~container ~clock:t.clock ~host:h.h_name ~vref ~rid
             ~peers ()
         in
+        Physical.set_dir_merge phys t.dir_merge;
         wire_notifier t h phys;
         Nfs_server.add_export h.h_server ~name:(export_name vref rid) (Physical.root phys);
         h.h_replicas <- (vref, phys) :: h.h_replicas;
@@ -1092,6 +1103,7 @@ let add_replica t ~host:i vref =
       Physical.create ~obs:t.obs ~container ~clock:t.clock ~host:h.h_name ~vref ~rid
         ~peers ()
     in
+    Physical.set_dir_merge phys t.dir_merge;
     Nfs_server.add_export h.h_server ~name:(export_name vref rid) (Physical.root phys);
     h.h_replicas <- (vref, phys) :: h.h_replicas;
     index_replica h vref phys;
@@ -1113,7 +1125,7 @@ let add_replica t ~host:i vref =
       | (r, hname) :: rest when r <> rid ->
         (match connect ~host:hname ~vref ~rid:r with
          | Ok remote_root ->
-           (match Reconcile.reconcile_volume ~local:phys ~remote_root ~remote_rid:r with
+           (match Reconcile.reconcile_volume ~local:phys ~remote_root ~remote_rid:r () with
             | Ok _ -> Ok ()
             | Error _ -> populate rest)
          | Error _ -> populate rest)
@@ -1344,6 +1356,9 @@ let reboot t i =
         Namei.walk ~root:(Ufs_vnode.root h.h_ufs) (container_path vref rid)
       in
       let* fresh = Physical.attach ~obs:t.obs ~container ~clock:t.clock ~host:h.h_name () in
+      (* The merge mode is volatile configuration, not replica state:
+         re-apply the cluster's discipline to the fresh attach. *)
+      Physical.set_dir_merge fresh t.dir_merge;
       wire_notifier t h fresh;
       Nfs_server.add_export h.h_server ~name:(export_name vref rid) (Physical.root fresh);
       reattach ((vref, fresh) :: acc) rest
@@ -1379,7 +1394,10 @@ let reconcile_pair t vref stats (local_i, _local_rid, local_phys) (remote_i, rem
   match connect ~host:t.hosts.(remote_i).h_name ~vref ~rid:remote_rid with
   | Error _ -> Reconcile.add_stats stats { Reconcile.empty_stats with errors = 1 }
   | Ok remote_root ->
-    (match Reconcile.reconcile_volume ~local:local_phys ~remote_root ~remote_rid with
+    (match
+       Reconcile.reconcile_volume ~resolver:t.resolver ~local:local_phys ~remote_root
+         ~remote_rid ()
+     with
      | Ok s -> Reconcile.add_stats stats s
      | Error _ -> Reconcile.add_stats stats { Reconcile.empty_stats with errors = 1 })
 

@@ -34,6 +34,8 @@ val create :
   ?raft:Raft.config ->
   ?control_wait:int ->
   ?health:Health.config ->
+  ?dir_merge:[ `Legacy | `Crdt ] ->
+  ?resolver:Resolver.t ->
   nhosts:int -> unit -> t
 (** Hosts are named ["host0"], ["host1"], ….  All parameters are shared
     by every host.  [journal_blocks] (default 0) formats each host's UFS
@@ -105,7 +107,19 @@ val create :
     them in the metrics registry and classifies each against its SLO
     ({!Health.observe}), raising edge-triggered [Degraded]/[Stuck]
     events with span-linked evidence.  Off by default because the
-    divergence walk reads every replica's full state each sample. *)
+    divergence walk reads every replica's full state each sample.
+
+    [dir_merge] (default [`Legacy], the seed behavior) selects the
+    directory-merge discipline applied to every replica the cluster
+    creates, attaches or reboots.  [`Crdt] layers the conflict-free
+    replicated tree under reconciliation: concurrent cross-renames that
+    orphan or cycle whole subtrees are repaired deterministically into
+    the replicated [lost+found] directory ({!Crdt_merge}) instead of
+    being shunted to a replica-local orphanage.  [resolver] (default
+    [Owner_report], the paper's behavior) is the file-conflict policy
+    applied on [`Crdt]-mode passes: [Lww] and [App_merge] resolve
+    concurrent file versions identically on every replica without
+    communication; [Owner_report] leaves them in the {!Conflict_log}. *)
 
 val clock : t -> Clock.t
 val net : t -> Sim_net.t

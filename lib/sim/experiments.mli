@@ -327,6 +327,41 @@ val scale_trace : unit -> verdict
     ticks/sec must be at least twice the linear rate — the before/after
     measurement for the simulator's indexed hot paths. *)
 
+type merge_metrics = {
+  gm_crdt_converged : bool;
+  gm_crdt_digest_equal : bool;
+  gm_crdt_unreachable : int;  (** orphaned subtrees after repair; must be 0 *)
+  gm_crdt_cycles : int;       (** live-tree cycles after repair; must be 0 *)
+  gm_cycles_broken : int;     (** winner-graph cycles the repair cut *)
+  gm_orphans_attached : int;  (** directories re-parented into lost+found *)
+  gm_losers_demoted : int;    (** losing parent links tombstoned *)
+  gm_crdt_payload_kept : bool;
+      (** the file buried in the cross-renamed subtree is still
+          reachable on every replica *)
+  gm_legacy_converged : bool;
+  gm_legacy_digest_equal : bool;
+  gm_legacy_payload_kept : bool;
+  gm_legacy_conflicts : int;  (** conflict-log entries the legacy arm raised *)
+}
+(** Machine-readable summary of the directory-merge experiment,
+    consumed by [bench --json]. *)
+
+val last_merge_metrics : merge_metrics option ref
+(** Filled by {!merge_repair}; [None] until it has run. *)
+
+val merge_repair : unit -> verdict
+(** The CRDT directory-merge subsystem (DESIGN.md §11) against the seed
+    OR-set merge, two arms on identical 2-host clusters driven through
+    an adversarial schedule: a cross-rename cycle (a -> b/x while
+    b -> a/y), a remove racing an update, and the same directory
+    renamed into two different parents.  The [`Crdt] arm must converge
+    with equal canonical digests, zero unreachable subtrees, zero
+    live-tree cycles, and the payload buried in the cross-renamed
+    subtree still reachable (re-parented under [lost+found]), with the
+    repair counters showing the machinery actually engaged; the
+    [`Legacy] arm documents the seed behavior — conflicts are reported
+    to the log rather than repaired in place. *)
+
 val all : unit -> verdict list
 (** Run every experiment in order, printing all tables. *)
 

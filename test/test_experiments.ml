@@ -15,4 +15,4 @@ let suite =
   List.map
     (fun name -> Alcotest.test_case ("experiment " ^ name) `Slow (verdict_holds name))
     [ "e2"; "e3"; "e4"; "e6"; "e9"; "e10"; "f2"; "a1"; "a3"; "a5"; "chaos"; "wal";
-      "obslag"; "reconscale"; "member"; "consensus"; "health"; "delta" ]
+      "obslag"; "reconscale"; "member"; "consensus"; "health"; "delta"; "merge" ]

@@ -628,7 +628,7 @@ let recon_equiv_props =
            ignore
              (if full then
                 Reconcile.reconcile_subtree ~local:phys ~remote_root ~remote_rid []
-              else Reconcile.reconcile_volume ~local:phys ~remote_root ~remote_rid))
+              else Reconcile.reconcile_volume ~local:phys ~remote_root ~remote_rid ()))
     in
     for _ = 1 to 4 do
       step 0 1;
